@@ -1,0 +1,68 @@
+// Command experiments regenerates every table of the reproduction — one
+// experiment per table/figure indexed in DESIGN.md — and reports whether
+// each table's paper-derived assertions held.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list experiment IDs
+//	experiments -run E-ex1 # run one experiment
+//
+// The process exits nonzero if any experiment's checks fail, so the
+// harness can gate CI on the reproduction staying faithful.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multijoin/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "run a single experiment by ID (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, info := range experiments.All() {
+			fmt.Printf("%-14s %s\n", info.ID, info.Paper)
+		}
+		return
+	}
+
+	var selected []experiments.Info
+	if *run != "" {
+		info, ok := experiments.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		selected = []experiments.Info{info}
+	} else {
+		selected = experiments.All()
+	}
+
+	failures := 0
+	for i, info := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		sum := info.Run(os.Stdout)
+		status := "OK"
+		if !sum.OK {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("[%s] %s — %s (%d checks, %d violations, %s)\n",
+			status, info.ID, sum.Note, sum.Checked, sum.Violations,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed their paper checks\n", failures)
+		os.Exit(1)
+	}
+}

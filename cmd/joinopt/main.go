@@ -1,0 +1,27 @@
+// Command joinopt analyzes a database in the framework of the paper: it
+// checks conditions C1–C4, derives the theorem certificates saying which
+// optimizer search-space restrictions are safe, and reports the τ-optimum
+// strategy in each subspace.
+//
+// Usage:
+//
+//	joinopt -example 5                     # analyze a paper example (1–5)
+//	joinopt -file db.json                  # analyze a database from JSON
+//	joinopt -example 1 -strategies         # every strategy with its τ
+//	joinopt -example 1 -cost '(R1 R3) (R2 R4)'   # trace one strategy
+//	joinopt -gen chain -n 4 -seed 3 -reduce      # full reducer report
+//
+// The JSON format is documented in internal/database/json.go:
+//
+//	{"relations": [{"name": "R1", "attrs": ["A","B"], "rows": [["p","0"]]}]}
+package main
+
+import (
+	"os"
+
+	"multijoin/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,40 @@
+// Package multijoin is a library-scale reproduction of
+//
+//	Y. C. Tay, "On the Optimality of Strategies for Multiple Joins",
+//	PODS 1990 (full version JACM 40(5), 1993, pp. 1067–1086).
+//
+// A *strategy* for evaluating the natural join R1 ⋈ R2 ⋈ … ⋈ Rn is a
+// binary tree fixing the join order; its cost τ(S) is the total number of
+// tuples its steps generate. Practical query optimizers search restricted
+// strategy subspaces — linear strategies, strategies avoiding Cartesian
+// products, or both — and the paper gives checkable conditions (C1, C1′,
+// C2, C3) under which those restrictions still contain a τ-optimum
+// strategy:
+//
+//	Theorem 1 (C1′): a τ-optimum linear strategy uses no Cartesian products.
+//	Theorem 2 (C1 ∧ C2): some τ-optimum strategy uses no Cartesian products.
+//	Theorem 3 (C3): some τ-optimum strategy is linear with no Cartesian products.
+//
+// The package exposes the whole reproduction surface:
+//
+//   - the relational substrate (schemas, relations, natural join);
+//   - databases and the memoized subset evaluator behind τ;
+//   - strategy trees with the paper's predicates (linear, uses/avoids
+//     Cartesian products) and the pluck/graft transformations of its proofs;
+//   - checkers for conditions C1, C1′, C2, C3 and C4 with violation
+//     witnesses;
+//   - τ-optimal dynamic-programming optimizers for the four subspaces
+//     real systems search (System R, INGRES, GAMMA, Office-by-Example);
+//   - the Analyzer, which certifies — via the theorems — which subspace
+//     restrictions are safe for a given database, and the constructive
+//     rewrites (avoid-Cartesian-products, linearize) extracted from the
+//     proofs of Lemmas 2–4 and 6;
+//   - the Section 4 applications (functional dependencies, superkeys,
+//     lossless joins via the chase) and the Section 5 extensions
+//     (acyclicity, semijoin reduction, Yannakakis evaluation, strategies
+//     for unions and intersections).
+//
+// The five worked examples of the paper ship as fixtures (see
+// ExampleDatabase) and every number the paper quotes about them is
+// asserted in the test suite.
+package multijoin

@@ -1,0 +1,271 @@
+// Package cli implements the joinopt command: analyzing a database in
+// the paper's framework (conditions, theorem certificates, per-subspace
+// optima), costing individual strategies, and running the semijoin
+// reducer. It is a separate package so the command's behaviour is
+// testable end to end.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"multijoin/internal/core"
+	"multijoin/internal/database"
+	"multijoin/internal/gen"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/paperex"
+	"multijoin/internal/semijoin"
+	"multijoin/internal/strategy"
+)
+
+// Run executes the joinopt command line. It writes human output to
+// stdout, errors to stderr, and returns the process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("joinopt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	example := fs.Int("example", 0, "analyze paper example 1-5")
+	file := fs.String("file", "", "analyze a database from a JSON file")
+	genShape := fs.String("gen", "", "generate a database: chain|star|cycle|clique")
+	n := fs.Int("n", 4, "relations to generate")
+	rows := fs.Int("rows", 6, "tuples per generated relation")
+	domain := fs.Int("domain", 4, "domain size for generated values")
+	seed := fs.Int64("seed", 1, "generator seed")
+	diagonal := fs.Bool("diagonal", false, "generate superkey-join (C3) data instead of uniform")
+	listStrategies := fs.Bool("strategies", false, "enumerate every strategy with its τ (small databases)")
+	emitJSON := fs.Bool("json", false, "print the database as JSON before analyzing")
+	costExpr := fs.String("cost", "", "cost and trace one strategy, e.g. '((R1 R2) R3)'")
+	reduce := fs.Bool("reduce", false, "run the Bernstein–Chiu full reducer and report sizes")
+	format := fs.String("format", "text", "analysis output format: text|json")
+	optima := fs.Bool("optima", false, "list every τ-optimum strategy per subspace (small databases)")
+	csvDir := fs.String("csv", "", "load the database from headered .csv files in a directory")
+	dotExpr := fs.String("dot", "", "emit a Graphviz rendering of one strategy, e.g. '((R1 R2) R3)'")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	err := func() error {
+		var db *database.Database
+		var err error
+		if *csvDir != "" {
+			db, err = database.LoadCSVDir(*csvDir)
+		} else {
+			db, err = loadDatabase(*example, *file, *genShape, *n, *rows, *domain, *seed, *diagonal)
+		}
+		if err != nil {
+			return err
+		}
+		if *emitJSON {
+			if err := database.EncodeJSON(stdout, db); err != nil {
+				return err
+			}
+		}
+		switch {
+		case *dotExpr != "":
+			st, err := strategy.Parse(db, *dotExpr)
+			if err != nil {
+				return err
+			}
+			ev := database.NewEvaluator(db)
+			fmt.Fprint(stdout, strategy.DOT(ev, st))
+			return nil
+		case *costExpr != "":
+			return costOne(stdout, db, *costExpr)
+		case *reduce:
+			return reduceReport(stdout, db)
+		case *optima:
+			return listOptima(stdout, db)
+		case *format == "json":
+			an, err := core.Analyze(db)
+			if err != nil {
+				return err
+			}
+			if err := core.VerifyCertificates(an); err != nil {
+				return err
+			}
+			return core.EncodeAnalysisJSON(stdout, db, an)
+		case *format != "text":
+			return fmt.Errorf("unknown format %q", *format)
+		default:
+			return analyze(stdout, db, *listStrategies)
+		}
+	}()
+	if err != nil {
+		fmt.Fprintln(stderr, "joinopt:", err)
+		return 1
+	}
+	return 0
+}
+
+func loadDatabase(example int, file, genShape string, n, rows, domain int, seed int64, diagonal bool) (*database.Database, error) {
+	switch {
+	case example != 0:
+		switch example {
+		case 1:
+			return paperex.Example1(), nil
+		case 2:
+			return paperex.Example2(), nil
+		case 3:
+			return paperex.Example3(), nil
+		case 4:
+			return paperex.Example4(), nil
+		case 5:
+			return paperex.Example5(), nil
+		}
+		return nil, fmt.Errorf("the paper has examples 1 through 5, not %d", example)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return database.DecodeJSON(f)
+	case genShape != "":
+		var shape gen.Shape
+		switch genShape {
+		case "chain":
+			shape = gen.Chain
+		case "star":
+			shape = gen.Star
+		case "cycle":
+			shape = gen.Cycle
+		case "clique":
+			shape = gen.Clique
+		default:
+			return nil, fmt.Errorf("unknown shape %q", genShape)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		schemes := gen.Schemes(shape, n)
+		if diagonal {
+			return gen.Diagonal(rng, schemes, rows, 0.6), nil
+		}
+		return gen.Uniform(rng, schemes, rows, domain), nil
+	}
+	return nil, errors.New("pick one of -example, -file or -gen (see -h)")
+}
+
+// costOne parses a strategy expression and prints its evaluation trace.
+func costOne(w io.Writer, db *database.Database, expr string) error {
+	s, err := strategy.Parse(db, expr)
+	if err != nil {
+		return err
+	}
+	if s.Set() != db.All() {
+		return fmt.Errorf("strategy covers %v, not the whole database", s.Set())
+	}
+	ev := database.NewEvaluator(db)
+	tr := strategy.TraceEvaluation(ev, s)
+	fmt.Fprintln(w, tr)
+	fmt.Fprintf(w, "linear: %v   uses Cartesian products: %v   monotone: decreasing=%v increasing=%v\n",
+		s.IsLinear(), s.UsesCartesian(db.Graph()),
+		tr.MonotoneDecreasing(), tr.MonotoneIncreasing())
+	best, err := optimizer.Optimize(ev, optimizer.SpaceAll)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "τ-optimum for comparison: τ=%d  %s\n", best.Cost, best.Strategy.Render(db))
+	return nil
+}
+
+// reduceReport runs the full reducer and prints per-relation sizes.
+func reduceReport(w io.Writer, db *database.Database) error {
+	reduced, err := semijoin.FullReduce(db)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "relation sizes before → after full reduction:")
+	for i := 0; i < db.Len(); i++ {
+		name := db.Relation(i).Name()
+		if name == "" {
+			name = fmt.Sprintf("#%d", i)
+		}
+		fmt.Fprintf(w, "  %-10s %4d → %4d\n", name, db.Relation(i).Size(), reduced.Relation(i).Size())
+	}
+	fmt.Fprintf(w, "pairwise consistent after reduction: %v\n", semijoin.PairwiseConsistent(reduced))
+	result, sizes, err := semijoin.Yannakakis(db)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Yannakakis evaluation: output τ=%d, intermediate sizes %v\n", result.Size(), sizes)
+	return nil
+}
+
+// listOptima prints every τ-optimum strategy per subspace.
+func listOptima(w io.Writer, db *database.Database) error {
+	if db.Len() > 8 {
+		return fmt.Errorf("-optima is limited to 8 relations")
+	}
+	ev := database.NewEvaluator(db)
+	for _, sp := range []optimizer.Space{
+		optimizer.SpaceAll, optimizer.SpaceNoCP,
+		optimizer.SpaceLinear, optimizer.SpaceLinearNoCP,
+	} {
+		opts, err := optimizer.Optima(ev, sp)
+		if err == optimizer.ErrEmptySpace {
+			fmt.Fprintf(w, "%s: empty subspace\n", sp)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %d τ-optimum strategies at τ=%d\n", sp, len(opts), opts[0].Cost(ev))
+		for _, o := range opts {
+			fmt.Fprintf(w, "  %s\n", o.Render(db))
+		}
+	}
+	return nil
+}
+
+func analyze(w io.Writer, db *database.Database, listStrategies bool) error {
+	fmt.Fprintln(w, "database:")
+	fmt.Fprintln(w, db)
+	fmt.Fprintln(w)
+
+	an, err := core.Analyze(db)
+	if err != nil {
+		return err
+	}
+
+	core.WriteReport(w, db, an)
+
+	if err := core.VerifyCertificates(an); err != nil {
+		return fmt.Errorf("certificate verification failed (this would falsify the paper): %w", err)
+	}
+	if len(an.Certificates) > 0 {
+		fmt.Fprintln(w, "certificates verified against measured optima ✓")
+	}
+
+	if listStrategies {
+		fmt.Fprintln(w)
+		if db.Len() > 8 {
+			return fmt.Errorf("-strategies is limited to 8 relations ((2n−3)!! blows up)")
+		}
+		ev := database.NewEvaluator(db)
+		type entry struct {
+			cost int
+			desc string
+		}
+		var entries []entry
+		strategy.EnumerateAll(db.All(), func(s *strategy.Node) bool {
+			tags := ""
+			if s.IsLinear() {
+				tags += " linear"
+			}
+			if s.UsesCartesian(db.Graph()) {
+				tags += " uses-CP"
+			}
+			entries = append(entries, entry{s.Cost(ev), fmt.Sprintf("τ=%-8d %s%s", s.Cost(ev), s.Render(db), tags)})
+			return true
+		})
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].cost < entries[j].cost })
+		fmt.Fprintf(w, "all %d strategies, cheapest first:\n", len(entries))
+		for _, e := range entries {
+			fmt.Fprintln(w, " ", e.desc)
+		}
+	}
+	return nil
+}

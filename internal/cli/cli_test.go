@@ -1,0 +1,259 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes the CLI and returns (stdout, stderr, exit code).
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := Run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestAnalyzeExample5(t *testing.T) {
+	out, _, code := run(t, "-example", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"C3 violated",
+		"Theorem 2",
+		"((MS⋈SC)⋈(CI⋈ID))",
+		"certificates verified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeExample1Unconnected(t *testing.T) {
+	out, _, code := run(t, "-example", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "scheme connected: false") {
+		t.Errorf("Example 1 is unconnected:\n%s", out)
+	}
+	if !strings.Contains(out, "none — no theorem guarantees") {
+		t.Errorf("unconnected schemes get no certificates:\n%s", out)
+	}
+}
+
+func TestStrategiesListing(t *testing.T) {
+	out, _, code := run(t, "-example", "4", "-strategies")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "all 3 strategies, cheapest first:") {
+		t.Errorf("missing strategy list:\n%s", out)
+	}
+	// The cheapest is the CP-using S3 at τ=11.
+	if !strings.Contains(out, "τ=11") || !strings.Contains(out, "uses-CP") {
+		t.Errorf("expected τ=11 with uses-CP tag:\n%s", out)
+	}
+}
+
+func TestCostTrace(t *testing.T) {
+	out, _, code := run(t, "-example", "1", "-cost", "(R1 R3) (R2 R4)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"τ(S) = 546", "[cartesian]", "τ-optimum for comparison: τ=546"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	_, errOut, code := run(t, "-example", "1", "-cost", "R1 R2")
+	if code == 0 {
+		t.Fatal("partial strategy should fail")
+	}
+	if !strings.Contains(errOut, "not the whole database") {
+		t.Errorf("stderr: %s", errOut)
+	}
+	_, errOut, code = run(t, "-example", "1", "-cost", "R1 R1")
+	if code == 0 || !strings.Contains(errOut, "twice") {
+		t.Errorf("duplicate relation should fail: %s", errOut)
+	}
+}
+
+func TestReduceReport(t *testing.T) {
+	out, _, code := run(t, "-gen", "chain", "-n", "4", "-seed", "3", "-reduce")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"full reduction", "pairwise consistent after reduction: true", "Yannakakis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRoundTripThroughFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+	out, _, code := run(t, "-example", "2", "-json", "-cost", "(R1' R2') R3'")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	jsonStart := strings.Index(out, "{")
+	jsonEnd := strings.LastIndex(out, "}") + 1
+	if err := os.WriteFile(path, []byte(out[jsonStart:jsonEnd]), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out2, _, code := run(t, "-file", path)
+	if code != 0 {
+		t.Fatalf("exit %d reading back: %s", code, out2)
+	}
+	if !strings.Contains(out2, "C1 violated") {
+		t.Errorf("Example 2's C1 violation lost in round trip:\n%s", out2)
+	}
+}
+
+func TestGenerateFlags(t *testing.T) {
+	out, _, code := run(t, "-gen", "star", "-n", "3", "-seed", "9", "-diagonal")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "Theorem 3") {
+		t.Errorf("diagonal star should certify Theorem 3:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                              // no source
+		{"-example", "9"},               // bad example
+		{"-gen", "weird"},               // bad shape
+		{"-file", "/no/such/file"},      // missing file
+		{"-example", "1", "-cost", "("}, // parse error
+	}
+	for _, args := range cases {
+		if _, _, code := run(t, args...); code == 0 {
+			t.Errorf("Run(%v) should fail", args)
+		}
+	}
+}
+
+func TestBadFlagExitCode(t *testing.T) {
+	if _, _, code := run(t, "-nope"); code != 2 {
+		t.Fatalf("bad flag should exit 2")
+	}
+}
+
+func TestStrategiesRefusedOnLargeDatabases(t *testing.T) {
+	_, errOut, code := run(t, "-gen", "chain", "-n", "9", "-rows", "2", "-strategies")
+	if code == 0 || !strings.Contains(errOut, "limited to 8") {
+		t.Errorf("large -strategies should be refused: %s", errOut)
+	}
+}
+
+func TestOptimaFlag(t *testing.T) {
+	out, _, code := run(t, "-example", "3", "-optima")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	// Example 3: all three strategies are τ-optimum.
+	if !strings.Contains(out, "all: 3 τ-optimum strategies at τ=7") {
+		t.Errorf("expected three optima at τ=7:\n%s", out)
+	}
+	_, errOut, code := run(t, "-gen", "chain", "-n", "9", "-rows", "2", "-optima")
+	if code == 0 || !strings.Contains(errOut, "limited to 8") {
+		t.Errorf("large -optima should be refused: %s", errOut)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	out, _, code := run(t, "-example", "5", "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var parsed struct {
+		Connected    bool `json:"connected"`
+		Certificates []struct {
+			Theorem int `json:"theorem"`
+		} `json:"certificates"`
+		Optima []struct {
+			Space    string `json:"space"`
+			Tau      int    `json:"tau"`
+			Strategy string `json:"strategy"`
+		} `json:"optima"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if !parsed.Connected || len(parsed.Certificates) == 0 || len(parsed.Optima) == 0 {
+		t.Fatalf("JSON content wrong: %+v", parsed)
+	}
+	for _, o := range parsed.Optima {
+		if o.Space == "all" && o.Tau != 11 {
+			t.Errorf("all-space τ = %d, want 11", o.Tau)
+		}
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	_, errOut, code := run(t, "-example", "1", "-format", "yaml")
+	if code == 0 || !strings.Contains(errOut, "unknown format") {
+		t.Errorf("unknown format should fail: %s", errOut)
+	}
+}
+
+func TestCSVLoading(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "orders.csv"),
+		[]byte("Cust,Order\nc1,o1\nc1,o2\nc2,o3\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "customers.csv"),
+		[]byte("Cust,Region\nc1,north\nc2,south\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := run(t, "-csv", dir)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "name=orders") || !strings.Contains(out, "name=customers") {
+		t.Errorf("relations not loaded:\n%s", out)
+	}
+	if !strings.Contains(out, "scheme connected: true") {
+		t.Errorf("orders and customers share Cust:\n%s", out)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, code := run(t, "-csv", dir); code == 0 {
+		t.Fatal("empty dir should fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"),
+		[]byte("A,A\n1,2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := run(t, "-csv", dir)
+	if code == 0 || !strings.Contains(errOut, "duplicate attributes") {
+		t.Errorf("duplicate attrs should fail: %s", errOut)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out, _, code := run(t, "-example", "1", "-dot", "(R1 R3) (R2 R4)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"digraph strategy", "style=dashed", "τ=490", "R1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package conditions
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+// keyJoinDB builds a chain database where every join attribute is a key
+// of both its relations (each relation is a bijection between its two
+// attributes), which by Section 4 of the paper satisfies C3.
+func keyJoinDB(sizes ...int) *database.Database {
+	rels := make([]*relation.Relation, len(sizes))
+	for i, n := range sizes {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		r := relation.New("", relation.NewSchema(a, b))
+		for k := 0; k < n; k++ {
+			v := relation.Value(rune('0' + k))
+			r.Insert(relation.Tuple{a: v, b: v})
+		}
+		rels[i] = r
+	}
+	return database.New(rels...)
+}
+
+func TestKeyJoinChainSatisfiesC3(t *testing.T) {
+	db := keyJoinDB(4, 3, 5)
+	ev := database.NewEvaluator(db)
+	for _, c := range []Condition{C1, C2, C3} {
+		if rep := Check(ev, c); !rep.Holds {
+			t.Errorf("%s should hold on a superkey-join chain: %v", c, rep.Witness)
+		}
+	}
+}
+
+func TestC3ImpliesC1RandomDatabases(t *testing.T) {
+	// Lemma 5: C3(𝒟) ∧ R_D ≠ ∅ ⟹ C1(𝒟). Scan random small databases;
+	// whenever C3 holds and the result is nonempty, C1 must hold.
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		db := randomChainDB(rng, 3, 4, 3)
+		ev := database.NewEvaluator(db)
+		if ev.Result().Empty() {
+			continue
+		}
+		if Check(ev, C3).Holds {
+			checked++
+			if rep := Check(ev, C1); !rep.Holds {
+				t.Fatalf("trial %d: C3 holds but C1 fails: %v\n%v", trial, rep.Witness, db)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no trial satisfied C3; generator too weak for the property test")
+	}
+}
+
+func TestC1StrictImpliesC1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		db := randomChainDB(rng, 3, 4, 3)
+		ev := database.NewEvaluator(db)
+		if Check(ev, C1Strict).Holds {
+			checked++
+			if !Check(ev, C1).Holds {
+				t.Fatalf("trial %d: C1′ holds but C1 fails", trial)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no trial satisfied C1′")
+	}
+}
+
+// randomChainDB builds a random database over a chain scheme of n
+// relations with up to maxRows tuples and the given domain size.
+func randomChainDB(rng *rand.Rand, n, maxRows, domain int) *database.Database {
+	rels := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		r := relation.New("", relation.NewSchema(a, b))
+		rows := 1 + rng.Intn(maxRows)
+		for k := 0; k < rows; k++ {
+			r.Insert(relation.Tuple{
+				a: relation.Value(rune('0' + rng.Intn(domain))),
+				b: relation.Value(rune('0' + rng.Intn(domain))),
+			})
+		}
+		rels[i] = r
+	}
+	return database.New(rels...)
+}
+
+func TestC4OnGrowingJoins(t *testing.T) {
+	// A database where every join strictly grows: many-to-many matches.
+	r1 := relation.FromStrings("R1", "AB", "1 x", "2 x")
+	r2 := relation.FromStrings("R2", "BC", "x 1", "x 2")
+	db := database.New(r1, r2)
+	ev := database.NewEvaluator(db)
+	if rep := Check(ev, C4); !rep.Holds {
+		t.Fatalf("C4 should hold: %v", rep.Witness)
+	}
+	if rep := Check(ev, C3); rep.Holds {
+		t.Fatal("C3 should fail on a growing join")
+	}
+}
+
+func TestC4ViolationWitness(t *testing.T) {
+	// A shrinking join violates C4.
+	r1 := relation.FromStrings("R1", "AB", "1 x", "2 y")
+	r2 := relation.FromStrings("R2", "BC", "x 1")
+	db := database.New(r1, r2)
+	ev := database.NewEvaluator(db)
+	rep := Check(ev, C4)
+	if rep.Holds || rep.Witness == nil {
+		t.Fatal("expected a C4 violation")
+	}
+	if rep.Witness.Left >= rep.Witness.Right {
+		t.Fatalf("C4 witness should have joined < operand: %v", rep.Witness)
+	}
+	if rep.Witness.String() == "" {
+		t.Fatal("witness must format")
+	}
+}
+
+func TestCheckAllOrderAndCount(t *testing.T) {
+	db := keyJoinDB(2, 2)
+	reports := CheckAll(database.NewEvaluator(db))
+	want := []Condition{C1, C1Strict, C2, C3, C4}
+	if len(reports) != len(want) {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i, r := range reports {
+		if r.Cond != want[i] {
+			t.Errorf("report %d is %s, want %s", i, r.Cond, want[i])
+		}
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	names := map[Condition]string{C1: "C1", C1Strict: "C1'", C2: "C2", C3: "C3", C4: "C4"}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+	if Condition(99).String() == "" {
+		t.Fatal("unknown condition should still format")
+	}
+}
+
+func TestWitnessStringsAllConditions(t *testing.T) {
+	// Force violations of each condition and check the witnesses format
+	// with the right shape.
+	grow := database.New(
+		relation.FromStrings("R1", "AB", "1 x", "2 x"),
+		relation.FromStrings("R2", "BC", "x 1", "x 2"),
+		relation.FromStrings("R3", "DE", "d e"),
+	)
+	ev := database.NewEvaluator(grow)
+	// C1: τ(R1⋈R2)=4 > τ(R1⋈R3)=2.
+	if rep := Check(ev, C1); rep.Holds {
+		t.Fatal("C1 should fail")
+	} else if rep.Witness.Cond != C1 {
+		t.Fatal("witness condition mismatch")
+	}
+	if rep := Check(ev, C1Strict); rep.Holds {
+		t.Fatal("C1′ should fail")
+	}
+	if rep := Check(ev, C3); rep.Holds {
+		t.Fatal("C3 should fail")
+	} else if got := rep.Witness.String(); got == "" {
+		t.Fatal("C3 witness must format")
+	}
+}
+
+func TestCheckPanicsOnUnknownCondition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Check(database.NewEvaluator(keyJoinDB(2, 2)), Condition(42))
+}
+
+func TestEmptyIntermediateStatesAllowed(t *testing.T) {
+	// Conditions are well defined even when some joins are empty.
+	r1 := relation.FromStrings("R1", "AB", "1 x")
+	r2 := relation.FromStrings("R2", "BC", "y 1") // no match
+	db := database.New(r1, r2)
+	ev := database.NewEvaluator(db)
+	for _, c := range []Condition{C1, C1Strict, C2, C3, C4} {
+		rep := Check(ev, c)
+		_ = rep // must not panic; outcome depends on the condition
+	}
+	if !Check(ev, C3).Holds {
+		t.Fatal("empty join satisfies C3 trivially (0 ≤ both)")
+	}
+	if Check(ev, C4).Holds {
+		t.Fatal("empty join violates C4")
+	}
+}
+
+func TestWitnessVerify(t *testing.T) {
+	// Every witness the checker emits must verify against the same
+	// database, and must stop verifying against a database where the
+	// condition holds.
+	rng := rand.New(rand.NewSource(55))
+	verified := 0
+	for trial := 0; trial < 200; trial++ {
+		db := randomChainDB(rng, 3, 4, 3)
+		ev := database.NewEvaluator(db)
+		for _, c := range []Condition{C1, C1Strict, C2, C3, C4} {
+			rep := Check(ev, c)
+			if rep.Holds {
+				continue
+			}
+			verified++
+			if !rep.Witness.Verify(ev) {
+				t.Fatalf("trial %d: %s witness does not verify: %v", trial, c, rep.Witness)
+			}
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no witnesses produced")
+	}
+}
+
+func TestWitnessVerifyRejectsForged(t *testing.T) {
+	db := keyJoinDB(3, 3)
+	ev := database.NewEvaluator(db)
+	forged := Witness{Cond: C3, E1: 1, E2: 2, Left: 99, Right: 1}
+	if forged.Verify(ev) {
+		t.Fatal("forged witness must not verify")
+	}
+	bad := Witness{Cond: Condition(9)}
+	if bad.Verify(ev) {
+		t.Fatal("unknown condition must not verify")
+	}
+}
+
+func TestLemma1ExtendedClaim(t *testing.T) {
+	// Lemma 1: if C1 holds and R_D ≠ ∅, the C1 inequality extends to
+	// unconnected E and E2 (E1 still connected). Verified empirically on
+	// random databases where C1 holds — a direct machine check of the
+	// lemma.
+	rng := rand.New(rand.NewSource(56))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		db := randomChainDB(rng, 4, 3, 3)
+		ev := database.NewEvaluator(db)
+		if ev.Result().Empty() || !Check(ev, C1).Holds {
+			continue
+		}
+		checked++
+		g := db.Graph()
+		all := db.All()
+		all.Subsets(func(e hypergraph.Set) bool {
+			all.Subsets(func(e1 hypergraph.Set) bool {
+				if !g.Connected(e1) || !e.Disjoint(e1) || !g.Linked(e, e1) {
+					return true
+				}
+				left := ev.JoinSize(e, e1)
+				all.Subsets(func(e2 hypergraph.Set) bool {
+					if !e.Disjoint(e2) || !e1.Disjoint(e2) || g.Linked(e, e2) {
+						return true
+					}
+					if left > ev.JoinSize(e, e2) {
+						t.Fatalf("trial %d: Lemma 1 violated: E=%v E1=%v E2=%v (%d > %d)",
+							trial, e, e1, e2, left, ev.JoinSize(e, e2))
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+	if checked < 15 {
+		t.Fatalf("only %d trials satisfied C1", checked)
+	}
+}
+
+func TestLemma1StrictExtendedClaim(t *testing.T) {
+	// Lemma 1′: same extension with strict inequality under C1′.
+	rng := rand.New(rand.NewSource(57))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		db := randomChainDB(rng, 3, 3, 3)
+		ev := database.NewEvaluator(db)
+		if ev.Result().Empty() || !Check(ev, C1Strict).Holds {
+			continue
+		}
+		checked++
+		g := db.Graph()
+		all := db.All()
+		all.Subsets(func(e hypergraph.Set) bool {
+			all.Subsets(func(e1 hypergraph.Set) bool {
+				if !g.Connected(e1) || !e.Disjoint(e1) || !g.Linked(e, e1) {
+					return true
+				}
+				left := ev.JoinSize(e, e1)
+				all.Subsets(func(e2 hypergraph.Set) bool {
+					if !e.Disjoint(e2) || !e1.Disjoint(e2) || g.Linked(e, e2) {
+						return true
+					}
+					if left >= ev.JoinSize(e, e2) {
+						t.Fatalf("trial %d: Lemma 1' violated: E=%v E1=%v E2=%v",
+							trial, e, e1, e2)
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+	if checked < 10 {
+		t.Skipf("only %d trials satisfied C1'", checked)
+	}
+}

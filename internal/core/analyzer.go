@@ -1,0 +1,195 @@
+// Package core is the executable form of the paper's contribution. Given
+// a database, the Analyzer
+//
+//  1. checks the conditions C1, C1′, C2, C3 (and C4) of Sections 3 and 5,
+//  2. applies Theorems 1–3 to certify which restricted strategy subspaces
+//     are guaranteed to still contain a τ-optimum strategy, and
+//  3. optionally cross-checks each certificate against exhaustive
+//     optimization, so that the theory is continuously validated on the
+//     instance at hand.
+//
+// The package also provides the constructive counterparts of the proofs:
+// AvoidCPRewrite turns a strategy into one that avoids Cartesian products
+// without increasing τ (the Lemma 2/3/4 transformation sequence behind
+// Theorem 2), and LinearizeRewrite turns a Cartesian-product-free
+// strategy into a linear one without increasing τ under C3 (the Lemma 6
+// transfer argument behind Theorem 3).
+package core
+
+import (
+	"fmt"
+
+	"multijoin/internal/conditions"
+	"multijoin/internal/database"
+	"multijoin/internal/optimizer"
+)
+
+// Theorem identifies one of the paper's three main results.
+type Theorem int
+
+const (
+	// Theorem1: connected scheme, R_D ≠ ∅, C1′ ⟹ a τ-optimum *linear*
+	// strategy does not use Cartesian products, so the linear-no-CP
+	// subspace attains the linear optimum.
+	Theorem1 Theorem = 1
+	// Theorem2: connected scheme, R_D ≠ ∅, C1 ∧ C2 ⟹ some τ-optimum
+	// strategy uses no Cartesian products, so the no-CP subspace attains
+	// the global optimum.
+	Theorem2 Theorem = 2
+	// Theorem3: connected scheme, R_D ≠ ∅, C3 ⟹ some τ-optimum strategy
+	// is linear and uses no Cartesian products, so the linear-no-CP
+	// subspace attains the global optimum.
+	Theorem3 Theorem = 3
+)
+
+// Certificate states that, by one of the paper's theorems, restricting
+// the optimizer's search to Space is safe in the sense described by
+// Guarantee.
+type Certificate struct {
+	Theorem   Theorem
+	Space     optimizer.Space
+	Guarantee string
+}
+
+// Profile is the database's condition profile.
+type Profile struct {
+	Connected      bool
+	ResultNonEmpty bool
+	Reports        []conditions.Report // C1, C1′, C2, C3, C4 in order
+}
+
+// Holds reports whether the given condition holds in the profile.
+func (p Profile) Holds(c conditions.Condition) bool {
+	for _, r := range p.Reports {
+		if r.Cond == c {
+			return r.Holds
+		}
+	}
+	return false
+}
+
+// Analysis is the Analyzer's output.
+type Analysis struct {
+	Profile      Profile
+	Certificates []Certificate
+	// Results holds one optimization result per subspace, in the order
+	// SpaceAll, SpaceNoCP, SpaceLinear, SpaceLinearNoCP. Subspaces that
+	// are empty for this scheme are skipped.
+	Results []optimizer.Result
+}
+
+// Result returns the optimization result for the given space, if present.
+func (a *Analysis) Result(s optimizer.Space) (optimizer.Result, bool) {
+	for _, r := range a.Results {
+		if r.Space == s {
+			return r, true
+		}
+	}
+	return optimizer.Result{}, false
+}
+
+// Analyze checks conditions, derives certificates and optimizes in every
+// subspace.
+func Analyze(db *database.Database) (*Analysis, error) {
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	ev := database.NewEvaluator(db)
+	profile := Profile{
+		Connected:      db.Connected(),
+		ResultNonEmpty: ev.ResultNonEmpty(),
+		Reports:        conditions.CheckAll(ev),
+	}
+	an := &Analysis{Profile: profile}
+	an.Certificates = Certify(profile)
+
+	for _, sp := range []optimizer.Space{
+		optimizer.SpaceAll, optimizer.SpaceNoCP,
+		optimizer.SpaceLinear, optimizer.SpaceLinearNoCP,
+	} {
+		res, err := optimizer.Optimize(ev, sp)
+		if err == optimizer.ErrEmptySpace {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		an.Results = append(an.Results, res)
+	}
+	return an, nil
+}
+
+// Certify derives the theorem certificates implied by a condition
+// profile; it is pure so the randomized experiments can reuse it.
+func Certify(p Profile) []Certificate {
+	if !p.Connected || !p.ResultNonEmpty {
+		return nil
+	}
+	var out []Certificate
+	if p.Holds(conditions.C1Strict) {
+		out = append(out, Certificate{
+			Theorem: Theorem1,
+			Space:   optimizer.SpaceLinearNoCP,
+			Guarantee: "every τ-optimum linear strategy avoids Cartesian products; " +
+				"searching linear-no-CP strategies attains the linear optimum",
+		})
+	}
+	if p.Holds(conditions.C1) && p.Holds(conditions.C2) {
+		out = append(out, Certificate{
+			Theorem: Theorem2,
+			Space:   optimizer.SpaceNoCP,
+			Guarantee: "some τ-optimum strategy uses no Cartesian products; " +
+				"searching no-CP strategies attains the global optimum",
+		})
+	}
+	if p.Holds(conditions.C3) {
+		out = append(out, Certificate{
+			Theorem: Theorem3,
+			Space:   optimizer.SpaceLinearNoCP,
+			Guarantee: "some τ-optimum strategy is linear and uses no Cartesian products; " +
+				"searching linear-no-CP strategies attains the global optimum",
+		})
+	}
+	return out
+}
+
+// VerifyCertificates checks every certificate in the analysis against
+// the measured optima, returning a descriptive error for the first
+// violation. A nil return means the paper's theorems held on this
+// instance — the cross-check run by the randomized validation
+// experiments (E-thm1/2/3).
+func VerifyCertificates(a *Analysis) error {
+	all, hasAll := a.Result(optimizer.SpaceAll)
+	lin, hasLin := a.Result(optimizer.SpaceLinear)
+	nocp, hasNoCP := a.Result(optimizer.SpaceNoCP)
+	lnc, hasLNC := a.Result(optimizer.SpaceLinearNoCP)
+	for _, c := range a.Certificates {
+		switch c.Theorem {
+		case Theorem1:
+			if !hasLin || !hasLNC {
+				return fmt.Errorf("theorem 1: missing optimization results")
+			}
+			if lnc.Cost != lin.Cost {
+				return fmt.Errorf("theorem 1 violated: linear-no-CP optimum %d ≠ linear optimum %d",
+					lnc.Cost, lin.Cost)
+			}
+		case Theorem2:
+			if !hasAll || !hasNoCP {
+				return fmt.Errorf("theorem 2: missing optimization results")
+			}
+			if nocp.Cost != all.Cost {
+				return fmt.Errorf("theorem 2 violated: no-CP optimum %d ≠ global optimum %d",
+					nocp.Cost, all.Cost)
+			}
+		case Theorem3:
+			if !hasAll || !hasLNC {
+				return fmt.Errorf("theorem 3: missing optimization results")
+			}
+			if lnc.Cost != all.Cost {
+				return fmt.Errorf("theorem 3 violated: linear-no-CP optimum %d ≠ global optimum %d",
+					lnc.Cost, all.Cost)
+			}
+		}
+	}
+	return nil
+}

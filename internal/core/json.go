@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"multijoin/internal/database"
+)
+
+// Machine-readable analysis output, for downstream tooling (the CLI's
+// `-format json`).
+
+type jsonCondition struct {
+	Condition string `json:"condition"`
+	Holds     bool   `json:"holds"`
+	Witness   string `json:"witness,omitempty"`
+}
+
+type jsonCertificate struct {
+	Theorem   int    `json:"theorem"`
+	Space     string `json:"space"`
+	Guarantee string `json:"guarantee"`
+}
+
+type jsonResult struct {
+	Space    string `json:"space"`
+	Cost     int    `json:"tau"`
+	Strategy string `json:"strategy"`
+	States   int    `json:"dpStates"`
+}
+
+type jsonAnalysis struct {
+	Connected      bool              `json:"connected"`
+	ResultNonEmpty bool              `json:"resultNonEmpty"`
+	Conditions     []jsonCondition   `json:"conditions"`
+	Certificates   []jsonCertificate `json:"certificates"`
+	Optima         []jsonResult      `json:"optima"`
+}
+
+// EncodeAnalysisJSON writes the analysis in a stable JSON shape.
+// Strategies are rendered in the parseable parenthesized form, so a
+// round trip through strategy.Parse recovers them.
+func EncodeAnalysisJSON(w io.Writer, db *database.Database, an *Analysis) error {
+	out := jsonAnalysis{
+		Connected:      an.Profile.Connected,
+		ResultNonEmpty: an.Profile.ResultNonEmpty,
+		Conditions:     []jsonCondition{},
+		Certificates:   []jsonCertificate{},
+		Optima:         []jsonResult{},
+	}
+	for _, rep := range an.Profile.Reports {
+		jc := jsonCondition{Condition: rep.Cond.String(), Holds: rep.Holds}
+		if rep.Witness != nil {
+			jc.Witness = rep.Witness.String()
+		}
+		out.Conditions = append(out.Conditions, jc)
+	}
+	for _, c := range an.Certificates {
+		out.Certificates = append(out.Certificates, jsonCertificate{
+			Theorem: int(c.Theorem), Space: c.Space.String(), Guarantee: c.Guarantee,
+		})
+	}
+	for _, res := range an.Results {
+		out.Optima = append(out.Optima, jsonResult{
+			Space: res.Space.String(), Cost: res.Cost,
+			Strategy: res.Strategy.Render(db), States: res.States,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"multijoin/internal/database"
+	"multijoin/internal/optimizer"
+)
+
+// WriteReport renders the analysis as the standard human-readable report
+// used by cmd/joinopt and the examples: the condition profile, the
+// theorem certificates, and the per-subspace optima with strategies
+// rendered against the database's relation names.
+func WriteReport(w io.Writer, db *database.Database, an *Analysis) {
+	fmt.Fprintf(w, "scheme connected: %v    R_D nonempty: %v\n",
+		an.Profile.Connected, an.Profile.ResultNonEmpty)
+	fmt.Fprintln(w, "conditions:")
+	for _, rep := range an.Profile.Reports {
+		if rep.Holds {
+			fmt.Fprintf(w, "  %-3s holds\n", rep.Cond)
+		} else {
+			fmt.Fprintf(w, "  %s\n", rep.Witness)
+		}
+	}
+	fmt.Fprintln(w, "certificates:")
+	if len(an.Certificates) == 0 {
+		fmt.Fprintln(w, "  none — no theorem guarantees a restricted search is safe here")
+	}
+	for _, c := range an.Certificates {
+		fmt.Fprintf(w, "  Theorem %d ⟹ %s space: %s\n", int(c.Theorem), c.Space, c.Guarantee)
+	}
+	fmt.Fprintln(w, "optima per search space:")
+	for _, res := range an.Results {
+		sys := ""
+		if names := res.Space.Systems(); len(names) > 0 {
+			sys = "   [" + strings.Join(names, ", ") + "]"
+		}
+		fmt.Fprintf(w, "  %-20s τ=%-8d %s%s\n", res.Space, res.Cost, res.Strategy.Render(db), sys)
+	}
+	if _, ok := an.Result(optimizer.SpaceLinearNoCP); !ok {
+		fmt.Fprintln(w, "  linear-no-cartesian: empty subspace for this scheme")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"multijoin/internal/database"
+	"multijoin/internal/strategy"
+)
+
+// VerifyTheorem1Exhaustive checks Theorem 1's conclusion in its exact
+// form: *every* τ-optimum linear strategy for the database avoids
+// Cartesian products. (VerifyCertificates checks the weaker—but
+// certificate-relevant—cost equality between the linear and
+// linear-no-CP subspaces.) It enumerates the linear space, so it is
+// meant for the small databases of the randomized validation runs.
+func VerifyTheorem1Exhaustive(ev *database.Evaluator) error {
+	db := ev.Database()
+	g := db.Graph()
+	best := -1
+	strategy.EnumerateLinear(db.All(), func(n *strategy.Node) bool {
+		if c := n.Cost(ev); best == -1 || c < best {
+			best = c
+		}
+		return true
+	})
+	var bad *strategy.Node
+	strategy.EnumerateLinear(db.All(), func(n *strategy.Node) bool {
+		if n.Cost(ev) == best && n.UsesCartesian(g) {
+			bad = n
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return fmt.Errorf("theorem 1 violated: τ-optimum linear strategy %s (cost %d) uses a Cartesian product",
+			bad.Render(db), best)
+	}
+	return nil
+}
+
+// VerifyTheorem2Exhaustive checks Theorem 2's conclusion by enumeration:
+// some τ-optimum strategy does not use Cartesian products.
+func VerifyTheorem2Exhaustive(ev *database.Evaluator) error {
+	db := ev.Database()
+	g := db.Graph()
+	best := -1
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		if c := n.Cost(ev); best == -1 || c < best {
+			best = c
+		}
+		return true
+	})
+	found := false
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		if n.Cost(ev) == best && !n.UsesCartesian(g) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return fmt.Errorf("theorem 2 violated: no τ-optimum strategy (cost %d) is Cartesian-product-free", best)
+	}
+	return nil
+}
+
+// VerifyTheorem3Exhaustive checks Theorem 3's conclusion by enumeration:
+// some τ-optimum strategy is linear and does not use Cartesian products.
+func VerifyTheorem3Exhaustive(ev *database.Evaluator) error {
+	db := ev.Database()
+	g := db.Graph()
+	best := -1
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		if c := n.Cost(ev); best == -1 || c < best {
+			best = c
+		}
+		return true
+	})
+	found := false
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		if n.Cost(ev) == best && n.IsLinear() && !n.UsesCartesian(g) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return fmt.Errorf("theorem 3 violated: no τ-optimum strategy (cost %d) is linear and Cartesian-product-free", best)
+	}
+	return nil
+}

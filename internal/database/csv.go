@@ -1,0 +1,90 @@
+package database
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"multijoin/internal/relation"
+)
+
+// CSV loading: each relation is one headered CSV file; the header row
+// names the attributes, every following row is a tuple, and the relation
+// takes its name from the file's base name. LoadCSVDir assembles a
+// database from every *.csv in a directory — the practical path for
+// feeding real data to cmd/joinopt.
+
+// ReadCSV reads one relation from headered CSV input.
+func ReadCSV(name string, r io.Reader) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0 // all records must match the header's width
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("database: reading CSV header for %s: %w", name, err)
+	}
+	attrs := make([]relation.Attr, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return nil, fmt.Errorf("database: %s has an empty attribute name in column %d", name, i+1)
+		}
+		attrs[i] = relation.Attr(h)
+	}
+	schema := relation.NewSchema(attrs...)
+	if schema.Len() != len(attrs) {
+		return nil, fmt.Errorf("database: %s has duplicate attributes", name)
+	}
+	rel := relation.New(name, schema)
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("database: reading CSV rows for %s: %w", name, err)
+		}
+		t := make(relation.Tuple, len(attrs))
+		for i, v := range record {
+			t[attrs[i]] = relation.Value(v)
+		}
+		rel.Insert(t)
+	}
+	return rel, nil
+}
+
+// LoadCSVDir builds a database from every .csv file in dir, in
+// lexicographic filename order (so relation indexes are stable).
+func LoadCSVDir(dir string) (*Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("database: no .csv files in %s", dir)
+	}
+	sort.Strings(names)
+	rels := make([]*relation.Relation, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := ReadCSV(strings.TrimSuffix(name, ".csv"), f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, rel)
+	}
+	return New(rels...), nil
+}

@@ -1,0 +1,79 @@
+package database
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multijoin/internal/relation"
+)
+
+func TestReadCSV(t *testing.T) {
+	src := "B,A\nx,1\ny,2\nx,1\n"
+	rel, err := ReadCSV("R", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name() != "R" || rel.Schema().String() != "AB" {
+		t.Fatalf("rel = %v", rel)
+	}
+	if rel.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (duplicate collapsed)", rel.Size())
+	}
+	if !rel.Contains(relation.Tuple{"A": "1", "B": "x"}) {
+		t.Fatal("column order must follow the header, not position")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",           // no header
+		"A,A\n1,2\n", // duplicate attributes
+		"A, \n1,2\n", // empty attribute name
+		"A,B\n1\n",   // ragged row
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV("R", strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", src)
+		}
+	}
+}
+
+func TestLoadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a_orders.csv":    "Cust,Order\nc1,o1\nc2,o2\n",
+		"b_customers.csv": "Cust,Region\nc1,north\nc2,south\n",
+		"notes.txt":       "ignored",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	// Lexicographic order: a_orders first.
+	if db.Relation(0).Name() != "a_orders" || db.Relation(1).Name() != "b_customers" {
+		t.Fatalf("order wrong: %s, %s", db.Relation(0).Name(), db.Relation(1).Name())
+	}
+	ev := NewEvaluator(db)
+	if ev.Size(db.All()) != 2 {
+		t.Fatalf("join size = %d, want 2", ev.Size(db.All()))
+	}
+}
+
+func TestLoadCSVDirErrors(t *testing.T) {
+	if _, err := LoadCSVDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir should fail")
+	}
+	if _, err := LoadCSVDir("/no/such/dir"); err == nil {
+		t.Fatal("missing dir should fail")
+	}
+}

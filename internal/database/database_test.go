@@ -1,0 +1,171 @@
+package database
+
+import (
+	"testing"
+
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+func exampleDB() *Database {
+	// Example 1 of the paper.
+	r1 := relation.FromStrings("R1", "AB", "p 0", "q 0", "r 0", "s 1")
+	r2 := relation.FromStrings("R2", "BC", "0 w", "0 x", "0 y", "1 z")
+	r3 := relation.FromStrings("R3", "DE",
+		"1 1", "2 2", "3 3", "4 4", "5 5", "6 6", "7 7")
+	r4 := relation.FromStrings("R4", "FG",
+		"1 1", "2 2", "3 3", "4 4", "5 5", "6 6", "7 7")
+	return New(r1, r2, r3, r4)
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := exampleDB()
+	if db.Len() != 4 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	if db.Scheme(0).String() != "AB" {
+		t.Fatalf("scheme 0 = %s", db.Scheme(0))
+	}
+	if db.IndexOfName("R3") != 2 {
+		t.Fatal("IndexOfName failed")
+	}
+	if db.IndexOfName("nope") != -1 {
+		t.Fatal("IndexOfName should return -1")
+	}
+	if db.SetOf("R1", "R2") != 0b0011 {
+		t.Fatalf("SetOf = %v", db.SetOf("R1", "R2"))
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if db.Connected() {
+		t.Fatal("Example 1's scheme is unconnected")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Fatal("empty database must not validate")
+	}
+	dup := New(
+		relation.FromStrings("R", "AB", "1 x"),
+		relation.FromStrings("S", "AB", "2 y"),
+	)
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate schemes must not validate")
+	}
+}
+
+func TestSetOfPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	exampleDB().SetOf("missing")
+}
+
+func TestRestrict(t *testing.T) {
+	db := exampleDB()
+	sub := db.Restrict(db.SetOf("R1", "R3"))
+	if sub.Len() != 2 || sub.Relation(0).Name() != "R1" || sub.Relation(1).Name() != "R3" {
+		t.Fatalf("restrict wrong: %v", sub)
+	}
+}
+
+func TestEvaluatorExample1Sizes(t *testing.T) {
+	// All τ values quoted in Example 1.
+	db := exampleDB()
+	e := NewEvaluator(db)
+	r12 := db.SetOf("R1", "R2")
+	if got := e.Size(r12); got != 10 {
+		t.Fatalf("τ(R1⋈R2) = %d, want 10", got)
+	}
+	if got := e.Size(db.SetOf("R3", "R4")); got != 49 {
+		t.Fatalf("τ(R3⋈R4) = %d, want 49", got)
+	}
+	if got := e.Size(db.SetOf("R1", "R2", "R3")); got != 70 {
+		t.Fatalf("τ(R1⋈R2⋈R3) = %d, want 70", got)
+	}
+	if got := e.Size(db.All()); got != 490 {
+		t.Fatalf("τ(R_D) = %d, want 490", got)
+	}
+	if got := e.Size(db.SetOf("R1", "R3")); got != 28 {
+		t.Fatalf("τ(R1⋈R3) = %d, want 28", got)
+	}
+	if !e.ResultNonEmpty() {
+		t.Fatal("R_D should be nonempty")
+	}
+}
+
+func TestEvaluatorMemoizes(t *testing.T) {
+	db := exampleDB()
+	e := NewEvaluator(db)
+	a := e.Eval(db.All())
+	before := e.MemoLen()
+	b := e.Eval(db.All())
+	if a != b {
+		t.Fatal("memoized result should be identical pointer")
+	}
+	if e.MemoLen() != before {
+		t.Fatal("second Eval should not add memo entries")
+	}
+}
+
+func TestEvaluatorSingleton(t *testing.T) {
+	db := exampleDB()
+	e := NewEvaluator(db)
+	if e.Eval(hypergraph.Singleton(0)) != db.Relation(0) {
+		t.Fatal("singleton evaluation should return the base relation")
+	}
+}
+
+func TestEvalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEvaluator(exampleDB()).Eval(0)
+}
+
+func TestJoinSize(t *testing.T) {
+	db := exampleDB()
+	e := NewEvaluator(db)
+	if got := e.JoinSize(db.SetOf("R1"), db.SetOf("R2")); got != 10 {
+		t.Fatalf("JoinSize = %d, want 10", got)
+	}
+}
+
+func TestJoinSizePanicsOnOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	db := exampleDB()
+	NewEvaluator(db).JoinSize(0b011, 0b001)
+}
+
+func TestEvalOrderIndependent(t *testing.T) {
+	// R_D must be the same no matter which memo order we force.
+	db := exampleDB()
+	e1 := NewEvaluator(db)
+	full := e1.Eval(db.All())
+
+	e2 := NewEvaluator(db)
+	// Force a different materialization order.
+	e2.Eval(db.SetOf("R2", "R4"))
+	e2.Eval(db.SetOf("R1", "R3"))
+	other := e2.Eval(db.All())
+	if !full.Equal(other) {
+		t.Fatal("R_D differs across evaluation orders")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	got := exampleDB().String()
+	if got == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,74 @@
+package database
+
+import (
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+// Evaluator materializes R_D′ = ⋈_{R ∈ D′} R for subsets D′ of a
+// database's scheme, memoizing results. Because the natural join is
+// commutative and associative, R_D′ is well defined independently of
+// order (§2), so one materialization per subset serves every strategy,
+// condition check, and dynamic-programming state that mentions it.
+//
+// Evaluation of a subset splits off its last relation and joins it onto
+// the memoized result for the rest, so computing all 2^n subsets costs
+// 2^n joins in total.
+//
+// An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	db   *Database
+	memo map[hypergraph.Set]*relation.Relation
+}
+
+// NewEvaluator creates an evaluator for the database.
+func NewEvaluator(db *Database) *Evaluator {
+	return &Evaluator{db: db, memo: make(map[hypergraph.Set]*relation.Relation)}
+}
+
+// Database returns the underlying database.
+func (e *Evaluator) Database() *Database { return e.db }
+
+// Eval returns R_D′ for the subset s. It panics on the empty set, for
+// which R_D′ is undefined in the model.
+func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
+	if s.Empty() {
+		panic("database: Eval of empty subset")
+	}
+	if r, ok := e.memo[s]; ok {
+		return r
+	}
+	var result *relation.Relation
+	if s.Len() == 1 {
+		result = e.db.Relation(s.First())
+	} else {
+		first := s.First()
+		rest := s.Remove(first)
+		result = relation.Join(e.Eval(rest), e.db.Relation(first))
+	}
+	e.memo[s] = result
+	return result
+}
+
+// Size returns τ(R_D′) for the subset s: the number of tuples in the
+// join of the selected states.
+func (e *Evaluator) Size(s hypergraph.Set) int { return e.Eval(s).Size() }
+
+// JoinSize returns τ(R_a ⋈ R_b) for disjoint subsets a and b — which by
+// definition equals τ(R_{a∪b}).
+func (e *Evaluator) JoinSize(a, b hypergraph.Set) int {
+	if !a.Disjoint(b) {
+		panic("database: JoinSize of overlapping subsets")
+	}
+	return e.Size(a.Union(b))
+}
+
+// Result returns R_D, the final result of evaluating the full database.
+func (e *Evaluator) Result() *relation.Relation { return e.Eval(e.db.All()) }
+
+// ResultNonEmpty reports the paper's standing hypothesis R_D ≠ ∅.
+func (e *Evaluator) ResultNonEmpty() bool { return !e.Result().Empty() }
+
+// MemoLen reports how many subsets have been materialized, for tests and
+// instrumentation.
+func (e *Evaluator) MemoLen() int { return len(e.memo) }

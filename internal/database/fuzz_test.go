@@ -1,0 +1,49 @@
+package database
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJSON feeds arbitrary bytes to the database decoder.
+// Invariant: DecodeJSON either errors or returns a database that
+// round-trips through EncodeJSON with identical relations. Seeds run in
+// ordinary go test; use `go test -fuzz=FuzzDecodeJSON ./internal/database`
+// for exploration.
+func FuzzDecodeJSON(f *testing.F) {
+	seeds := []string{
+		`{"relations": [{"name": "R", "attrs": ["A","B"], "rows": [["1","x"]]}]}`,
+		`{"relations": []}`,
+		`{"relations": [{"name": "", "attrs": ["A"], "rows": []}]}`,
+		`{"relations": [{"attrs": ["A","A"], "rows": [["1","2"]]}]}`,
+		`not json`,
+		`{"relations": [{"attrs": ["B","A"], "rows": [["x","1"],["x","1"]]}]}`,
+		`{"relations": [{"attrs": ["A"], "rows": [["\u0000"]]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := DecodeJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, db); err != nil {
+			t.Fatalf("decoded database fails to encode: %v", err)
+		}
+		back, err := DecodeJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed relation count")
+		}
+		for i := 0; i < db.Len(); i++ {
+			if !back.Relation(i).Equal(db.Relation(i)) {
+				t.Fatalf("round trip changed relation %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package database
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"multijoin/internal/relation"
+)
+
+// JSON interchange format for databases, used by cmd/joinopt:
+//
+//	{
+//	  "relations": [
+//	    {"name": "R1", "attrs": ["A", "B"], "rows": [["p", "0"], ["q", "0"]]},
+//	    ...
+//	  ]
+//	}
+//
+// Row values are positional in the order of "attrs" as written (not the
+// sorted schema order), so files read naturally.
+
+type jsonRelation struct {
+	Name  string     `json:"name"`
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+}
+
+type jsonDatabase struct {
+	Relations []jsonRelation `json:"relations"`
+}
+
+// EncodeJSON writes the database in the interchange format.
+func EncodeJSON(w io.Writer, db *Database) error {
+	out := jsonDatabase{Relations: make([]jsonRelation, db.Len())}
+	for i := 0; i < db.Len(); i++ {
+		r := db.Relation(i)
+		attrs := r.Schema().Attrs()
+		jr := jsonRelation{Name: r.Name(), Attrs: make([]string, len(attrs))}
+		for j, a := range attrs {
+			jr.Attrs[j] = string(a)
+		}
+		for _, row := range r.Rows() {
+			vals := make([]string, len(row))
+			for j, v := range row {
+				vals[j] = string(v)
+			}
+			jr.Rows = append(jr.Rows, vals)
+		}
+		out.Relations[i] = jr
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeJSON reads a database in the interchange format.
+func DecodeJSON(r io.Reader) (*Database, error) {
+	var in jsonDatabase
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("database: decoding JSON: %w", err)
+	}
+	if len(in.Relations) == 0 {
+		return nil, fmt.Errorf("database: JSON contains no relations")
+	}
+	rels := make([]*relation.Relation, len(in.Relations))
+	for i, jr := range in.Relations {
+		if len(jr.Attrs) == 0 {
+			return nil, fmt.Errorf("database: relation %d (%s) has no attributes", i, jr.Name)
+		}
+		attrs := make([]relation.Attr, len(jr.Attrs))
+		for j, a := range jr.Attrs {
+			attrs[j] = relation.Attr(a)
+		}
+		schema := relation.NewSchema(attrs...)
+		if schema.Len() != len(attrs) {
+			return nil, fmt.Errorf("database: relation %d (%s) has duplicate attributes", i, jr.Name)
+		}
+		rel := relation.New(jr.Name, schema)
+		for k, row := range jr.Rows {
+			if len(row) != len(attrs) {
+				return nil, fmt.Errorf("database: relation %s row %d has %d values, want %d",
+					jr.Name, k, len(row), len(attrs))
+			}
+			t := make(relation.Tuple, len(attrs))
+			for j, v := range row {
+				t[attrs[j]] = relation.Value(v)
+			}
+			rel.Insert(t)
+		}
+		rels[i] = rel
+	}
+	return New(rels...), nil
+}

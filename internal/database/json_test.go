@@ -1,0 +1,64 @@
+package database
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multijoin/internal/relation"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := exampleDB()
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("len %d, want %d", back.Len(), db.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		if !back.Relation(i).Equal(db.Relation(i)) {
+			t.Fatalf("relation %d differs after round trip", i)
+		}
+		if back.Relation(i).Name() != db.Relation(i).Name() {
+			t.Fatalf("relation %d name lost", i)
+		}
+	}
+}
+
+func TestDecodeJSONHandWritten(t *testing.T) {
+	src := `{"relations": [
+	  {"name": "R", "attrs": ["B", "A"], "rows": [["x", "1"], ["y", "2"]]}
+	]}`
+	db, err := DecodeJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are positional in the written attribute order, not sorted.
+	want := relation.FromTuples("R", relation.SchemaFromString("AB"),
+		relation.Tuple{"A": "1", "B": "x"},
+		relation.Tuple{"A": "2", "B": "y"})
+	if !db.Relation(0).Equal(want) {
+		t.Fatalf("decoded %v, want %v", db.Relation(0), want)
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"relations": []}`,
+		`{"relations": [{"name": "R", "attrs": [], "rows": []}]}`,
+		`{"relations": [{"name": "R", "attrs": ["A", "A"], "rows": []}]}`,
+		`{"relations": [{"name": "R", "attrs": ["A"], "rows": [["1", "2"]]}]}`,
+	}
+	for _, src := range cases {
+		if _, err := DecodeJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("DecodeJSON(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package database
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+func TestPrewarmConnectedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 30; trial++ {
+		db := randomChain(rng, 3+rng.Intn(4), 5, 3)
+		warm := PrewarmConnected(db, 4)
+		cold := NewEvaluator(db)
+		g := db.Graph()
+		g.ConnectedSubsetsOf(db.All(), func(s hypergraph.Set) bool {
+			if !warm.Eval(s).Equal(cold.Eval(s)) {
+				t.Fatalf("trial %d: subset %v differs between warm and cold", trial, s)
+			}
+			return true
+		})
+	}
+}
+
+func TestPrewarmConnectedPopulatesMemo(t *testing.T) {
+	db := randomChain(rand.New(rand.NewSource(132)), 5, 4, 3)
+	warm := PrewarmConnected(db, 2)
+	// A 5-chain has 15 connected subsets (intervals).
+	if got := warm.MemoLen(); got != 15 {
+		t.Fatalf("memo has %d entries, want 15", got)
+	}
+	// Evaluating a connected subset afterwards must not add entries.
+	warm.Eval(hypergraph.Set(0b00111))
+	if warm.MemoLen() != 15 {
+		t.Fatal("warm evaluation should be a pure memo hit")
+	}
+}
+
+func TestPrewarmWorkerCounts(t *testing.T) {
+	db := randomChain(rand.New(rand.NewSource(133)), 6, 4, 3)
+	want := NewEvaluator(db).Result()
+	for _, workers := range []int{0, 1, 2, 8} {
+		warm := PrewarmConnected(db, workers)
+		if !warm.Result().Equal(want) {
+			t.Fatalf("workers=%d: result differs", workers)
+		}
+	}
+}
+
+func TestPrewarmSingleRelation(t *testing.T) {
+	db := New(relation.FromStrings("R", "AB", "1 x"))
+	warm := PrewarmConnected(db, 3)
+	if warm.Size(hypergraph.Singleton(0)) != 1 {
+		t.Fatal("singleton prewarm wrong")
+	}
+}
+
+func TestPrewarmUnconnectedScheme(t *testing.T) {
+	// Only connected subsets are prewarmed; unconnected ones are still
+	// computable on demand.
+	db := New(
+		relation.FromStrings("R", "AB", "1 x", "2 y"),
+		relation.FromStrings("S", "CD", "7 p"),
+	)
+	warm := PrewarmConnected(db, 2)
+	if got := warm.Size(db.All()); got != 2 {
+		t.Fatalf("on-demand product = %d, want 2", got)
+	}
+}

@@ -1,0 +1,120 @@
+package database
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+// Evaluator invariants on random databases: memoized subset joins must
+// agree with fresh joins in any order, sizes must obey the Cartesian
+// bound of §2, and restriction must commute with evaluation.
+
+func randomChain(rng *rand.Rand, n, maxRows, domain int) *Database {
+	rels := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		r := relation.New("", relation.NewSchema(a, b))
+		rows := 1 + rng.Intn(maxRows)
+		for k := 0; k < rows; k++ {
+			r.Insert(relation.Tuple{
+				a: relation.Value(rune('0' + rng.Intn(domain))),
+				b: relation.Value(rune('0' + rng.Intn(domain))),
+			})
+		}
+		rels[i] = r
+	}
+	return New(rels...)
+}
+
+func TestEvaluatorAgreesWithFreshJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		db := randomChain(rng, 4, 5, 3)
+		ev := NewEvaluator(db)
+		db.All().Subsets(func(s hypergraph.Set) bool {
+			var rels []*relation.Relation
+			for _, i := range s.Indexes() {
+				rels = append(rels, db.Relation(i))
+			}
+			fresh := relation.JoinAll(rels...)
+			if !ev.Eval(s).Equal(fresh) {
+				t.Fatalf("trial %d: memoized R_%v differs from fresh join", trial, s)
+			}
+			return true
+		})
+	}
+}
+
+func TestEvaluatorSizeBounds(t *testing.T) {
+	// τ(R_{a∪b}) ≤ τ(R_a)·τ(R_b) for disjoint a, b, with equality when
+	// unlinked (§2).
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 40; trial++ {
+		db := randomChain(rng, 4, 5, 3)
+		ev := NewEvaluator(db)
+		g := db.Graph()
+		db.All().Subsets(func(a hypergraph.Set) bool {
+			db.All().Subsets(func(b hypergraph.Set) bool {
+				if !a.Disjoint(b) {
+					return true
+				}
+				joined := ev.JoinSize(a, b)
+				bound := ev.Size(a) * ev.Size(b)
+				if joined > bound {
+					t.Fatalf("τ exceeded the Cartesian bound: %d > %d", joined, bound)
+				}
+				if !g.Linked(a, b) && joined != bound {
+					t.Fatalf("unlinked join must be a product: %d ≠ %d", joined, bound)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func TestRestrictCommutesWithEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 40; trial++ {
+		db := randomChain(rng, 5, 4, 3)
+		ev := NewEvaluator(db)
+		// Restrict to a random nonempty subset and compare full results.
+		var sub hypergraph.Set
+		for sub.Empty() {
+			sub = hypergraph.Set(rng.Intn(1 << 5))
+		}
+		restricted := db.Restrict(sub)
+		evSub := NewEvaluator(restricted)
+		if !evSub.Result().Equal(ev.Eval(sub)) {
+			t.Fatalf("trial %d: Restrict(%v) evaluation differs", trial, sub)
+		}
+	}
+}
+
+func TestSubDatabaseConditionInheritance(t *testing.T) {
+	// §3: "if 𝒟 satisfies C1(𝒟), then 𝒟′ also satisfies C1(𝒟′) for any
+	// D′ ⊆ D" — check the monotonicity on the evaluator level: every
+	// subset size computed on the restriction matches the original.
+	rng := rand.New(rand.NewSource(64))
+	db := randomChain(rng, 5, 4, 3)
+	ev := NewEvaluator(db)
+	sub := hypergraph.Set(0b10110)
+	restricted := db.Restrict(sub)
+	evSub := NewEvaluator(restricted)
+	idx := sub.Indexes()
+	restricted.All().Subsets(func(s hypergraph.Set) bool {
+		// Map restricted indexes back to original ones.
+		var orig hypergraph.Set
+		for _, i := range s.Indexes() {
+			orig = orig.Add(idx[i])
+		}
+		if evSub.Size(s) != ev.Size(orig) {
+			t.Fatalf("restricted size differs for %v vs %v", s, orig)
+		}
+		return true
+	})
+}

@@ -1,0 +1,159 @@
+// Package estimate implements the classical System R cardinality model —
+// per-attribute uniformity and cross-attribute independence — that the
+// paper explicitly refuses to assume (Section 1: such assumptions are
+// "generally believed to be unrealistic in practice, and known to be
+// unsatisfactory in theory"). Having both the exact τ (the database
+// evaluator) and this estimator side by side lets the E-estimate
+// experiment quantify that refusal: how often do estimate-driven
+// optimizers pick strategies that are worse under the true τ, and how
+// often do conditions checked on estimates misclassify?
+package estimate
+
+import (
+	"math"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+// Catalog holds the per-relation statistics the estimator uses:
+// cardinalities and per-attribute distinct-value counts — exactly what a
+// System R-style optimizer keeps.
+type Catalog struct {
+	db       *database.Database
+	card     []float64
+	distinct []map[relation.Attr]float64
+}
+
+// NewCatalog gathers exact statistics from the database's states. The
+// *statistics* are exact; the *estimates* derived from them assume
+// uniformity and independence, which is where reality leaks away.
+func NewCatalog(db *database.Database) *Catalog {
+	c := &Catalog{
+		db:       db,
+		card:     make([]float64, db.Len()),
+		distinct: make([]map[relation.Attr]float64, db.Len()),
+	}
+	for i := 0; i < db.Len(); i++ {
+		r := db.Relation(i)
+		c.card[i] = float64(r.Size())
+		d := make(map[relation.Attr]float64, r.Schema().Len())
+		for _, a := range r.Schema().Attrs() {
+			d[a] = float64(relation.Project(r, relation.NewSchema(a)).Size())
+		}
+		c.distinct[i] = d
+	}
+	return c
+}
+
+// Database returns the cataloged database.
+func (c *Catalog) Database() *database.Database { return c.db }
+
+// Size estimates τ(R_S) for the subset s with the textbook formula:
+//
+//	|R_S| ≈ Π_i |R_i| · Π_A (1 / max_i distinct_i(A))^(k_A − 1)
+//
+// where A ranges over attributes shared by k_A ≥ 2 relations of s. Each
+// shared attribute contributes one equi-join predicate per extra
+// relation, with selectivity 1/max(distinct counts) — uniformity — and
+// the predicates multiply — independence.
+func (c *Catalog) Size(s hypergraph.Set) float64 {
+	if s.Empty() {
+		return 0
+	}
+	est := 1.0
+	counts := map[relation.Attr]int{}
+	maxDistinct := map[relation.Attr]float64{}
+	for _, i := range s.Indexes() {
+		est *= c.card[i]
+		for _, a := range c.db.Scheme(i).Attrs() {
+			counts[a]++
+			if d := c.distinct[i][a]; d > maxDistinct[a] {
+				maxDistinct[a] = d
+			}
+		}
+	}
+	for a, k := range counts {
+		if k < 2 {
+			continue
+		}
+		d := maxDistinct[a]
+		if d < 1 {
+			d = 1
+		}
+		est *= math.Pow(1/d, float64(k-1))
+	}
+	return est
+}
+
+// Cost estimates τ(S) for a strategy: the sum of the estimated step
+// result sizes.
+func (c *Catalog) Cost(n *strategy.Node) float64 {
+	total := 0.0
+	for _, step := range n.Steps() {
+		total += c.Size(step.Set())
+	}
+	return total
+}
+
+// Optimize finds the strategy minimizing the *estimated* τ over the full
+// bushy space, by the same subset dynamic program as the exact
+// optimizer. The returned strategy can then be costed under the true τ
+// to measure the estimation regret.
+func (c *Catalog) Optimize() *strategy.Node {
+	return optimizeBySize(c.db, c.Size)
+}
+
+// optimizeBySize runs the bushy subset DP against an arbitrary size
+// model — the shared engine behind the uniform and histogram estimators.
+func optimizeBySize(db *database.Database, size func(hypergraph.Set) float64) *strategy.Node {
+	all := db.All()
+	cost := make(map[hypergraph.Set]float64)
+	pick := make(map[hypergraph.Set][2]hypergraph.Set)
+	var solve func(s hypergraph.Set) float64
+	solve = func(s hypergraph.Set) float64 {
+		if s.Len() == 1 {
+			return 0
+		}
+		if v, ok := cost[s]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		var bestSplit [2]hypergraph.Set
+		s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+			v := solve(a) + solve(b) + size(s)
+			if v < best {
+				best = v
+				bestSplit = [2]hypergraph.Set{a, b}
+			}
+			return true
+		})
+		cost[s] = best
+		pick[s] = bestSplit
+		return best
+	}
+	solve(all)
+	var build func(s hypergraph.Set) *strategy.Node
+	build = func(s hypergraph.Set) *strategy.Node {
+		if s.Len() == 1 {
+			return strategy.Leaf(s.First())
+		}
+		p := pick[s]
+		return strategy.Combine(build(p[0]), build(p[1]))
+	}
+	return build(all)
+}
+
+// RelativeError reports |est − exact| / max(exact, 1) for the subset s,
+// the per-subset inaccuracy the E-estimate experiment aggregates.
+func (c *Catalog) RelativeError(ev *database.Evaluator, s hypergraph.Set) float64 {
+	exact := float64(ev.Size(s))
+	est := c.Size(s)
+	denom := exact
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(est-exact) / denom
+}

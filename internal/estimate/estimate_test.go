@@ -1,0 +1,167 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/gen"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+func TestCatalogStats(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("R", "AB", "1 x", "2 x", "3 y"),
+		relation.FromStrings("S", "BC", "x 7", "y 8"),
+	)
+	c := NewCatalog(db)
+	if c.card[0] != 3 || c.card[1] != 2 {
+		t.Fatalf("cards = %v", c.card)
+	}
+	if c.distinct[0]["A"] != 3 || c.distinct[0]["B"] != 2 {
+		t.Fatalf("distincts = %v", c.distinct[0])
+	}
+}
+
+func TestSizeSingletonExact(t *testing.T) {
+	db := database.New(relation.FromStrings("R", "AB", "1 x", "2 y"))
+	c := NewCatalog(db)
+	if got := c.Size(hypergraph.Singleton(0)); got != 2 {
+		t.Fatalf("singleton estimate = %v", got)
+	}
+	if c.Size(0) != 0 {
+		t.Fatal("empty set estimates 0")
+	}
+}
+
+func TestSizeTextbookFormula(t *testing.T) {
+	// |R|=4, |S|=6, shared B with distinct counts 2 and 3:
+	// estimate = 4·6 / max(2,3) = 8.
+	r := relation.FromStrings("R", "AB", "1 x", "2 x", "3 y", "4 y")
+	s := relation.FromStrings("S", "BC", "x 1", "x 2", "y 3", "y 4", "z 5", "z 6")
+	db := database.New(r, s)
+	c := NewCatalog(db)
+	if got := c.Size(db.All()); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("estimate = %v, want 8", got)
+	}
+}
+
+func TestSizeCartesianProduct(t *testing.T) {
+	// Unlinked relations: no predicates, estimate = product — which is
+	// also exact, so the estimator is right on products.
+	r := relation.FromStrings("R", "AB", "1 x", "2 y")
+	s := relation.FromStrings("S", "CD", "7 p", "8 q", "9 r")
+	db := database.New(r, s)
+	c := NewCatalog(db)
+	ev := database.NewEvaluator(db)
+	if got := c.Size(db.All()); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("product estimate = %v, want 6", got)
+	}
+	if c.RelativeError(ev, db.All()) != 0 {
+		t.Fatal("product estimates are exact")
+	}
+}
+
+func TestEstimateExactOnUniformIndependentData(t *testing.T) {
+	// On diagonal data the estimate of a pairwise join R_i ⋈ R_{i+1} is
+	// |R_i|·|R_{i+1}|/max distinct = min-ish — not exact; instead verify
+	// exactness where the model's assumptions hold by construction:
+	// a key-foreign-key join with uniform fanout.
+	// Orders: 6 rows, Cust uniform over 3 customers; Customers: 3 rows.
+	orders := relation.New("O", relation.NewSchema("Order", "Cust"))
+	for i := 0; i < 6; i++ {
+		orders.Insert(relation.Tuple{
+			"Order": relation.Value(rune('a' + i)),
+			"Cust":  relation.Value(rune('0' + i%3)),
+		})
+	}
+	cust := relation.New("C", relation.NewSchema("Cust", "Region"))
+	for i := 0; i < 3; i++ {
+		cust.Insert(relation.Tuple{
+			"Cust":   relation.Value(rune('0' + i)),
+			"Region": relation.Value(rune('r')),
+		})
+	}
+	db := database.New(orders, cust)
+	c := NewCatalog(db)
+	ev := database.NewEvaluator(db)
+	if got, want := c.Size(db.All()), float64(ev.Size(db.All())); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("uniform FK join estimate %v, exact %v", got, want)
+	}
+}
+
+func TestEstimateWrongOnSkew(t *testing.T) {
+	// Example 1's R1 ⋈ R2 is the paper's own skew case: estimate
+	// 4·4/max(2,2) = 8, truth 10.
+	r1 := relation.FromStrings("R1", "AB", "p 0", "q 0", "r 0", "s 1")
+	r2 := relation.FromStrings("R2", "BC", "0 w", "0 x", "0 y", "1 z")
+	db := database.New(r1, r2)
+	c := NewCatalog(db)
+	ev := database.NewEvaluator(db)
+	if got := c.Size(db.All()); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("estimate = %v, want 8", got)
+	}
+	if ev.Size(db.All()) != 10 {
+		t.Fatal("truth is 10")
+	}
+	if c.RelativeError(ev, db.All()) == 0 {
+		t.Fatal("skew must produce estimation error")
+	}
+}
+
+func TestOptimizeMinimizesEstimatedCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 30; trial++ {
+		db := gen.Uniform(rng, gen.Schemes(gen.Chain, 4), 5, 3)
+		c := NewCatalog(db)
+		chosen := c.Optimize()
+		if err := chosen.Validate(db.All()); err != nil {
+			t.Fatal(err)
+		}
+		// No strategy beats it under the estimated cost.
+		best := c.Cost(chosen)
+		strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+			if c.Cost(n) < best-1e-9 {
+				t.Fatalf("trial %d: estimated DP not optimal: %v < %v", trial, c.Cost(n), best)
+			}
+			return true
+		})
+	}
+}
+
+func TestEstimatedPlanNeverBeatsTrueOptimum(t *testing.T) {
+	// Sanity: the estimate-chosen plan, costed under true τ, is at least
+	// the true optimum (and the experiment measures how much worse).
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 30; trial++ {
+		db := gen.Zipf(rng, gen.Schemes(gen.Chain, 4), 8, 4, 1.4)
+		ev := database.NewEvaluator(db)
+		c := NewCatalog(db)
+		chosen := c.Optimize()
+		trueBest, err := optimizer.Optimize(ev, optimizer.SpaceAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chosen.Cost(ev) < trueBest.Cost {
+			t.Fatalf("trial %d: impossible — estimated plan beats the optimum", trial)
+		}
+	}
+}
+
+func TestCostSumsSteps(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("R", "AB", "1 x", "2 y"),
+		relation.FromStrings("S", "BC", "x 7"),
+		relation.FromStrings("T", "CD", "7 p"),
+	)
+	c := NewCatalog(db)
+	s := strategy.LeftDeep(0, 1, 2)
+	want := c.Size(hypergraph.Set(0b011)) + c.Size(hypergraph.Set(0b111))
+	if got := c.Cost(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multijoin/internal/conditions"
+	"multijoin/internal/database"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/paperex"
+	"multijoin/internal/strategy"
+)
+
+// The E-ex* experiments replay the paper's five worked examples and
+// check every number and claim the paper states about them.
+
+func init() {
+	register(Info{ID: "E-ex1", Paper: "Example 1 (Section 3)", Run: runExample1})
+	register(Info{ID: "E-ex2", Paper: "Example 2 (Section 3)", Run: runExample2})
+	register(Info{ID: "E-ex3", Paper: "Example 3 (Section 4, Theorem 1 necessity)", Run: runExample3})
+	register(Info{ID: "E-ex4", Paper: "Example 4 (Section 4, Theorem 2 necessity)", Run: runExample4})
+	register(Info{ID: "E-ex5", Paper: "Example 5 (Section 4, Theorem 3 necessity)", Run: runExample5})
+}
+
+// expect tracks assertion outcomes for a summary.
+type expect struct {
+	checked, violations int
+}
+
+func (e *expect) that(ok bool) bool {
+	e.checked++
+	if !ok {
+		e.violations++
+	}
+	return ok
+}
+
+func (e *expect) summary(note string) Summary {
+	return Summary{
+		OK:         e.violations == 0,
+		Checked:    e.checked,
+		Violations: e.violations,
+		Note:       note,
+	}
+}
+
+func runExample1(w io.Writer) Summary {
+	header(w, "E-ex1", "Example 1 — C1 alone does not keep the optimum CP-free")
+	db := paperex.Example1()
+	ev := database.NewEvaluator(db)
+	var e expect
+
+	rows := []struct {
+		name  string
+		s     *strategy.Node
+		paper int
+	}{
+		{"S1 = ((R1⋈R2)⋈R3)⋈R4", strategy.LeftDeep(0, 1, 2, 3), 570},
+		{"S2 = ((R1⋈R2)⋈R4)⋈R3", strategy.LeftDeep(0, 1, 3, 2), 570},
+		{"S3 = (R1⋈R2)⋈(R3⋈R4)", strategy.Combine(
+			strategy.Combine(strategy.Leaf(0), strategy.Leaf(1)),
+			strategy.Combine(strategy.Leaf(2), strategy.Leaf(3))), 549},
+		{"S4 = (R1⋈R3)⋈(R2⋈R4)", strategy.Combine(
+			strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)),
+			strategy.Combine(strategy.Leaf(1), strategy.Leaf(3))), 546},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "strategy\tpaper τ\tmeasured τ\tmatch")
+	for _, r := range rows {
+		got := r.s.Cost(ev)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", r.name, r.paper, got, boolMark(e.that(got == r.paper)))
+	}
+	tw.Flush()
+
+	c1 := conditions.Check(ev, conditions.C1).Holds
+	c2 := conditions.Check(ev, conditions.C2).Holds
+	fmt.Fprintf(w, "C1 holds: %s (paper: yes)   C2 holds: %s (paper: no)\n",
+		boolMark(c1), boolMark(c2))
+	e.that(c1)
+	e.that(!c2)
+
+	all, _ := optimizer.Optimize(ev, optimizer.SpaceAll)
+	nocp, _ := optimizer.Optimize(ev, optimizer.SpaceNoCP)
+	fmt.Fprintf(w, "optimum τ: %d (paper: 546, uses a Cartesian product)\n", all.Cost)
+	fmt.Fprintf(w, "best CP-avoiding τ: %d (paper: 549)\n", nocp.Cost)
+	e.that(all.Cost == 546)
+	e.that(nocp.Cost == 549)
+	e.that(!all.Strategy.AvoidsCartesian(db.Graph()))
+	return e.summary("Example 1 τ values and claims")
+}
+
+func runExample2(w io.Writer) Summary {
+	header(w, "E-ex2", "Example 2 — C1 and C2 are independent")
+	var e expect
+	tw := table(w)
+	fmt.Fprintln(tw, "database\tC1\tC2\tpaper")
+	for _, row := range []struct {
+		name   string
+		db     *database.Database
+		c1, c2 bool
+	}{
+		{"Example 1", paperex.Example1(), true, false},
+		{"Example 2", paperex.Example2(), false, true},
+	} {
+		ev := database.NewEvaluator(row.db)
+		c1 := conditions.Check(ev, conditions.C1).Holds
+		c2 := conditions.Check(ev, conditions.C2).Holds
+		fmt.Fprintf(tw, "%s\t%s\t%s\tC1=%s C2=%s\n",
+			row.name, boolMark(c1), boolMark(c2), boolMark(row.c1), boolMark(row.c2))
+		e.that(c1 == row.c1)
+		e.that(c2 == row.c2)
+	}
+	tw.Flush()
+
+	ev := database.NewEvaluator(paperex.Example2())
+	db := paperex.Example2()
+	vals := []struct {
+		name  string
+		got   int
+		paper int
+	}{
+		{"τ(R1')", ev.Size(db.SetOf("R1'")), 8},
+		{"τ(R2')", ev.Size(db.SetOf("R2'")), 3},
+		{"τ(R1'⋈R2')", ev.Size(db.SetOf("R1'", "R2'")), 7},
+		{"τ(R2'⋈R3')", ev.Size(db.SetOf("R2'", "R3'")), 6},
+	}
+	tw = table(w)
+	fmt.Fprintln(tw, "quantity\tpaper\tmeasured\tmatch")
+	for _, v := range vals {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", v.name, v.paper, v.got, boolMark(e.that(v.got == v.paper)))
+	}
+	tw.Flush()
+	return e.summary("C1/C2 independence")
+}
+
+func runExample3(w io.Writer) Summary {
+	header(w, "E-ex3", "Example 3 — C1′ cannot be relaxed to C1 in Theorem 1")
+	db := paperex.Example3()
+	ev := database.NewEvaluator(db)
+	g := db.Graph()
+	var e expect
+
+	tw := table(w)
+	fmt.Fprintln(tw, "strategy\tintermediate τ\tfinal τ\ttotal")
+	combos := []struct {
+		name string
+		s    *strategy.Node
+	}{
+		{"(GS⋈SC)⋈CL", strategy.LeftDeep(0, 1, 2)},
+		{"GS⋈(SC⋈CL)", strategy.Combine(strategy.Leaf(0), strategy.Combine(strategy.Leaf(1), strategy.Leaf(2)))},
+		{"(GS⋈CL)⋈SC", strategy.Combine(strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)), strategy.Leaf(1))},
+	}
+	final := ev.Size(db.All())
+	for _, c := range combos {
+		costs := c.s.StepCosts(ev)
+		inter := costs[0]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", c.name, inter, final, c.s.Cost(ev))
+		e.that(inter == 4) // paper: all three generate 4 intermediate tuples
+	}
+	tw.Flush()
+
+	// All three strategies are τ-optimum; the linear CP-using one too.
+	best, _ := optimizer.Optimize(ev, optimizer.SpaceAll)
+	cp := combos[2].s
+	e.that(cp.Cost(ev) == best.Cost)
+	e.that(cp.IsLinear() && cp.UsesCartesian(g))
+	c1 := conditions.Check(ev, conditions.C1).Holds
+	c1s := conditions.Check(ev, conditions.C1Strict).Holds
+	fmt.Fprintf(w, "(GS⋈CL)⋈SC is linear, τ-optimum (τ=%d) and uses a Cartesian product: %s\n",
+		cp.Cost(ev), boolMark(cp.Cost(ev) == best.Cost))
+	fmt.Fprintf(w, "C1 holds: %s (paper: yes)   C1' holds: %s (paper: no)\n", boolMark(c1), boolMark(c1s))
+	e.that(c1)
+	e.that(!c1s)
+	return e.summary("Theorem 1 necessity")
+}
+
+func runExample4(w io.Writer) Summary {
+	header(w, "E-ex4", "Example 4 — C1 is necessary in Theorem 2")
+	db := paperex.Example4()
+	ev := database.NewEvaluator(db)
+	var e expect
+
+	rows := []struct {
+		name  string
+		s     *strategy.Node
+		paper int
+	}{
+		{"S1 = (GS⋈SC)⋈CL", strategy.LeftDeep(0, 1, 2), 14},
+		{"S2 = GS⋈(SC⋈CL)", strategy.Combine(strategy.Leaf(0),
+			strategy.Combine(strategy.Leaf(1), strategy.Leaf(2))), 12},
+		{"S3 = (GS⋈CL)⋈SC", strategy.Combine(
+			strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)), strategy.Leaf(1)), 11},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "strategy\tpaper τ\tmeasured τ\tmatch")
+	for _, r := range rows {
+		got := r.s.Cost(ev)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", r.name, r.paper, got, boolMark(e.that(got == r.paper)))
+	}
+	tw.Flush()
+
+	c1 := conditions.Check(ev, conditions.C1).Holds
+	c2 := conditions.Check(ev, conditions.C2).Holds
+	all, _ := optimizer.Optimize(ev, optimizer.SpaceAll)
+	nocp, _ := optimizer.Optimize(ev, optimizer.SpaceNoCP)
+	fmt.Fprintf(w, "C2 holds: %s (paper: yes)   C1 holds: %s (paper: no)\n", boolMark(c2), boolMark(c1))
+	fmt.Fprintf(w, "optimum τ=%d uses a Cartesian product; best CP-avoiding τ=%d\n", all.Cost, nocp.Cost)
+	e.that(c2)
+	e.that(!c1)
+	e.that(all.Cost == 11)
+	e.that(nocp.Cost == 12)
+	e.that(all.Strategy.UsesCartesian(db.Graph()))
+	return e.summary("Theorem 2 necessity")
+}
+
+func runExample5(w io.Writer) Summary {
+	header(w, "E-ex5", "Example 5 — C3 is necessary in Theorem 3")
+	db := paperex.Example5()
+	ev := database.NewEvaluator(db)
+	g := db.Graph()
+	var e expect
+
+	ci, id := db.SetOf("CI"), db.SetOf("ID")
+	fmt.Fprintf(w, "τ(CI⋈ID) = %d > τ(ID) = %d: C3's violation, as the paper notes\n",
+		ev.JoinSize(ci, id), ev.Size(id))
+	e.that(ev.JoinSize(ci, id) > ev.Size(id))
+
+	c1 := conditions.Check(ev, conditions.C1).Holds
+	c2 := conditions.Check(ev, conditions.C2).Holds
+	c3 := conditions.Check(ev, conditions.C3).Holds
+	fmt.Fprintf(w, "C1: %s (paper: yes)  C2: %s (paper: yes)  C3: %s (paper: no)\n",
+		boolMark(c1), boolMark(c2), boolMark(c3))
+	e.that(c1 && c2 && !c3)
+
+	// The unique optimum is bushy.
+	best := -1
+	var witness *strategy.Node
+	count := 0
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		c := n.Cost(ev)
+		switch {
+		case best == -1 || c < best:
+			best, witness, count = c, n, 1
+		case c == best:
+			count++
+		}
+		return true
+	})
+	lnc, _ := optimizer.Optimize(ev, optimizer.SpaceLinearNoCP)
+	fmt.Fprintf(w, "unique optimum: %s, τ=%d (not linear, no Cartesian products)\n",
+		witness.Render(db), best)
+	fmt.Fprintf(w, "best linear no-CP strategy: τ=%d — a linear-only optimizer misses the optimum\n", lnc.Cost)
+	e.that(count == 1)
+	e.that(!witness.IsLinear())
+	e.that(!witness.UsesCartesian(g))
+	e.that(lnc.Cost > best)
+	return e.summary("Theorem 3 necessity")
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		"E-abort", "E-c4", "E-estimate", "E-ex1", "E-ex2", "E-ex3", "E-ex4", "E-ex5",
+		"E-gamma", "E-greedy", "E-intersect", "E-intro", "E-jointree", "E-lossless",
+		"E-manyjoins", "E-monotone", "E-osborn", "E-space", "E-superkey",
+		"E-thm1", "E-thm2", "E-thm3", "E-union", "E-yannakakis",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(got), len(want))
+	}
+	for i, info := range got {
+		if info.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, info.ID, want[i])
+		}
+		if info.Paper == "" || info.Run == nil {
+			t.Errorf("%s: incomplete registration", info.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E-ex1"); !ok {
+		t.Fatal("E-ex1 should resolve")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id should not resolve")
+	}
+}
+
+// TestEveryExperimentPassesItsPaperChecks is the headline integration
+// test: every table regenerates and every paper assertion holds.
+func TestEveryExperimentPassesItsPaperChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are exhaustive; skipped in -short mode")
+	}
+	for _, info := range All() {
+		info := info
+		t.Run(info.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			sum := info.Run(&buf)
+			if !sum.OK {
+				t.Fatalf("%s: %d/%d checks failed\n%s", info.ID, sum.Violations, sum.Checked, buf.String())
+			}
+			if sum.Checked == 0 {
+				t.Fatalf("%s: no checks ran", info.ID)
+			}
+			if !strings.Contains(buf.String(), info.ID) {
+				t.Fatalf("%s: output missing banner", info.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentOutputsDeterministic(t *testing.T) {
+	// Seeded experiments must produce identical tables run to run.
+	for _, id := range []string{"E-ex1", "E-thm3", "E-intersect"} {
+		info, _ := Lookup(id)
+		var a, b bytes.Buffer
+		info.Run(&a)
+		info.Run(&b)
+		if a.String() != b.String() {
+			t.Fatalf("%s output not deterministic", id)
+		}
+	}
+}
+
+func TestRunDiscardsCleanly(t *testing.T) {
+	info, _ := Lookup("E-ex2")
+	sum := info.Run(io.Discard)
+	if !sum.OK {
+		t.Fatal("E-ex2 failed on io.Discard")
+	}
+}

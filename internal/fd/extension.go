@@ -1,0 +1,143 @@
+package fd
+
+import (
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+// This file implements the step-level properties from the Section 5
+// discussion of lossless strategies:
+//
+//   - Osborn's property: in a step [E1, R_E1] ⋈ [E2, R_E2], the shared
+//     attributes R_E1 ∩ R_E2 form a superkey of R_E1 or of R_E2, which
+//     yields τ(R_E1 ⋈ R_E2) ≤ τ(R_E1) or ≤ τ(R_E2) — exactly the shape
+//     of condition C2 at that step.
+//   - Honeyman's extension joins: R_E1 ∩ R_E2 is a superkey of some
+//     Y ⊆ R_E2 − R_E1 (or symmetrically), so joining extends each tuple
+//     by functionally determined attributes.
+//
+// Both are decided against a set of functional dependencies.
+
+// OsbornStep reports whether the shared attributes of the two schemes
+// key one of them under the dependencies.
+func OsbornStep(e1, e2 relation.Schema, fds []FD) bool {
+	shared := e1.Intersect(e2)
+	if shared.Empty() {
+		return false
+	}
+	return IsSuperkey(shared, e1, fds) || IsSuperkey(shared, e2, fds)
+}
+
+// OsbornStrategy reports whether every step of the strategy has Osborn's
+// property for the database's schemes under the dependencies.
+func OsbornStrategy(db *database.Database, s *strategy.Node, fds []FD) bool {
+	g := db.Graph()
+	for _, step := range s.Steps() {
+		e1 := g.Attrs(step.Left().Set())
+		e2 := g.Attrs(step.Right().Set())
+		if !OsbornStep(e1, e2, fds) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtensionJoinStep reports Honeyman's property: the shared attributes
+// X = R_E1 ∩ R_E2 are a superkey of some nonempty Y contained in one
+// side's private attributes, i.e. X functionally determines Y under the
+// dependencies (Y ⊆ X⁺). An Osborn step is the special case Y = one
+// side's full private remainder.
+func ExtensionJoinStep(e1, e2 relation.Schema, fds []FD) bool {
+	shared := e1.Intersect(e2)
+	if shared.Empty() {
+		return false
+	}
+	closure := Closure(shared, fds)
+	// Y ⊆ E2 − E1 with Y ⊆ X⁺, Y nonempty — equivalently the closure
+	// reaches into one side's private attributes.
+	if !closure.Intersect(e2.Minus(e1)).Empty() {
+		return true
+	}
+	return !closure.Intersect(e1.Minus(e2)).Empty()
+}
+
+// ExtensionJoinStrategy reports whether every step of the strategy is an
+// extension join under the dependencies.
+func ExtensionJoinStrategy(db *database.Database, s *strategy.Node, fds []FD) bool {
+	g := db.Graph()
+	for _, step := range s.Steps() {
+		e1 := g.Attrs(step.Left().Set())
+		e2 := g.Attrs(step.Right().Set())
+		if !ExtensionJoinStep(e1, e2, fds) {
+			return false
+		}
+	}
+	return true
+}
+
+// LosslessStrategy reports whether every step of the strategy is a
+// lossless join under the dependencies (chase-certified): the Section 5
+// notion "a lossless strategy is one whose every step is a lossless
+// join". Each step is tested as the two-element decomposition
+// {R_E1, R_E2} of R_E1 ∪ R_E2.
+func LosslessStrategy(db *database.Database, s *strategy.Node, fds []FD) bool {
+	g := db.Graph()
+	for _, step := range s.Steps() {
+		e1 := g.Attrs(step.Left().Set())
+		e2 := g.Attrs(step.Right().Set())
+		if !LosslessJoin([]relation.Schema{e1, e2}, fds) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtensionJoinOrder searches for a linear strategy in which every step
+// is an extension join under the dependencies — the decision problem
+// Honeyman's algorithm answers (Section 5). It returns a relation order
+// whose every prefix-step is an extension join, or false when none
+// exists. The search is backtracking over permutations with prefix
+// pruning; database sizes here are the small ones the rest of the
+// framework handles.
+func ExtensionJoinOrder(db *database.Database, fds []FD) ([]int, bool) {
+	n := db.Len()
+	if n == 0 {
+		return nil, false
+	}
+	if n == 1 {
+		return []int{0}, true
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	var prefixAttrs relation.Schema
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if len(order) > 0 && !ExtensionJoinStep(prefixAttrs, db.Scheme(i), fds) {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			saved := prefixAttrs
+			prefixAttrs = prefixAttrs.Union(db.Scheme(i))
+			if rec() {
+				return true
+			}
+			prefixAttrs = saved
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+		return false
+	}
+	if !rec() {
+		return nil, false
+	}
+	return order, true
+}

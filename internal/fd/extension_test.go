@@ -1,0 +1,187 @@
+package fd
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+func TestOsbornStep(t *testing.T) {
+	ab := relation.SchemaFromString("AB")
+	bc := relation.SchemaFromString("BC")
+	if !OsbornStep(ab, bc, []FD{MustParse("B->C")}) {
+		t.Fatal("B keys BC: Osborn step")
+	}
+	if !OsbornStep(ab, bc, []FD{MustParse("B->A")}) {
+		t.Fatal("B keys AB: Osborn step")
+	}
+	if OsbornStep(ab, bc, nil) {
+		t.Fatal("no FDs: not an Osborn step")
+	}
+	if OsbornStep(ab, relation.SchemaFromString("CD"), []FD{MustParse("B->C")}) {
+		t.Fatal("disjoint schemes are never Osborn steps")
+	}
+}
+
+func TestExtensionJoinStepGeneralizesOsborn(t *testing.T) {
+	// X = B determines only D inside BCD's private part: an extension
+	// join but not an Osborn step (B does not key BCD).
+	ab := relation.SchemaFromString("AB")
+	bcd := relation.SchemaFromString("BCD")
+	fds := []FD{MustParse("B->D")}
+	if OsbornStep(ab, bcd, fds) {
+		t.Fatal("B does not key BCD (C is free)")
+	}
+	if !ExtensionJoinStep(ab, bcd, fds) {
+		t.Fatal("B determines D: an extension join")
+	}
+	if ExtensionJoinStep(ab, bcd, nil) {
+		t.Fatal("no FDs: not an extension join")
+	}
+	// Every Osborn step is an extension join.
+	if !ExtensionJoinStep(ab, relation.SchemaFromString("BC"), []FD{MustParse("B->C")}) {
+		t.Fatal("Osborn ⊆ extension joins")
+	}
+}
+
+func stepsDB() *database.Database {
+	return database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "BC", "x 7"),
+		relation.FromStrings("R3", "CD", "7 p"),
+	)
+}
+
+func TestOsbornStrategy(t *testing.T) {
+	db := stepsDB()
+	fds := []FD{MustParse("B->A"), MustParse("C->B"), MustParse("C->D")}
+	s := strategy.MustParse(db, "(R1 R2) R3")
+	if !OsbornStrategy(db, s, fds) {
+		t.Fatal("every step shares a key: B keys AB; C keys ABC via C->B->A")
+	}
+	if OsbornStrategy(db, s, []FD{MustParse("C->D")}) {
+		t.Fatal("first step has no key without B FDs")
+	}
+}
+
+func TestExtensionJoinStrategy(t *testing.T) {
+	db := stepsDB()
+	fds := []FD{MustParse("B->A"), MustParse("C->D")}
+	s := strategy.MustParse(db, "(R1 R2) R3")
+	if !ExtensionJoinStrategy(db, s, fds) {
+		t.Fatal("B extends into A; C extends into D")
+	}
+	if ExtensionJoinStrategy(db, s, nil) {
+		t.Fatal("no FDs: no extension joins")
+	}
+}
+
+func TestLosslessStrategy(t *testing.T) {
+	db := stepsDB()
+	fds := []FD{MustParse("B->A"), MustParse("C->D")}
+	s := strategy.MustParse(db, "(R1 R2) R3")
+	if !LosslessStrategy(db, s, fds) {
+		t.Fatal("both steps lossless: shared attrs key a side")
+	}
+	if LosslessStrategy(db, s, nil) {
+		t.Fatal("without FDs the steps are lossy")
+	}
+}
+
+func TestOsbornImpliesC2ShapeAtStep(t *testing.T) {
+	// Operational check: when a step is an Osborn step and the state
+	// satisfies the FDs, the step's output is bounded by one operand —
+	// the C2 inequality at that step.
+	r1 := relation.FromStrings("R1", "AB", "1 x", "2 y", "3 x")
+	r2 := relation.FromStrings("R2", "BC", "x 7", "y 8") // B keys BC here
+	fds := []FD{MustParse("B->C")}
+	if !Satisfies(r2, fds[0]) {
+		t.Fatal("setup: r2 satisfies B->C")
+	}
+	if !OsbornStep(r1.Schema(), r2.Schema(), fds) {
+		t.Fatal("setup: Osborn step")
+	}
+	joined := relation.Join(r1, r2)
+	if joined.Size() > r1.Size() {
+		t.Fatalf("Osborn step exceeded the keyed bound: %d > %d", joined.Size(), r1.Size())
+	}
+}
+
+func TestExtensionJoinOrderChain(t *testing.T) {
+	db := stepsDB() // AB, BC, CD
+	fds := []FD{MustParse("B->A"), MustParse("C->D")}
+	order, ok := ExtensionJoinOrder(db, fds)
+	if !ok {
+		t.Fatal("expected an extension-join order")
+	}
+	if len(order) != db.Len() {
+		t.Fatalf("order = %v", order)
+	}
+	// Verify the property holds along the returned order.
+	prefix := db.Scheme(order[0])
+	for _, i := range order[1:] {
+		if !ExtensionJoinStep(prefix, db.Scheme(i), fds) {
+			t.Fatalf("step onto %d is not an extension join", i)
+		}
+		prefix = prefix.Union(db.Scheme(i))
+	}
+}
+
+func TestExtensionJoinOrderNoneWithoutFDs(t *testing.T) {
+	db := stepsDB()
+	if _, ok := ExtensionJoinOrder(db, nil); ok {
+		t.Fatal("no FDs ⟹ no extension joins anywhere")
+	}
+}
+
+func TestExtensionJoinOrderSymmetricDefinition(t *testing.T) {
+	// Honeyman's definition is symmetric: Y may live on either side of
+	// the step, so B->A licenses the step AB/BC in both directions (the
+	// shared B determines the private A). Both orders must be found.
+	db := database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "BC", "x 7"),
+	)
+	order, ok := ExtensionJoinOrder(db, []FD{MustParse("B->A")})
+	if !ok || len(order) != 2 {
+		t.Fatalf("expected an order, got %v, %v", order, ok)
+	}
+}
+
+func TestExtensionJoinOrderUnconnectedSchemeFails(t *testing.T) {
+	// A step onto an unlinked relation has no shared attributes, so no
+	// extension-join order can cover an unconnected scheme.
+	db := database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "CD", "7 p"),
+	)
+	fds := []FD{MustParse("B->A"), MustParse("C->D")}
+	if _, ok := ExtensionJoinOrder(db, fds); ok {
+		t.Fatal("unconnected schemes admit no extension-join order")
+	}
+}
+
+func TestExtensionJoinOrderPartialFDsRestrictStarts(t *testing.T) {
+	// With only C->D available on the chain AB−BC−CD, the step between
+	// AB and BC is never an extension join (B determines nothing), so no
+	// order exists; adding B->A repairs it.
+	db := stepsDB()
+	if _, ok := ExtensionJoinOrder(db, []FD{MustParse("C->D")}); ok {
+		t.Fatal("no order should exist without a B dependency")
+	}
+	if _, ok := ExtensionJoinOrder(db, []FD{MustParse("C->D"), MustParse("B->A")}); !ok {
+		t.Fatal("order should exist once B->A is added")
+	}
+}
+
+func TestExtensionJoinOrderEdgeCases(t *testing.T) {
+	single := database.New(relation.FromStrings("R", "AB", "1 x"))
+	if order, ok := ExtensionJoinOrder(single, nil); !ok || len(order) != 1 {
+		t.Fatal("single relation is trivially ordered")
+	}
+	if _, ok := ExtensionJoinOrder(database.New(), nil); ok {
+		t.Fatal("empty database has no order")
+	}
+}

@@ -1,0 +1,193 @@
+// Package fd implements the functional-dependency theory the paper's
+// Section 4 applications rest on: attribute-set closure, superkey tests
+// (both FD-derived and state-level), and the Aho–Beeri–Ullman chase test
+// for lossless joins. Section 4 shows:
+//
+//   - if the only constraints are FDs and the database has no nontrivial
+//     lossy joins, then C2 holds (via Rissanen: the shared attributes of
+//     two lossless linked pieces form a superkey of one side);
+//   - if all joins are on superkeys, then C3 holds.
+//
+// Both implications are exercised by the E-superkey and E-lossless
+// experiments and this package's tests.
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+)
+
+// FD is a functional dependency From → To.
+type FD struct {
+	From relation.Schema
+	To   relation.Schema
+}
+
+// Parse parses a compact single-rune-attribute dependency like "AB->C".
+func Parse(s string) (FD, error) {
+	parts := strings.Split(s, "->")
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("fd: %q is not of the form X->Y", s)
+	}
+	from := relation.SchemaFromString(strings.TrimSpace(parts[0]))
+	to := relation.SchemaFromString(strings.TrimSpace(parts[1]))
+	if from.Empty() || to.Empty() {
+		return FD{}, fmt.Errorf("fd: %q has an empty side", s)
+	}
+	return FD{From: from, To: to}, nil
+}
+
+// MustParse is Parse for tests and fixtures; it panics on malformed
+// input.
+func MustParse(s string) FD {
+	f, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// String renders the dependency as "AB->C".
+func (f FD) String() string { return f.From.String() + "->" + f.To.String() }
+
+// Trivial reports whether the dependency is trivial (To ⊆ From).
+func (f FD) Trivial() bool { return f.To.SubsetOf(f.From) }
+
+// Closure computes the attribute closure X⁺ of attrs under the given
+// dependencies, by the standard fixpoint iteration.
+func Closure(attrs relation.Schema, fds []FD) relation.Schema {
+	out := attrs
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.From.SubsetOf(out) && !f.To.SubsetOf(out) {
+				out = out.Union(f.To)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// Implies reports whether the dependency set logically implies f
+// (membership test via closure).
+func Implies(fds []FD, f FD) bool {
+	return f.To.SubsetOf(Closure(f.From, fds))
+}
+
+// IsSuperkey reports whether candidate is a superkey of scheme under the
+// dependencies: candidate⁺ ⊇ scheme.
+func IsSuperkey(candidate, scheme relation.Schema, fds []FD) bool {
+	return scheme.SubsetOf(Closure(candidate, fds))
+}
+
+// Keys returns the minimal keys of the scheme under the dependencies, in
+// deterministic order. Exponential in the scheme size; schemes here are
+// small.
+func Keys(scheme relation.Schema, fds []FD) []relation.Schema {
+	attrs := scheme.Attrs()
+	n := len(attrs)
+	var supers []relation.Schema
+	for mask := 1; mask < 1<<n; mask++ {
+		var cand []relation.Attr
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cand = append(cand, attrs[i])
+			}
+		}
+		c := relation.NewSchema(cand...)
+		if IsSuperkey(c, scheme, fds) {
+			supers = append(supers, c)
+		}
+	}
+	// Keep the minimal ones.
+	var keys []relation.Schema
+	for i, a := range supers {
+		minimal := true
+		for j, b := range supers {
+			if i != j && b.SubsetOf(a) && !b.Equal(a) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			keys = append(keys, a)
+		}
+	}
+	return keys
+}
+
+// SemanticSuperkey reports whether key functions as a superkey in the
+// relation's *state*: no two tuples agree on it. This is what Section 4's
+// "all joins are on superkeys" means operationally for a concrete state.
+func SemanticSuperkey(r *relation.Relation, key relation.Schema) bool {
+	if !key.SubsetOf(r.Schema()) {
+		return false
+	}
+	return relation.Project(r, key).Size() == r.Size()
+}
+
+// Satisfies reports whether the relation state satisfies the dependency
+// (restricted to the attributes present in the scheme; dependencies
+// mentioning absent attributes are vacuously satisfied).
+func Satisfies(r *relation.Relation, f FD) bool {
+	if !f.From.SubsetOf(r.Schema()) {
+		return true
+	}
+	to := f.To.Intersect(r.Schema())
+	if to.Empty() {
+		return true
+	}
+	seen := map[string]relation.Tuple{}
+	for _, t := range r.Tuples() {
+		k := t.Key(f.From.Attrs())
+		if prev, ok := seen[k]; ok {
+			if !prev.Restrict(to).Equal(t.Restrict(to)) {
+				return false
+			}
+		} else {
+			seen[k] = t
+		}
+	}
+	return true
+}
+
+// AllJoinsOnSuperkeys reports the Section 4 condition, FD form: for every
+// linked pair of relation schemes R1, R2 in the database scheme, R1 ∩ R2
+// is a superkey of both R1 and R2 under the dependencies.
+func AllJoinsOnSuperkeys(db *database.Database, fds []FD) bool {
+	n := db.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			shared := db.Scheme(i).Intersect(db.Scheme(j))
+			if shared.Empty() {
+				continue
+			}
+			if !IsSuperkey(shared, db.Scheme(i), fds) || !IsSuperkey(shared, db.Scheme(j), fds) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllJoinsOnSuperkeysSemantic is the state-level form: for every linked
+// pair, the shared attributes are a semantic superkey of both states.
+func AllJoinsOnSuperkeysSemantic(db *database.Database) bool {
+	n := db.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			shared := db.Scheme(i).Intersect(db.Scheme(j))
+			if shared.Empty() {
+				continue
+			}
+			if !SemanticSuperkey(db.Relation(i), shared) || !SemanticSuperkey(db.Relation(j), shared) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,243 @@
+// Package gen builds synthetic databases for the randomized validation
+// and benchmark experiments. It deliberately avoids the uniformity-and-
+// independence assumptions the paper criticizes (Section 1): besides a
+// uniform generator it provides Zipf-skewed data and two semantically
+// constrained generators — Diagonal, whose every join attribute is a
+// superkey of both operands (the Section 4 condition implying C3), and
+// the raw material for pairwise-consistent states (reduced by the
+// semijoin package).
+//
+// All generators are deterministic functions of the supplied *rand.Rand,
+// so every experiment is reproducible from its seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+)
+
+// Shape selects a database-scheme topology.
+type Shape int
+
+const (
+	// Chain: R_i = {A_i, A_(i+1)} — a path.
+	Chain Shape = iota
+	// Star: R_i = {Hub, A_i} — all relations share one hub attribute.
+	Star
+	// Cycle: a chain whose last relation closes back to A_0 (α-cyclic).
+	Cycle
+	// Clique: R_i = {X, A_i} plus pairwise attributes so every pair of
+	// schemes overlaps directly.
+	Clique
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Cycle:
+		return "cycle"
+	case Clique:
+		return "clique"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// attr builds a distinct attribute name for index i.
+func attr(prefix string, i int) relation.Attr {
+	return relation.Attr(fmt.Sprintf("%s%d", prefix, i))
+}
+
+// Schemes returns n relation schemes of the given shape. All shapes are
+// connected for n ≥ 1; n must be at least 1 (Cycle needs 3).
+func Schemes(shape Shape, n int) []relation.Schema {
+	if n < 1 {
+		panic("gen: need at least one relation")
+	}
+	out := make([]relation.Schema, n)
+	switch shape {
+	case Chain:
+		for i := 0; i < n; i++ {
+			out[i] = relation.NewSchema(attr("A", i), attr("A", i+1))
+		}
+	case Star:
+		for i := 0; i < n; i++ {
+			out[i] = relation.NewSchema("Hub", attr("A", i))
+		}
+	case Cycle:
+		if n < 3 {
+			panic("gen: cycle needs at least 3 relations")
+		}
+		for i := 0; i < n; i++ {
+			out[i] = relation.NewSchema(attr("A", i), attr("A", (i+1)%n))
+		}
+	case Clique:
+		// Pairwise attributes P_i_j shared by schemes i and j.
+		attrsOf := make([][]relation.Attr, n)
+		for i := 0; i < n; i++ {
+			attrsOf[i] = append(attrsOf[i], attr("A", i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				p := relation.Attr(fmt.Sprintf("P%d_%d", i, j))
+				attrsOf[i] = append(attrsOf[i], p)
+				attrsOf[j] = append(attrsOf[j], p)
+			}
+		}
+		for i := 0; i < n; i++ {
+			out[i] = relation.NewSchema(attrsOf[i]...)
+		}
+	default:
+		panic("gen: unknown shape")
+	}
+	return out
+}
+
+// RandomConnectedSchemes returns n schemes forming a random connected
+// hypergraph: a random spanning tree of shared attributes plus extra
+// shared attributes with probability extraProb per pair.
+func RandomConnectedSchemes(rng *rand.Rand, n int, extraProb float64) []relation.Schema {
+	if n < 1 {
+		panic("gen: need at least one relation")
+	}
+	attrsOf := make([][]relation.Attr, n)
+	for i := 0; i < n; i++ {
+		// A private attribute keeps every scheme distinct.
+		attrsOf[i] = append(attrsOf[i], attr("A", i))
+	}
+	link := func(i, j int) {
+		p := relation.Attr(fmt.Sprintf("P%d_%d", min(i, j), max(i, j)))
+		attrsOf[i] = append(attrsOf[i], p)
+		attrsOf[j] = append(attrsOf[j], p)
+	}
+	// Random spanning tree: attach each node to a random earlier node.
+	for i := 1; i < n; i++ {
+		link(i, rng.Intn(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extraProb {
+				link(i, j)
+			}
+		}
+	}
+	out := make([]relation.Schema, n)
+	for i := range out {
+		out[i] = relation.NewSchema(attrsOf[i]...)
+	}
+	return out
+}
+
+// Uniform fills the schemes with rows whose values are uniform over a
+// domain of the given size. rows gives the tuple budget per relation
+// (duplicates collapse, so small domains can yield fewer).
+func Uniform(rng *rand.Rand, schemes []relation.Schema, rows, domain int) *database.Database {
+	rels := make([]*relation.Relation, len(schemes))
+	for i, sch := range schemes {
+		r := relation.New(fmt.Sprintf("R%d", i), sch)
+		for k := 0; k < rows; k++ {
+			t := relation.Tuple{}
+			for _, a := range sch.Attrs() {
+				t[a] = relation.Value(fmt.Sprintf("v%d", rng.Intn(domain)))
+			}
+			r.Insert(t)
+		}
+		rels[i] = r
+	}
+	return database.New(rels...)
+}
+
+// Zipf fills the schemes with rows whose values follow a Zipf(s, 1)
+// distribution over the domain — the skewed-world generator the paper's
+// criticism of uniformity assumptions calls for. s must be > 1.
+func Zipf(rng *rand.Rand, schemes []relation.Schema, rows, domain int, s float64) *database.Database {
+	z := rand.NewZipf(rng, s, 1, uint64(domain-1))
+	rels := make([]*relation.Relation, len(schemes))
+	for i, sch := range schemes {
+		r := relation.New(fmt.Sprintf("R%d", i), sch)
+		for k := 0; k < rows; k++ {
+			t := relation.Tuple{}
+			for _, a := range sch.Attrs() {
+				t[a] = relation.Value(fmt.Sprintf("v%d", z.Uint64()))
+			}
+			r.Insert(t)
+		}
+		rels[i] = r
+	}
+	return database.New(rels...)
+}
+
+// Diagonal builds a database over the given schemes in which every
+// relation is a set of "diagonal" tuples: row k of any relation assigns
+// the value k to every attribute. Consequently every nonempty attribute
+// set is a superkey of every relation, all joins are on superkeys, and by
+// Section 4 of the paper the database satisfies C3 (hence C1 and C2).
+// Each relation draws its row-index set independently: relation i keeps
+// each index in [0, universe) with probability keep.
+//
+// At least one common index (0) is always kept by every relation so that
+// R_D ≠ ∅, the standing hypothesis of the theorems.
+func Diagonal(rng *rand.Rand, schemes []relation.Schema, universe int, keep float64) *database.Database {
+	rels := make([]*relation.Relation, len(schemes))
+	for i, sch := range schemes {
+		r := relation.New(fmt.Sprintf("R%d", i), sch)
+		insert := func(k int) {
+			t := relation.Tuple{}
+			for _, a := range sch.Attrs() {
+				t[a] = relation.Value(fmt.Sprintf("v%d", k))
+			}
+			r.Insert(t)
+		}
+		insert(0)
+		for k := 1; k < universe; k++ {
+			if rng.Float64() < keep {
+				insert(k)
+			}
+		}
+		rels[i] = r
+	}
+	return database.New(rels...)
+}
+
+// ManyToMany builds a database over the schemes where every attribute
+// value is drawn from a tiny domain, so joins fan out heavily — the
+// regime in which Cartesian-product avoidance and linearity heuristics
+// go wrong (the E-gamma experiment). rows is the per-relation budget.
+func ManyToMany(rng *rand.Rand, schemes []relation.Schema, rows, domain int) *database.Database {
+	if domain < 1 {
+		panic("gen: domain must be positive")
+	}
+	return Uniform(rng, schemes, rows, domain)
+}
+
+// RandomAcyclicSchemes returns n schemes whose hypergraph is α-acyclic
+// and connected by construction: a random tree is drawn over the scheme
+// indexes and each tree edge contributes one fresh shared attribute, so
+// the tree itself is a join tree. Every scheme also gets a private
+// attribute.
+func RandomAcyclicSchemes(rng *rand.Rand, n int) []relation.Schema {
+	if n < 1 {
+		panic("gen: need at least one relation")
+	}
+	attrsOf := make([][]relation.Attr, n)
+	for i := 0; i < n; i++ {
+		attrsOf[i] = append(attrsOf[i], attr("A", i))
+	}
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		shared := relation.Attr(fmt.Sprintf("T%d_%d", p, i))
+		attrsOf[i] = append(attrsOf[i], shared)
+		attrsOf[p] = append(attrsOf[p], shared)
+	}
+	out := make([]relation.Schema, n)
+	for i := range out {
+		out[i] = relation.NewSchema(attrsOf[i]...)
+	}
+	return out
+}

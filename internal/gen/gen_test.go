@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/conditions"
+	"multijoin/internal/database"
+)
+
+func TestSchemesShapes(t *testing.T) {
+	for _, shape := range []Shape{Chain, Star, Cycle, Clique} {
+		n := 5
+		schemes := Schemes(shape, n)
+		if len(schemes) != n {
+			t.Fatalf("%s: %d schemes", shape, len(schemes))
+		}
+		db := Uniform(rand.New(rand.NewSource(1)), schemes, 3, 4)
+		if err := db.Validate(); err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if !db.Connected() {
+			t.Fatalf("%s scheme should be connected", shape)
+		}
+	}
+}
+
+func TestChainIsAlphaAcyclicCycleIsNot(t *testing.T) {
+	chain := Uniform(rand.New(rand.NewSource(1)), Schemes(Chain, 5), 2, 3)
+	if !chain.Graph().AlphaAcyclic() {
+		t.Fatal("chain should be α-acyclic")
+	}
+	cyc := Uniform(rand.New(rand.NewSource(1)), Schemes(Cycle, 5), 2, 3)
+	if cyc.Graph().AlphaAcyclic() {
+		t.Fatal("cycle should be α-cyclic")
+	}
+	star := Uniform(rand.New(rand.NewSource(1)), Schemes(Star, 5), 2, 3)
+	if !star.Graph().GammaAcyclic() {
+		t.Fatal("star should be γ-acyclic")
+	}
+}
+
+func TestCliqueAllPairsLinked(t *testing.T) {
+	db := Uniform(rand.New(rand.NewSource(2)), Schemes(Clique, 5), 2, 3)
+	g := db.Graph()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if !g.Scheme(i).Overlaps(g.Scheme(j)) {
+				t.Fatalf("clique schemes %d and %d not linked", i, j)
+			}
+		}
+	}
+}
+
+func TestSchemesPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Schemes(Chain, 0) },
+		func() { Schemes(Cycle, 2) },
+		func() { Schemes(Shape(9), 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRandomConnectedSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		schemes := RandomConnectedSchemes(rng, n, 0.3)
+		db := Uniform(rng, schemes, 2, 3)
+		if err := db.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !db.Connected() {
+			t.Fatalf("trial %d: scheme not connected", trial)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	schemes := Schemes(Chain, 4)
+	a := Uniform(rand.New(rand.NewSource(7)), schemes, 5, 4)
+	b := Uniform(rand.New(rand.NewSource(7)), schemes, 5, 4)
+	for i := 0; i < a.Len(); i++ {
+		if !a.Relation(i).Equal(b.Relation(i)) {
+			t.Fatalf("relation %d differs across identically seeded runs", i)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	schemes := Schemes(Chain, 2)
+	db := Zipf(rand.New(rand.NewSource(5)), schemes, 200, 50, 2.0)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Skewed draws collapse heavily under set semantics: far fewer than
+	// 200 distinct tuples.
+	if got := db.Relation(0).Size(); got >= 150 {
+		t.Fatalf("zipf data not skewed enough: %d distinct rows", got)
+	}
+}
+
+func TestDiagonalSatisfiesC3(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		schemes := Schemes(Chain, 4)
+		db := Diagonal(rng, schemes, 8, 0.6)
+		ev := database.NewEvaluator(db)
+		if ev.Result().Empty() {
+			t.Fatalf("trial %d: R_D empty; Diagonal must keep index 0 everywhere", trial)
+		}
+		if rep := conditions.Check(ev, conditions.C3); !rep.Holds {
+			t.Fatalf("trial %d: Diagonal database violates C3: %v", trial, rep.Witness)
+		}
+	}
+}
+
+func TestDiagonalStarAndCliqueSatisfyC3(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, shape := range []Shape{Star, Clique} {
+		db := Diagonal(rng, Schemes(shape, 4), 6, 0.5)
+		ev := database.NewEvaluator(db)
+		if rep := conditions.Check(ev, conditions.C3); !rep.Holds {
+			t.Fatalf("%s: Diagonal database violates C3: %v", shape, rep.Witness)
+		}
+	}
+}
+
+func TestManyToManyGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := ManyToMany(rng, Schemes(Chain, 3), 12, 2)
+	ev := database.NewEvaluator(db)
+	full := ev.Size(db.All())
+	if full <= db.Relation(0).Size() {
+		t.Fatalf("many-to-many join should fan out: |R_D| = %d", full)
+	}
+}
+
+func TestManyToManyPanicsOnBadDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ManyToMany(rand.New(rand.NewSource(1)), Schemes(Chain, 2), 3, 0)
+}
+
+func TestShapeString(t *testing.T) {
+	for shape, want := range map[Shape]string{
+		Chain: "chain", Star: "star", Cycle: "cycle", Clique: "clique",
+	} {
+		if shape.String() != want {
+			t.Errorf("String = %q, want %q", shape.String(), want)
+		}
+	}
+	if Shape(77).String() == "" {
+		t.Error("unknown shape should format")
+	}
+}
+
+func TestRandomAcyclicSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		schemes := RandomAcyclicSchemes(rng, n)
+		db := Uniform(rng, schemes, 3, 3)
+		if err := db.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g := db.Graph()
+		if !g.AlphaAcyclic() {
+			t.Fatalf("trial %d: scheme not α-acyclic", trial)
+		}
+		if !db.Connected() {
+			t.Fatalf("trial %d: scheme not connected", trial)
+		}
+		if n > 1 {
+			if _, ok := g.JoinTree(); !ok {
+				t.Fatalf("trial %d: no join tree", trial)
+			}
+		}
+	}
+}
+
+func TestRandomAcyclicSchemesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomAcyclicSchemes(rand.New(rand.NewSource(1)), 0)
+}

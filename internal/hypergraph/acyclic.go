@@ -1,0 +1,325 @@
+package hypergraph
+
+import (
+	"sort"
+
+	"multijoin/internal/relation"
+)
+
+// This file implements the acyclicity notions used in the paper's
+// Section 5 (Discussion): α-acyclicity via GYO ear reduction, join trees
+// for α-acyclic schemes (Bernstein/Goodman maximal-spanning-tree
+// construction), and Fagin's γ-acyclicity by direct γ-cycle search.
+
+// AlphaAcyclic reports whether the database scheme is α-acyclic, using
+// the GYO (Graham / Yu–Özsoyoğlu) ear-reduction algorithm: repeatedly
+// remove a scheme that is an "ear" — one whose attributes are either
+// exclusive to it or entirely contained in some other remaining scheme —
+// until no schemes remain (acyclic) or no ear exists (cyclic).
+func (g *Graph) AlphaAcyclic() bool {
+	return g.gyoReducible(g.All())
+}
+
+// AlphaAcyclicSub reports whether the restriction of the scheme to the
+// subset s is α-acyclic.
+func (g *Graph) AlphaAcyclicSub(s Set) bool { return g.gyoReducible(s) }
+
+func (g *Graph) gyoReducible(s Set) bool {
+	remaining := s.Indexes()
+	for len(remaining) > 1 {
+		earIdx := -1
+		for pos, i := range remaining {
+			if g.isEar(i, remaining) {
+				earIdx = pos
+				break
+			}
+		}
+		if earIdx == -1 {
+			return false
+		}
+		remaining = append(remaining[:earIdx], remaining[earIdx+1:]...)
+	}
+	return true
+}
+
+// isEar reports whether scheme i is an ear with respect to the remaining
+// schemes: the attributes of i shared with any other remaining scheme are
+// all contained in a single other remaining scheme ("the witness").
+func (g *Graph) isEar(i int, remaining []int) bool {
+	// Attributes of i shared with at least one other remaining scheme.
+	var shared relation.Schema
+	for _, j := range remaining {
+		if j == i {
+			continue
+		}
+		shared = shared.Union(g.schemes[i].Intersect(g.schemes[j]))
+	}
+	if shared.Empty() {
+		return true // all attributes exclusive: i is an isolated ear
+	}
+	for _, j := range remaining {
+		if j == i {
+			continue
+		}
+		if shared.SubsetOf(g.schemes[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinTreeEdge is an undirected edge of a join tree between scheme
+// indexes A and B.
+type JoinTreeEdge struct{ A, B int }
+
+// JoinTree computes a join tree (qual tree) for the database scheme if it
+// is α-acyclic and connected: a tree on the scheme indexes such that, for
+// every attribute, the schemes containing it induce a subtree. It returns
+// the edges and true, or nil and false when the scheme is cyclic or
+// unconnected.
+//
+// Construction: a maximal-weight spanning tree of the intersection graph,
+// with edge weight |Ri ∩ Rj| (Bernstein–Goodman). The result is a join
+// tree iff the scheme is α-acyclic; we verify the subtree property
+// explicitly rather than trusting the weight argument.
+func (g *Graph) JoinTree() ([]JoinTreeEdge, bool) {
+	n := len(g.schemes)
+	if n == 0 {
+		return nil, false
+	}
+	if n == 1 {
+		return []JoinTreeEdge{}, true
+	}
+	if !g.Connected(g.All()) {
+		return nil, false
+	}
+
+	type cand struct {
+		w    int
+		a, b int
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := g.schemes[i].Intersect(g.schemes[j]).Len()
+			if w > 0 {
+				cands = append(cands, cand{w, i, j})
+			}
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		if cands[x].w != cands[y].w {
+			return cands[x].w > cands[y].w
+		}
+		if cands[x].a != cands[y].a {
+			return cands[x].a < cands[y].a
+		}
+		return cands[x].b < cands[y].b
+	})
+
+	// Kruskal.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var edges []JoinTreeEdge
+	for _, c := range cands {
+		ra, rb := find(c.a), find(c.b)
+		if ra != rb {
+			parent[ra] = rb
+			edges = append(edges, JoinTreeEdge{c.a, c.b})
+		}
+	}
+	if len(edges) != n-1 {
+		return nil, false
+	}
+	if !g.verifyJoinTree(edges) {
+		return nil, false
+	}
+	return edges, true
+}
+
+// verifyJoinTree checks the defining property: for each attribute, the
+// set of schemes containing it induces a connected subtree.
+func (g *Graph) verifyJoinTree(edges []JoinTreeEdge) bool {
+	n := len(g.schemes)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	attrs := relation.UnionSchemas(g.schemes)
+	for _, a := range attrs.Attrs() {
+		var holders Set
+		for i, sch := range g.schemes {
+			if sch.Contains(a) {
+				holders = holders.Add(i)
+			}
+		}
+		if holders.Len() <= 1 {
+			continue
+		}
+		// BFS within holders along tree edges.
+		seed := holders.First()
+		seen := Singleton(seed)
+		queue := []int{seed}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if holders.Has(nb) && !seen.Has(nb) {
+					seen = seen.Add(nb)
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if seen != holders {
+			return false
+		}
+	}
+	return true
+}
+
+// GammaAcyclic reports whether the database scheme is γ-acyclic in
+// Fagin's sense: it contains no γ-cycle. A γ-cycle is a sequence
+//
+//	(S1, x1, S2, x2, …, Sm, xm, S1), m ≥ 3,
+//
+// of distinct edges Si and distinct attributes xi with xi ∈ Si ∩ Si+1,
+// such that for 1 ≤ i ≤ m−1, xi belongs to *no other* edge of the cycle
+// (xm is exempt and may appear in other edges of the cycle).
+//
+// Schemes in this paper are small (the strategy space is exponential long
+// before γ-cycle search is), so a direct DFS over candidate sequences is
+// the right tool: it is faithful to the definition and easy to validate.
+func (g *Graph) GammaAcyclic() bool {
+	n := len(g.schemes)
+	if n < 3 {
+		return true
+	}
+	// attrsOf[i][j] = attributes shared by schemes i and j.
+	inter := make([][]relation.Schema, n)
+	for i := range inter {
+		inter[i] = make([]relation.Schema, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				inter[i][j] = g.schemes[i].Intersect(g.schemes[j])
+			}
+		}
+	}
+
+	// DFS over sequences of (edge, attr) pairs starting at each edge.
+	// State: start edge s0, current edge, used edge set, chosen attrs.
+	var attrsUsed []relation.Attr
+	var edgesUsed []int
+
+	attrInUse := func(a relation.Attr) bool {
+		for _, u := range attrsUsed {
+			if u == a {
+				return true
+			}
+		}
+		return false
+	}
+
+	// closesCycle checks the full γ-cycle property for the candidate
+	// sequence edgesUsed + final attribute back to edgesUsed[0].
+	check := func(finalAttr relation.Attr) bool {
+		m := len(edgesUsed)
+		if m < 3 {
+			return false
+		}
+		attrs := append(append([]relation.Attr{}, attrsUsed...), finalAttr)
+		// For i in [0, m-2] (i.e. x1..x_{m-1}): xi in no other edge of the
+		// cycle than Si, Si+1.
+		for i := 0; i < m-1; i++ {
+			for j, e := range edgesUsed {
+				if j == i || j == (i+1)%m {
+					continue
+				}
+				if g.schemes[e].Contains(attrs[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	var dfs func(cur int) bool
+	dfs = func(cur int) bool {
+		start := edgesUsed[0]
+		// Try to close the cycle back to start.
+		if len(edgesUsed) >= 3 {
+			for _, a := range inter[cur][start].Attrs() {
+				if attrInUse(a) {
+					continue
+				}
+				if check(a) {
+					return true
+				}
+			}
+		}
+		// Extend to a new edge.
+		for next := 0; next < n; next++ {
+			used := false
+			for _, e := range edgesUsed {
+				if e == next {
+					used = true
+					break
+				}
+			}
+			if used {
+				continue
+			}
+			for _, a := range inter[cur][next].Attrs() {
+				if attrInUse(a) {
+					continue
+				}
+				attrsUsed = append(attrsUsed, a)
+				edgesUsed = append(edgesUsed, next)
+				if dfs(next) {
+					return true
+				}
+				attrsUsed = attrsUsed[:len(attrsUsed)-1]
+				edgesUsed = edgesUsed[:len(edgesUsed)-1]
+			}
+		}
+		return false
+	}
+
+	for s0 := 0; s0 < n; s0++ {
+		edgesUsed = []int{s0}
+		attrsUsed = nil
+		if dfs(s0) {
+			return false
+		}
+	}
+	return true
+}
+
+// BetaAcyclic reports whether the database scheme is β-acyclic in
+// Fagin's sense: every subset of its relation schemes is α-acyclic.
+// β-acyclicity sits strictly between γ and α (γ ⟹ β ⟹ α); the classic
+// separators are {AB, BC, ABC} (β-acyclic but γ-cyclic) and the covered
+// triangle {AB, BC, CA, ABC} (α-acyclic but β-cyclic, since the subset
+// {AB, BC, CA} is a pure cycle). Decided by running GYO on every subset —
+// exponential, like everything else that quantifies over subsets here.
+func (g *Graph) BetaAcyclic() bool {
+	ok := true
+	g.All().Subsets(func(s Set) bool {
+		if !g.gyoReducible(s) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

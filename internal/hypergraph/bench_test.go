@@ -1,0 +1,96 @@
+package hypergraph
+
+import (
+	"fmt"
+	"testing"
+
+	"multijoin/internal/relation"
+)
+
+func chainSchemes(n int) []relation.Schema {
+	out := make([]relation.Schema, n)
+	for i := range out {
+		out[i] = relation.NewSchema(
+			relation.Attr(fmt.Sprintf("A%d", i)),
+			relation.Attr(fmt.Sprintf("A%d", i+1)))
+	}
+	return out
+}
+
+func starSchemes(n int) []relation.Schema {
+	out := make([]relation.Schema, n)
+	for i := range out {
+		out[i] = relation.NewSchema("Hub", relation.Attr(fmt.Sprintf("A%d", i)))
+	}
+	return out
+}
+
+func BenchmarkConnected(b *testing.B) {
+	g := New(chainSchemes(32))
+	s := g.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Connected(s)
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	// Two chains side by side.
+	schemes := append(chainSchemes(16), starSchemes(16)...)
+	g := New(schemes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Components(g.All())
+	}
+}
+
+func BenchmarkConnectedSplits(b *testing.B) {
+	// Chain: polynomial; star: exponential in n (all subsets connect) —
+	// the shape-sensitivity the E-manyjoins experiment leans on.
+	for _, tc := range []struct {
+		name    string
+		schemes []relation.Schema
+	}{
+		{"chain32", chainSchemes(32)},
+		{"star16", starSchemes(16)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			g := New(tc.schemes)
+			s := g.All()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				g.ConnectedSplits(s, func(a, bs Set) bool {
+					count++
+					return true
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkGYO(b *testing.B) {
+	g := New(chainSchemes(24))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.AlphaAcyclic()
+	}
+}
+
+func BenchmarkGammaAcyclic(b *testing.B) {
+	g := New(chainSchemes(12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.GammaAcyclic()
+	}
+}
+
+func BenchmarkJoinTree(b *testing.B) {
+	g := New(chainSchemes(24))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.JoinTree(); !ok {
+			b.Fatal("chain must have a join tree")
+		}
+	}
+}

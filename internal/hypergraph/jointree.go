@@ -1,0 +1,154 @@
+package hypergraph
+
+// This file implements the Section 5 redefinition of connectedness for
+// α-acyclic schemes: a subset E of D is *join-tree connected* iff there
+// is a join tree for D in which E induces a subtree, and E1 is *linked*
+// to E2 iff F1 ∪ F2 is join-tree connected for some F1 ⊆ E1, F2 ⊆ E2.
+// Under these definitions every α-acyclic pairwise-consistent database
+// satisfies C4. Note the paper's remark: two subsets may share an
+// attribute yet not be linked in this sense (see the tests for the
+// classic {AB, BC, ABC} witness).
+//
+// Join-tree enumeration is exponential; these functions serve the
+// experiments and tests on small schemes, like everything else that
+// quantifies over the strategy space.
+
+// InducesSubtree reports whether the subset s induces a connected
+// subtree of the given join tree (edges over scheme indexes).
+func InducesSubtree(edges []JoinTreeEdge, s Set) bool {
+	if s.Empty() {
+		return false
+	}
+	if s.Len() == 1 {
+		return true
+	}
+	adj := map[int][]int{}
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	seed := s.First()
+	seen := Singleton(seed)
+	queue := []int{seed}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if s.Has(nb) && !seen.Has(nb) {
+				seen = seen.Add(nb)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return seen == s
+}
+
+// EnumerateJoinTrees calls fn for every join tree of the database scheme
+// (every spanning tree of the overlap graph satisfying the subtree
+// property for each attribute), stopping early when fn returns false.
+// The scheme must be connected; otherwise no tree is produced.
+func (g *Graph) EnumerateJoinTrees(fn func([]JoinTreeEdge) bool) {
+	n := len(g.schemes)
+	if n == 0 || !g.Connected(g.All()) {
+		return
+	}
+	if n == 1 {
+		fn([]JoinTreeEdge{})
+		return
+	}
+	// Candidate edges: linked scheme pairs.
+	var cands []JoinTreeEdge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.schemes[i].Overlaps(g.schemes[j]) {
+				cands = append(cands, JoinTreeEdge{i, j})
+			}
+		}
+	}
+	chosen := make([]JoinTreeEdge, 0, n-1)
+	// Union-find over a recursive chooser: pick or skip each candidate,
+	// pruning when a cycle would form or too few edges remain.
+	parent := make([]int, n)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	stop := false
+	var rec func(idx int)
+	rec = func(idx int) {
+		if stop {
+			return
+		}
+		if len(chosen) == n-1 {
+			if g.verifyJoinTree(chosen) {
+				tree := make([]JoinTreeEdge, len(chosen))
+				copy(tree, chosen)
+				if !fn(tree) {
+					stop = true
+				}
+			}
+			return
+		}
+		if idx >= len(cands) || len(chosen)+(len(cands)-idx) < n-1 {
+			return
+		}
+		e := cands[idx]
+		ra, rb := find(e.A), find(e.B)
+		if ra != rb {
+			// Take the edge.
+			parent[ra] = rb
+			chosen = append(chosen, e)
+			rec(idx + 1)
+			chosen = chosen[:len(chosen)-1]
+			parent[ra] = ra
+		}
+		// Skip the edge.
+		rec(idx + 1)
+	}
+	for i := range parent {
+		parent[i] = i
+	}
+	rec(0)
+}
+
+// JTConnected reports whether the subset s is connected in the Section 5
+// sense: some join tree of the (α-acyclic, connected) scheme has s
+// inducing a subtree. It returns false when the scheme has no join tree.
+func (g *Graph) JTConnected(s Set) bool {
+	if s.Empty() {
+		return false
+	}
+	found := false
+	g.EnumerateJoinTrees(func(edges []JoinTreeEdge) bool {
+		if InducesSubtree(edges, s) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// JTLinked reports the Section 5 linkage: F1 ∪ F2 is join-tree connected
+// for some nonempty F1 ⊆ a and F2 ⊆ b. (Quantifying over subsets is
+// exponential, matching the definition.)
+func (g *Graph) JTLinked(a, b Set) bool {
+	if a.Empty() || b.Empty() {
+		return false
+	}
+	linked := false
+	a.Subsets(func(f1 Set) bool {
+		b.Subsets(func(f2 Set) bool {
+			if g.JTConnected(f1.Union(f2)) {
+				linked = true
+				return false
+			}
+			return true
+		})
+		return !linked
+	})
+	return linked
+}

@@ -1,0 +1,165 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/relation"
+)
+
+// randomSchemes builds n random 2–3 attribute schemes over a small
+// attribute universe (possibly unconnected, possibly cyclic).
+func randomSchemes(rng *rand.Rand, n, universe int) []relation.Schema {
+	out := make([]relation.Schema, n)
+	for i := range out {
+		attrs := []relation.Attr{relation.Attr(rune('a' + rng.Intn(universe)))}
+		for len(attrs) < 2+rng.Intn(2) {
+			attrs = append(attrs, relation.Attr(rune('a'+rng.Intn(universe))))
+		}
+		// A private attribute keeps schemes distinct.
+		attrs = append(attrs, relation.Attr(rune('A'+i)))
+		out[i] = relation.NewSchema(attrs...)
+	}
+	return out
+}
+
+func TestComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		g := New(randomSchemes(rng, 2+rng.Intn(6), 5))
+		comps := g.Components(g.All())
+		var union Set
+		for i, c := range comps {
+			if c.Empty() {
+				t.Fatal("empty component")
+			}
+			if !union.Disjoint(c) {
+				t.Fatal("components overlap")
+			}
+			if !g.Connected(c) {
+				t.Fatal("component not connected")
+			}
+			// Not linked to the rest (the defining property).
+			if g.Linked(c, g.All().Minus(c)) {
+				t.Fatalf("component %d linked to the rest", i)
+			}
+			union = union.Union(c)
+		}
+		if union != g.All() {
+			t.Fatal("components do not cover")
+		}
+		if len(comps) != g.ComponentCount(g.All()) {
+			t.Fatal("count mismatch")
+		}
+	}
+}
+
+func TestLinkedSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 200; trial++ {
+		g := New(randomSchemes(rng, 5, 4))
+		for a := Set(1); a < Set(1<<5); a++ {
+			b := Set(rng.Intn(1 << 5))
+			if b.Empty() {
+				continue
+			}
+			if g.Linked(a, b) != g.Linked(b, a) {
+				t.Fatalf("Linked not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestLinkedMatchesAttributeIntersection(t *testing.T) {
+	// Linked(a, b) iff (∪a) ∩ (∪b) ≠ ∅ for disjoint a, b — the paper's
+	// definition, which the adjacency-based implementation must match.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		g := New(randomSchemes(rng, 5, 4))
+		for i := 0; i < 30; i++ {
+			a := Set(rng.Intn(1 << 5))
+			b := Set(rng.Intn(1<<5)) &^ a
+			if a.Empty() || b.Empty() {
+				continue
+			}
+			want := g.Attrs(a).Overlaps(g.Attrs(b))
+			if got := g.Linked(a, b); got != want {
+				t.Fatalf("Linked(%v,%v)=%v, attribute test says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestConnectedSubsetsClosedUnderLinkedUnion(t *testing.T) {
+	// If a and b are connected and linked, a ∪ b is connected.
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 100; trial++ {
+		g := New(randomSchemes(rng, 6, 4))
+		subs := g.ConnectedSubsets(g.All())
+		for i := 0; i < 40; i++ {
+			a := subs[rng.Intn(len(subs))]
+			b := subs[rng.Intn(len(subs))]
+			if !a.Disjoint(b) || !g.Linked(a, b) {
+				continue
+			}
+			if !g.Connected(a.Union(b)) {
+				t.Fatalf("union of linked connected %v, %v not connected", a, b)
+			}
+		}
+	}
+}
+
+func TestConnectedMonotoneUnderComponentRestriction(t *testing.T) {
+	// A connected subset lies within one component.
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 100; trial++ {
+		g := New(randomSchemes(rng, 6, 3))
+		comps := g.Components(g.All())
+		g.All().Subsets(func(s Set) bool {
+			if !g.Connected(s) {
+				return true
+			}
+			inOne := false
+			for _, c := range comps {
+				if s.SubsetOf(c) {
+					inOne = true
+					break
+				}
+			}
+			if !inOne {
+				t.Fatalf("connected subset %v spans components", s)
+			}
+			return true
+		})
+	}
+}
+
+func TestGYOInvariantUnderPermutation(t *testing.T) {
+	// α-acyclicity must not depend on the scheme order.
+	rng := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 100; trial++ {
+		schemes := randomSchemes(rng, 5, 4)
+		want := New(schemes).AlphaAcyclic()
+		perm := rng.Perm(len(schemes))
+		shuffled := make([]relation.Schema, len(schemes))
+		for i, p := range perm {
+			shuffled[i] = schemes[p]
+		}
+		if got := New(shuffled).AlphaAcyclic(); got != want {
+			t.Fatal("AlphaAcyclic depends on scheme order")
+		}
+	}
+}
+
+func TestJoinTreeExistsIffAlphaAcyclicConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 150; trial++ {
+		g := New(randomSchemes(rng, 4+rng.Intn(3), 4))
+		_, ok := g.JoinTree()
+		want := g.AlphaAcyclic() && g.Connected(g.All())
+		if ok != want {
+			t.Fatalf("JoinTree existence %v, want %v (acyclic=%v connected=%v)",
+				ok, want, g.AlphaAcyclic(), g.Connected(g.All()))
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package hypergraph treats a database scheme D (a set of relation
+// schemes) as a hypergraph, and implements the connectivity vocabulary of
+// the paper's Section 2 — linked, disjoint, connected, components — plus
+// the acyclicity machinery of Section 5 (GYO ear reduction, join trees,
+// α- and γ-acyclicity).
+//
+// Subsets of D are represented as bitsets (Set); the i-th bit selects the
+// i-th relation scheme of the database scheme under consideration. This
+// makes the exponential subset enumerations needed by the condition
+// checkers and the dynamic-programming optimizers cheap and allocation
+// free.
+package hypergraph
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Set is a subset of a database scheme's relation schemes, as a bitmask
+// over scheme indexes. Databases are limited to 64 relations, far above
+// anything the exponential strategy space allows in practice.
+type Set uint64
+
+// MaxRelations is the largest database scheme size representable by Set.
+const MaxRelations = 64
+
+// Singleton returns the set containing only index i.
+func Singleton(i int) Set { return Set(1) << uint(i) }
+
+// Full returns the set {0, …, n−1}.
+func Full(n int) Set {
+	if n >= MaxRelations {
+		if n == MaxRelations {
+			return ^Set(0)
+		}
+		panic("hypergraph: too many relations")
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Has reports whether index i is in the set.
+func (s Set) Has(i int) bool { return s&(Set(1)<<uint(i)) != 0 }
+
+// Add returns s ∪ {i}.
+func (s Set) Add(i int) Set { return s | Set(1)<<uint(i) }
+
+// Remove returns s − {i}.
+func (s Set) Remove(i int) Set { return s &^ (Set(1) << uint(i)) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s − t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// Disjoint reports whether s and t share no index. This is the paper's
+// "D1 and D2 are disjoint" on database schemes.
+func (s Set) Disjoint(t Set) bool { return s&t == 0 }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return s == 0 }
+
+// Len returns the number of elements.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Indexes returns the elements in increasing order.
+func (s Set) Indexes() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; {
+		i := bits.TrailingZeros64(uint64(t))
+		out = append(out, i)
+		t &= t - 1
+	}
+	return out
+}
+
+// First returns the smallest element; it panics on the empty set.
+func (s Set) First() int {
+	if s == 0 {
+		panic("hypergraph: First of empty set")
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// String renders the set as e.g. "{0,2,3}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, idx := range s.Indexes() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(itoa(idx))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Subsets calls fn for every nonempty subset of s, in increasing mask
+// order. Enumeration stops early if fn returns false.
+func (s Set) Subsets(fn func(Set) bool) {
+	// Standard submask enumeration, ascending: iterate t from low to high
+	// by stepping through ((t - s) & s).
+	for t := Set(0); ; {
+		t = (t - s) & s
+		if t == 0 {
+			return
+		}
+		if !fn(t) {
+			return
+		}
+		if t == s {
+			return
+		}
+	}
+}
+
+// ProperSubsetPairs calls fn for every unordered split of s into two
+// nonempty disjoint parts (a, b) with a ∪ b = s. Each split is reported
+// once, with the part containing s's smallest element first. Enumeration
+// stops early if fn returns false.
+//
+// These splits are exactly the candidate root steps of a strategy for the
+// database scheme s (condition (S3) of the paper).
+func (s Set) ProperSubsetPairs(fn func(a, b Set) bool) {
+	if s.Len() < 2 {
+		return
+	}
+	anchor := Set(1) << uint(s.First())
+	rest := s &^ anchor
+	// Enumerate subsets t of rest to place alongside the anchor; the
+	// other side is s − (anchor ∪ t), which is nonempty until t = rest.
+	t := Set(0)
+	for {
+		a := anchor | t
+		b := s &^ a
+		if b == 0 {
+			return
+		}
+		if !fn(a, b) {
+			return
+		}
+		t = (t - rest) & rest
+		if t == 0 {
+			return
+		}
+	}
+}

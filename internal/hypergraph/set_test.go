@@ -1,0 +1,148 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := Singleton(2).Add(5)
+	if !s.Has(2) || !s.Has(5) || s.Has(3) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Remove(2) != Singleton(5) {
+		t.Fatal("remove failed")
+	}
+	if s.First() != 2 {
+		t.Fatalf("first = %d", s.First())
+	}
+	if got := s.String(); got != "{2,5}" {
+		t.Fatalf("string = %q", got)
+	}
+}
+
+func TestFull(t *testing.T) {
+	if Full(0) != 0 {
+		t.Fatal("Full(0) should be empty")
+	}
+	if Full(3) != 0b111 {
+		t.Fatalf("Full(3) = %b", Full(3))
+	}
+	if Full(64) != ^Set(0) {
+		t.Fatal("Full(64) should be all ones")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Set(a), Set(b)
+		return x.Union(y) == Set(a|b) &&
+			x.Intersect(y) == Set(a&b) &&
+			x.Minus(y) == Set(a&^b) &&
+			x.Disjoint(y) == (a&b == 0) &&
+			x.SubsetOf(y) == (a&^b == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexesRoundTrip(t *testing.T) {
+	f := func(a uint16) bool {
+		var rebuilt Set
+		for _, i := range Set(a).Indexes() {
+			rebuilt = rebuilt.Add(i)
+		}
+		return rebuilt == Set(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetsEnumeratesAllNonempty(t *testing.T) {
+	s := Set(0b10110)
+	seen := map[Set]bool{}
+	s.Subsets(func(t Set) bool {
+		seen[t] = true
+		return true
+	})
+	if len(seen) != (1<<3)-1 {
+		t.Fatalf("enumerated %d subsets, want 7", len(seen))
+	}
+	for sub := range seen {
+		if !sub.SubsetOf(s) || sub == 0 {
+			t.Fatalf("bad subset %v", sub)
+		}
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	count := 0
+	Set(0b1111).Subsets(func(Set) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop failed, count = %d", count)
+	}
+}
+
+func TestProperSubsetPairs(t *testing.T) {
+	s := Set(0b1110) // {1,2,3}
+	type pair struct{ a, b Set }
+	var got []pair
+	s.ProperSubsetPairs(func(a, b Set) bool {
+		got = append(got, pair{a, b})
+		return true
+	})
+	// 2^(n-1) − 1 = 3 unordered splits for n = 3.
+	if len(got) != 3 {
+		t.Fatalf("got %d splits, want 3", len(got))
+	}
+	for _, p := range got {
+		if p.a|p.b != s || p.a&p.b != 0 || p.a == 0 || p.b == 0 {
+			t.Fatalf("invalid split %v, %v", p.a, p.b)
+		}
+		if !p.a.Has(s.First()) {
+			t.Fatalf("anchor not in first part: %v, %v", p.a, p.b)
+		}
+	}
+}
+
+func TestProperSubsetPairsCount(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		count := 0
+		Full(n).ProperSubsetPairs(func(a, b Set) bool {
+			count++
+			return true
+		})
+		want := 1<<(n-1) - 1
+		if count != want {
+			t.Fatalf("n=%d: %d splits, want %d", n, count, want)
+		}
+	}
+}
+
+func TestProperSubsetPairsSmall(t *testing.T) {
+	// Singleton and empty sets have no proper splits.
+	for _, s := range []Set{0, 1, 0b1000} {
+		called := false
+		s.ProperSubsetPairs(func(a, b Set) bool { called = true; return true })
+		if called {
+			t.Fatalf("split reported for %v", s)
+		}
+	}
+}
+
+func TestFirstPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Set(0).First()
+}

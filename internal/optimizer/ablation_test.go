@@ -1,0 +1,67 @@
+package optimizer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/gen"
+)
+
+func TestNoCPNaiveMatchesProduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	for trial := 0; trial < 60; trial++ {
+		var db *database.Database
+		switch trial % 3 {
+		case 0:
+			db = randomDB(rng, 3+rng.Intn(4))
+		case 1:
+			db = gen.Uniform(rng, gen.Schemes(gen.Star, 4), 4, 3)
+		default:
+			// Unconnected: two chains side by side.
+			db = gen.Uniform(rng, append(gen.Schemes(gen.Chain, 3),
+				gen.RandomConnectedSchemes(rng, 2, 0)...), 3, 3)
+		}
+		ev := database.NewEvaluator(db)
+		prod, errP := Optimize(ev, SpaceNoCP)
+		naive, errN := optimizeNoCPNaive(ev)
+		if (errP == nil) != (errN == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errP, errN)
+		}
+		if errP != nil {
+			if !errors.Is(errP, ErrEmptySpace) {
+				t.Fatal(errP)
+			}
+			continue
+		}
+		if prod.Cost != naive.Cost {
+			t.Fatalf("trial %d: production %d, naive %d\n%v", trial, prod.Cost, naive.Cost, db)
+		}
+	}
+}
+
+func BenchmarkNoCPSplitAblation(b *testing.B) {
+	// The DESIGN.md ablation: connected-split enumeration vs naive
+	// filtered ProperSubsetPairs for the no-CP DP on a 14-relation chain.
+	rng := rand.New(rand.NewSource(77))
+	db := gen.Diagonal(rng, gen.Schemes(gen.Chain, 14), 8, 0.6)
+	b.Run("connected-splits", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := database.NewEvaluator(db)
+			if _, err := Optimize(ev, SpaceNoCP); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-filter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := database.NewEvaluator(db)
+			if _, err := optimizeNoCPNaive(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package optimizer
+
+import (
+	"multijoin/internal/database"
+	"multijoin/internal/strategy"
+)
+
+// Optima returns every τ-optimum strategy in the given subspace, by
+// enumeration: first the DP fixes the optimal cost, then the subspace is
+// walked and each strategy attaining that cost is collected. It is meant
+// for the small databases where the paper's uniqueness and existence
+// claims are decidable (Example 5's "there is only one τ-optimum
+// strategy", Theorem 2's "there is a τ-optimum strategy that…").
+//
+// The returned slice is empty only when the subspace itself is empty.
+func Optima(ev *database.Evaluator, space Space) ([]*strategy.Node, error) {
+	res, err := Optimize(ev, space)
+	if err != nil {
+		return nil, err
+	}
+	db := ev.Database()
+	g := db.Graph()
+	var out []*strategy.Node
+	collect := func(n *strategy.Node) bool {
+		if n.Cost(ev) == res.Cost {
+			out = append(out, n)
+		}
+		return true
+	}
+	switch space {
+	case SpaceAll:
+		strategy.EnumerateAll(db.All(), collect)
+	case SpaceLinear:
+		strategy.EnumerateLinear(db.All(), collect)
+	case SpaceNoCP:
+		strategy.EnumerateAvoidCP(g, db.All(), collect)
+	case SpaceLinearNoCP:
+		strategy.EnumerateLinear(db.All(), func(n *strategy.Node) bool {
+			if n.AvoidsCartesian(g) {
+				return collect(n)
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// UniqueOptimum reports whether the subspace has exactly one τ-optimum
+// strategy, returning it when so.
+func UniqueOptimum(ev *database.Evaluator, space Space) (*strategy.Node, bool, error) {
+	all, err := Optima(ev, space)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(all) == 1 {
+		return all[0], true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,315 @@
+// Package optimizer finds τ-optimum strategies within the subspaces that
+// the paper's query optimizers search (Section 1):
+//
+//   - SpaceAll: every strategy — the full bushy space;
+//   - SpaceLinear: linear strategies (GAMMA's space);
+//   - SpaceNoCP: strategies that avoid Cartesian products in the paper's
+//     extended sense (INGRES, Starburst);
+//   - SpaceLinearNoCP: linear strategies that avoid Cartesian products
+//     (System R, Office-by-Example).
+//
+// All four run as memoized dynamic programs over subsets of the database
+// scheme: because τ is a sum of per-step result sizes and R_D′ depends
+// only on the *set* D′ (joins commute and associate), the principle of
+// optimality applies — the paper itself leans on it when it observes that
+// substrategies of a τ-optimum strategy are τ-optimum.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/strategy"
+)
+
+// Space identifies a strategy subspace to search.
+type Space int
+
+const (
+	// SpaceAll searches every strategy.
+	SpaceAll Space = iota
+	// SpaceLinear searches linear strategies only.
+	SpaceLinear
+	// SpaceNoCP searches strategies that avoid Cartesian products:
+	// components evaluated individually, no product steps except the
+	// comp(D)−1 mandatory ones combining components.
+	SpaceNoCP
+	// SpaceLinearNoCP searches linear strategies that avoid Cartesian
+	// products. On some unconnected schemes this subspace is empty (two
+	// multi-relation components cannot both appear as prefixes of one
+	// linear tree); Optimize then returns ErrEmptySpace.
+	SpaceLinearNoCP
+)
+
+// String names the space.
+func (s Space) String() string {
+	switch s {
+	case SpaceAll:
+		return "all"
+	case SpaceLinear:
+		return "linear"
+	case SpaceNoCP:
+		return "no-cartesian"
+	case SpaceLinearNoCP:
+		return "linear-no-cartesian"
+	}
+	return fmt.Sprintf("Space(%d)", int(s))
+}
+
+// ErrEmptySpace is returned when the requested subspace contains no
+// strategy for the database (only possible for SpaceLinearNoCP on
+// schemes with two or more multi-relation components).
+var ErrEmptySpace = errors.New("optimizer: subspace contains no strategy for this scheme")
+
+// Result is an optimization outcome.
+type Result struct {
+	Space    Space
+	Strategy *strategy.Node
+	Cost     int
+	// States is the number of distinct DP states (subsets) examined — a
+	// proxy for optimizer effort, used by the search-space experiments.
+	States int
+}
+
+// Optimize returns a τ-optimum strategy within the given subspace.
+func Optimize(ev *database.Evaluator, space Space) (Result, error) {
+	db := ev.Database()
+	if err := db.Validate(); err != nil {
+		return Result{}, err
+	}
+	o := &dp{
+		ev:    ev,
+		g:     db.Graph(),
+		space: space,
+		cost:  make(map[hypergraph.Set]int),
+		pick:  make(map[hypergraph.Set][2]hypergraph.Set),
+	}
+	o.components = o.g.Components(o.g.All())
+	o.compOf = make([]hypergraph.Set, db.Len())
+	for _, c := range o.components {
+		for _, i := range c.Indexes() {
+			o.compOf[i] = c
+		}
+	}
+	all := db.All()
+	cost := o.solve(all)
+	if cost == inf {
+		return Result{Space: space}, ErrEmptySpace
+	}
+	return Result{
+		Space:    space,
+		Strategy: o.build(all),
+		Cost:     cost,
+		States:   len(o.cost),
+	}, nil
+}
+
+const inf = math.MaxInt
+
+// dp is the memoized subset dynamic program shared by all four spaces.
+type dp struct {
+	ev         *database.Evaluator
+	g          *hypergraph.Graph
+	space      Space
+	components []hypergraph.Set
+	compOf     []hypergraph.Set // relation index -> its component
+	cost       map[hypergraph.Set]int
+	pick       map[hypergraph.Set][2]hypergraph.Set
+}
+
+// solve returns the cheapest subtree cost for the subset s within the
+// space's constraints, or inf when no valid subtree exists.
+func (o *dp) solve(s hypergraph.Set) int {
+	if s.Len() == 1 {
+		return 0
+	}
+	if c, ok := o.cost[s]; ok {
+		return c
+	}
+	o.cost[s] = inf // guard against re-entry; overwritten below
+	best := inf
+	var bestSplit [2]hypergraph.Set
+
+	consider := func(a, b hypergraph.Set) {
+		ca := o.solve(a)
+		if ca == inf {
+			return
+		}
+		cb := o.solve(b)
+		if cb == inf {
+			return
+		}
+		total := ca + cb + o.ev.Size(s)
+		if total < best {
+			best = total
+			bestSplit = [2]hypergraph.Set{a, b}
+		}
+	}
+
+	switch o.space {
+	case SpaceAll:
+		s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+			consider(a, b)
+			return true
+		})
+	case SpaceLinear:
+		for _, i := range s.Indexes() {
+			rest := s.Remove(i)
+			consider(rest, hypergraph.Singleton(i))
+		}
+	case SpaceNoCP:
+		if s.SubsetOf(o.compOf[s.First()]) {
+			// Within one component: genuine joins only — enumerate the
+			// connected/connected splits directly (csg/cmp pairs), which
+			// is output-sensitive instead of 2^|s| on sparse schemes.
+			o.g.ConnectedSplits(s, func(a, b hypergraph.Set) bool {
+				consider(a, b)
+				return true
+			})
+		} else {
+			// Across components: both sides must be exact component
+			// unions; enumerate splits of the component-index mask.
+			comps := o.componentsOf(s)
+			mask := hypergraph.Full(len(comps))
+			mask.ProperSubsetPairs(func(am, bm hypergraph.Set) bool {
+				var a, b hypergraph.Set
+				for _, i := range am.Indexes() {
+					a = a.Union(comps[i])
+				}
+				for _, i := range bm.Indexes() {
+					b = b.Union(comps[i])
+				}
+				consider(a, b)
+				return true
+			})
+		}
+	case SpaceLinearNoCP:
+		for _, i := range s.Indexes() {
+			rest := s.Remove(i)
+			leaf := hypergraph.Singleton(i)
+			if o.allowedNoCP(s, rest, leaf) {
+				consider(rest, leaf)
+			}
+		}
+	}
+	o.cost[s] = best
+	if best != inf {
+		o.pick[s] = bestSplit
+	}
+	return best
+}
+
+// allowedNoCP reports whether the split s = a ⊎ b is permitted in a
+// strategy that avoids Cartesian products: inside a component both parts
+// must be connected (so the step is a genuine join); across components
+// both parts must be exact unions of components (so each component is
+// evaluated individually before any mandatory product).
+func (o *dp) allowedNoCP(s, a, b hypergraph.Set) bool {
+	if s.SubsetOf(o.compOf[s.First()]) {
+		return o.g.Connected(a) && o.g.Connected(b)
+	}
+	return o.isComponentUnion(a) && o.isComponentUnion(b)
+}
+
+// componentsOf returns the scheme components making up s (s must be a
+// union of components, as avoid-CP DP states above component level are).
+func (o *dp) componentsOf(s hypergraph.Set) []hypergraph.Set {
+	var out []hypergraph.Set
+	for rest := s; rest != 0; {
+		c := o.compOf[rest.First()]
+		out = append(out, c)
+		rest = rest.Minus(c)
+	}
+	return out
+}
+
+// isComponentUnion reports whether x is an exact union of scheme
+// components.
+func (o *dp) isComponentUnion(x hypergraph.Set) bool {
+	var u hypergraph.Set
+	for rest := x; rest != 0; {
+		c := o.compOf[rest.First()]
+		u = u.Union(c)
+		rest = rest.Minus(c)
+	}
+	return u == x
+}
+
+// build reconstructs the optimal tree for s from the pick table.
+func (o *dp) build(s hypergraph.Set) *strategy.Node {
+	if s.Len() == 1 {
+		return strategy.Leaf(s.First())
+	}
+	split := o.pick[s]
+	return strategy.Combine(o.build(split[0]), o.build(split[1]))
+}
+
+// Greedy returns the strategy produced by the classic smallest-result
+// heuristic: repeatedly replace the pair of current results whose join is
+// smallest (ties broken toward linked pairs and lower indexes). It is the
+// cheap baseline the paper's optimizers compete with; it inspects
+// O(n³) joins and offers no optimality guarantee.
+func Greedy(ev *database.Evaluator) Result {
+	db := ev.Database()
+	pool := make([]*strategy.Node, db.Len())
+	for i := range pool {
+		pool[i] = strategy.Leaf(i)
+	}
+	states := 0
+	for len(pool) > 1 {
+		bi, bj, bestSize := -1, -1, inf
+		for i := 0; i < len(pool); i++ {
+			for j := i + 1; j < len(pool); j++ {
+				states++
+				sz := ev.Size(pool[i].Set().Union(pool[j].Set()))
+				if sz < bestSize {
+					bi, bj, bestSize = i, j, sz
+				}
+			}
+		}
+		joined := strategy.Combine(pool[bi], pool[bj])
+		pool[bj] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		pool[bi] = joined
+	}
+	root := pool[0]
+	return Result{Space: SpaceAll, Strategy: root, Cost: root.Cost(ev), States: states}
+}
+
+// Exhaustive finds a τ-optimum strategy by enumerating the entire space —
+// the reference implementation the DPs are validated against in tests.
+// It is usable only for small databases ((2n−3)!! strategies).
+func Exhaustive(ev *database.Evaluator) Result {
+	db := ev.Database()
+	best := inf
+	var bestNode *strategy.Node
+	count := 0
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		count++
+		if c := n.Cost(ev); c < best {
+			best, bestNode = c, n
+		}
+		return true
+	})
+	return Result{Space: SpaceAll, Strategy: bestNode, Cost: best, States: count}
+}
+
+// Systems names the production optimizers the paper's Section 1 places
+// in each subspace: GAMMA searches linear strategies, INGRES and
+// Starburst avoid Cartesian products, System R and Office-by-Example use
+// linear strategies that avoid Cartesian products. SpaceAll is the
+// unrestricted reference space.
+func (s Space) Systems() []string {
+	switch s {
+	case SpaceLinear:
+		return []string{"GAMMA"}
+	case SpaceNoCP:
+		return []string{"INGRES", "Starburst"}
+	case SpaceLinearNoCP:
+		return []string{"System R", "Office-by-Example"}
+	}
+	return nil
+}

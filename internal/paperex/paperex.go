@@ -1,0 +1,156 @@
+// Package paperex encodes the five worked examples of the paper as
+// databases. They serve triple duty: as regression fixtures for the
+// condition checkers and optimizers (every τ value the paper quotes is
+// asserted in tests), as the subjects of the cmd/experiments harness, and
+// as inputs for the runnable examples.
+//
+// Transcription notes. Examples 1, 2 and 4 are stated with complete
+// relation states in the paper and are transcribed verbatim. The source
+// text available for Examples 3 and 5 has corrupted tables (a known
+// OCR hazard for this paper's multi-column layout), so their states are
+// *reconstructed*: the schemas, relation names, domain constants and —
+// crucially — every property the paper asserts about them are preserved
+// exactly:
+//
+//   - Example 3: |GS| = |CL| = 2 and all three strategies generate the
+//     same number (4) of intermediate tuples, so all are τ-optimum; the
+//     linear strategy (GS⋈CL)⋈SC is τ-optimum yet uses a Cartesian
+//     product; C1 holds but C1′ fails.
+//   - Example 5: the unique τ-optimum strategy is (MS⋈SC)⋈(CI⋈ID) —
+//     not linear, no Cartesian products; C1 and C2 hold; C3 fails with
+//     the paper's own witness τ(CI⋈ID) > τ(ID).
+//
+// These assertions are all verified in this package's tests, so any
+// divergence between the reconstruction and the paper's claims would
+// fail the build.
+package paperex
+
+import (
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+)
+
+// Example1 returns the Section 3 database showing that C1 alone does not
+// keep the optimum inside the Cartesian-product-avoiding subspace:
+// R1 = AB, R2 = BC, R3 = DE, R4 = FG with τ(R1)=τ(R2)=4, τ(R1⋈R2)=10,
+// τ(R3)=τ(R4)=7. The three CP-avoiding strategies cost 570, 570 and 549,
+// while S4 = (R1⋈R3)⋈(R2⋈R4) costs 546.
+func Example1() *database.Database {
+	r1 := relation.FromStrings("R1", "AB", "p 0", "q 0", "r 0", "s 1")
+	r2 := relation.FromStrings("R2", "BC", "0 w", "0 x", "0 y", "1 z")
+	r3 := relation.FromStrings("R3", "DE",
+		"d1 e1", "d2 e2", "d3 e3", "d4 e4", "d5 e5", "d6 e6", "d7 e7")
+	r4 := relation.FromStrings("R4", "FG",
+		"f1 g1", "f2 g2", "f3 g3", "f4 g4", "f5 g5", "f6 g6", "f7 g7")
+	return database.New(r1, r2, r3, r4)
+}
+
+// Example2 returns the Section 3 database demonstrating that C2 does not
+// imply C1: R1′ = AB (8 tuples), R2′ = BC (3 tuples), R3′ = DE (2
+// tuples), with τ(R1′⋈R2′) = 7 < 8 = τ(R1′) (so C2 holds) but
+// τ(R2′⋈R1′) = 7 > 6 = τ(R2′⋈R3′) (so C1 fails).
+func Example2() *database.Database {
+	r1 := relation.FromStrings("R1'", "AB",
+		"1 x", "2 y", "3 y", "4 y", "5 y", "6 y", "7 y", "8 y")
+	r2 := relation.FromStrings("R2'", "BC", "y 0", "u 0", "v 0")
+	r3 := relation.FromStrings("R3'", "DE", "d1 e1", "d2 e2")
+	return database.New(r1, r2, r3)
+}
+
+// Example3 returns the Section 4 "athletes and laboratories" database
+// (Theorem 1 necessity): GS = game/student, SC = student/course,
+// CL = course/laboratory. All three strategies generate 4 intermediate
+// tuples, so all — including the linear (GS⋈CL)⋈SC, which uses a
+// Cartesian product — are τ-optimum. C1 holds; C1′ does not, so
+// Theorem 1 does not apply, and indeed its conclusion fails.
+func Example3() *database.Database {
+	gs := relation.New("GS", relation.NewSchema("Game", "Student"))
+	gs.Insert(relation.Tuple{"Game": "Hockey", "Student": "Mokhtar"})
+	gs.Insert(relation.Tuple{"Game": "Tennis", "Student": "Lin"})
+
+	sc := relation.New("SC", relation.NewSchema("Student", "Course"))
+	for _, row := range [][2]string{
+		{"Mokhtar", "Phy101"}, {"Mokhtar", "Lang22"},
+		{"Lin", "Lit101"}, {"Lin", "Phy101"},
+		{"Katina", "Hist103"}, {"Katina", "Psch123"},
+		{"Sundram", "Phy101"}, {"Sundram", "Hist103"},
+	} {
+		sc.Insert(relation.Tuple{"Student": relation.Value(row[0]), "Course": relation.Value(row[1])})
+	}
+
+	cl := relation.New("CL", relation.NewSchema("Course", "Laboratory"))
+	cl.Insert(relation.Tuple{"Course": "Phy101", "Laboratory": "Fermi"})
+	cl.Insert(relation.Tuple{"Course": "Lang22", "Laboratory": "Chomsky"})
+
+	return database.New(gs, sc, cl)
+}
+
+// Example4 returns the Section 4 database (Theorem 2 necessity): same
+// schema as Example 3 but a state where τ(S1) = 14, τ(S2) = 12 and
+// τ(S3) = 11 for S1 = (GS⋈SC)⋈CL, S2 = GS⋈(SC⋈CL), S3 = (GS⋈CL)⋈SC —
+// the τ-optimum S3 uses a Cartesian product. C2 holds but C1 fails.
+func Example4() *database.Database {
+	gs := relation.New("GS", relation.NewSchema("Game", "Student"))
+	for _, row := range [][2]string{
+		{"Hockey", "Mokhtar"}, {"Tennis", "Mokhtar"}, {"Tennis", "Lin"},
+	} {
+		gs.Insert(relation.Tuple{"Game": relation.Value(row[0]), "Student": relation.Value(row[1])})
+	}
+
+	sc := relation.New("SC", relation.NewSchema("Student", "Course"))
+	for _, row := range [][2]string{
+		{"Mokhtar", "Lang22"}, {"Mokhtar", "Lit104"}, {"Mokhtar", "Phy101"},
+		{"Lin", "Phy101"}, {"Lin", "Hist103"}, {"Lin", "Psch123"},
+		{"Katina", "Lang22"}, {"Katina", "Lit104"}, {"Katina", "Phy101"},
+		{"Sundram", "Phy101"}, {"Sundram", "Lang22"}, {"Sundram", "Hist103"},
+	} {
+		sc.Insert(relation.Tuple{"Student": relation.Value(row[0]), "Course": relation.Value(row[1])})
+	}
+
+	cl := relation.New("CL", relation.NewSchema("Course", "Laboratory"))
+	cl.Insert(relation.Tuple{"Course": "Phy101", "Laboratory": "Fermi"})
+	cl.Insert(relation.Tuple{"Course": "Lang22", "Laboratory": "Chomsky"})
+
+	return database.New(gs, sc, cl)
+}
+
+// Example5 returns the Section 4 university database (Theorem 3
+// necessity): MS = major/student, SC = student/course, CI =
+// course/instructor, ID = instructor/department. C3 is violated
+// (τ(CI⋈ID) > τ(ID)); C1 and C2 hold; and the unique τ-optimum strategy
+// is the bushy (MS⋈SC)⋈(CI⋈ID), which no linear-only optimizer finds.
+func Example5() *database.Database {
+	ms := relation.New("MS", relation.NewSchema("Major", "Student"))
+	for _, row := range [][2]string{
+		{"Math", "Mokhtar"}, {"Phy", "Lin"}, {"Phy", "Katina"},
+	} {
+		ms.Insert(relation.Tuple{"Major": relation.Value(row[0]), "Student": relation.Value(row[1])})
+	}
+
+	sc := relation.New("SC", relation.NewSchema("Student", "Course"))
+	for _, row := range [][2]string{
+		{"Mokhtar", "Phy311"}, {"Mokhtar", "Math200"},
+		{"Lin", "Math5"},
+		{"Sundram", "Phy411"}, {"Sundram", "Hist1"},
+	} {
+		sc.Insert(relation.Tuple{"Student": relation.Value(row[0]), "Course": relation.Value(row[1])})
+	}
+
+	ci := relation.New("CI", relation.NewSchema("Course", "Instructor"))
+	for _, row := range [][2]string{
+		{"Phy311", "Newton"}, {"Math200", "Newton"},
+		{"Math5", "Lorentz"}, {"Math200", "Lorentz"},
+		{"Phy411", "Einstein"}, {"Math200", "Einstein"},
+	} {
+		ci.Insert(relation.Tuple{"Course": relation.Value(row[0]), "Instructor": relation.Value(row[1])})
+	}
+
+	id := relation.New("ID", relation.NewSchema("Instructor", "Department"))
+	for _, row := range [][2]string{
+		{"Newton", "Phy"}, {"Lorentz", "Math"}, {"Turing", "Math"},
+	} {
+		id.Insert(relation.Tuple{"Instructor": relation.Value(row[0]), "Department": relation.Value(row[1])})
+	}
+
+	return database.New(ms, sc, ci, id)
+}

@@ -1,0 +1,273 @@
+package paperex
+
+import (
+	"testing"
+
+	"multijoin/internal/conditions"
+	"multijoin/internal/database"
+	"multijoin/internal/strategy"
+)
+
+// check evaluates a condition and reports whether it holds.
+func holds(t *testing.T, db *database.Database, c conditions.Condition) bool {
+	t.Helper()
+	return conditions.Check(database.NewEvaluator(db), c).Holds
+}
+
+// optimum scans the full strategy space and returns the best cost plus
+// one witness strategy achieving it and whether it is unique.
+func optimum(db *database.Database) (best int, witness *strategy.Node, unique bool) {
+	ev := database.NewEvaluator(db)
+	best = -1
+	count := 0
+	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		c := n.Cost(ev)
+		switch {
+		case best == -1 || c < best:
+			best, witness, count = c, n, 1
+		case c == best:
+			count++
+		}
+		return true
+	})
+	return best, witness, count == 1
+}
+
+func TestExample1PaperClaims(t *testing.T) {
+	db := Example1()
+	ev := database.NewEvaluator(db)
+
+	if got := ev.Size(db.SetOf("R1", "R2")); got != 10 {
+		t.Fatalf("τ(R1⋈R2) = %d, want 10", got)
+	}
+	if !holds(t, db, conditions.C1) {
+		t.Fatal("Example 1 satisfies C1")
+	}
+	if holds(t, db, conditions.C2) {
+		t.Fatal("Example 1 violates C2 (Example 2's observation)")
+	}
+
+	// τ of the three CP-avoiding strategies: 570, 570, 549.
+	s1 := strategy.LeftDeep(0, 1, 2, 3)
+	s2 := strategy.LeftDeep(0, 1, 3, 2)
+	s3 := strategy.Combine(
+		strategy.Combine(strategy.Leaf(0), strategy.Leaf(1)),
+		strategy.Combine(strategy.Leaf(2), strategy.Leaf(3)))
+	s4 := strategy.Combine(
+		strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)),
+		strategy.Combine(strategy.Leaf(1), strategy.Leaf(3)))
+	for _, tc := range []struct {
+		name string
+		s    *strategy.Node
+		want int
+	}{
+		{"S1", s1, 570}, {"S2", s2, 570}, {"S3", s3, 549}, {"S4", s4, 546},
+	} {
+		if got := tc.s.Cost(ev); got != tc.want {
+			t.Errorf("τ(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// The τ-optimum does not avoid Cartesian products.
+	best, witness, _ := optimum(db)
+	if best != 546 {
+		t.Fatalf("optimum = %d, want 546", best)
+	}
+	if witness.AvoidsCartesian(db.Graph()) {
+		t.Fatal("optimum should use Cartesian products")
+	}
+}
+
+func TestExample2PaperClaims(t *testing.T) {
+	db := Example2()
+	ev := database.NewEvaluator(db)
+
+	if got := ev.Size(db.SetOf("R1'")); got != 8 {
+		t.Fatalf("τ(R1′) = %d, want 8", got)
+	}
+	if got := ev.Size(db.SetOf("R2'")); got != 3 {
+		t.Fatalf("τ(R2′) = %d, want 3", got)
+	}
+	if got := ev.Size(db.SetOf("R1'", "R2'")); got != 7 {
+		t.Fatalf("τ(R1′⋈R2′) = %d, want 7", got)
+	}
+	if got := ev.Size(db.SetOf("R2'", "R3'")); got != 6 {
+		t.Fatalf("τ(R2′⋈R3′) = %d, want 6", got)
+	}
+	if !holds(t, db, conditions.C2) {
+		t.Fatal("Example 2 satisfies C2")
+	}
+	if holds(t, db, conditions.C1) {
+		t.Fatal("Example 2 violates C1")
+	}
+}
+
+func TestC1AndC2Independent(t *testing.T) {
+	// Example 2's conclusion: C1 ⇏ C2 (Example 1) and C2 ⇏ C1
+	// (Example 2's own state), so the conditions are independent.
+	ex1, ex2 := Example1(), Example2()
+	if !(holds(t, ex1, conditions.C1) && !holds(t, ex1, conditions.C2)) {
+		t.Fatal("Example 1 should satisfy C1 only")
+	}
+	if !(holds(t, ex2, conditions.C2) && !holds(t, ex2, conditions.C1)) {
+		t.Fatal("Example 2 should satisfy C2 only")
+	}
+}
+
+func TestExample3PaperClaims(t *testing.T) {
+	db := Example3()
+	ev := database.NewEvaluator(db)
+	g := db.Graph()
+
+	gs, sc, cl := db.SetOf("GS"), db.SetOf("SC"), db.SetOf("CL")
+	// All three strategies generate the same number (4) of intermediate
+	// tuples.
+	for _, pair := range []struct {
+		name string
+		a, b int
+	}{
+		{"GS⋈SC", 0, 1}, {"SC⋈CL", 1, 2}, {"GS⋈CL", 0, 2},
+	} {
+		got := ev.JoinSize(db.SetOf(db.Relation(pair.a).Name()), db.SetOf(db.Relation(pair.b).Name()))
+		if got != 4 {
+			t.Errorf("τ(%s) = %d, want 4", pair.name, got)
+		}
+	}
+	_ = gs
+	_ = sc
+	_ = cl
+
+	// All three strategies are τ-optimum; (GS⋈CL)⋈SC is linear,
+	// τ-optimum and uses a Cartesian product.
+	best, _, _ := optimum(db)
+	cp := strategy.Combine(
+		strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)), strategy.Leaf(1))
+	if got := cp.Cost(ev); got != best {
+		t.Fatalf("(GS⋈CL)⋈SC costs %d, optimum %d — should be equal", got, best)
+	}
+	if !cp.IsLinear() || !cp.UsesCartesian(g) {
+		t.Fatal("(GS⋈CL)⋈SC should be linear and use a Cartesian product")
+	}
+
+	// C1 holds, C1′ fails: Theorem 1's hypothesis cannot be weakened.
+	if !holds(t, db, conditions.C1) {
+		t.Fatal("Example 3 satisfies C1")
+	}
+	if holds(t, db, conditions.C1Strict) {
+		t.Fatal("Example 3 violates C1′")
+	}
+	if !ev.ResultNonEmpty() {
+		t.Fatal("R_D should be nonempty")
+	}
+	if !db.Connected() {
+		t.Fatal("scheme should be connected")
+	}
+}
+
+func TestExample4PaperClaims(t *testing.T) {
+	db := Example4()
+	ev := database.NewEvaluator(db)
+
+	s1 := strategy.LeftDeep(0, 1, 2)         // (GS⋈SC)⋈CL
+	s2 := strategy.Combine(strategy.Leaf(0), // GS⋈(SC⋈CL)
+		strategy.Combine(strategy.Leaf(1), strategy.Leaf(2)))
+	s3 := strategy.Combine( // (GS⋈CL)⋈SC
+		strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)), strategy.Leaf(1))
+
+	if got := s1.Cost(ev); got != 14 {
+		t.Errorf("τ(S1) = %d, want 14", got)
+	}
+	if got := s2.Cost(ev); got != 12 {
+		t.Errorf("τ(S2) = %d, want 12", got)
+	}
+	if got := s3.Cost(ev); got != 11 {
+		t.Errorf("τ(S3) = %d, want 11", got)
+	}
+
+	best, witness, _ := optimum(db)
+	if best != 11 {
+		t.Fatalf("optimum = %d, want 11", best)
+	}
+	if !witness.UsesCartesian(db.Graph()) {
+		t.Fatal("Example 4's optimum uses a Cartesian product")
+	}
+
+	// C2 holds but C1 fails.
+	if !holds(t, db, conditions.C2) {
+		t.Fatal("Example 4 satisfies C2")
+	}
+	if holds(t, db, conditions.C1) {
+		t.Fatal("Example 4 violates C1")
+	}
+}
+
+func TestExample5PaperClaims(t *testing.T) {
+	db := Example5()
+	ev := database.NewEvaluator(db)
+	g := db.Graph()
+
+	// C3 is violated, e.g. τ(CI⋈ID) > τ(ID).
+	ci, id := db.SetOf("CI"), db.SetOf("ID")
+	if !(ev.JoinSize(ci, id) > ev.Size(id)) {
+		t.Fatal("want τ(CI⋈ID) > τ(ID), the paper's C3 witness")
+	}
+	if holds(t, db, conditions.C3) {
+		t.Fatal("Example 5 violates C3")
+	}
+	// C1 and C2 hold: C1 ∧ C2 do not imply C3, and Theorem 3's C3 cannot
+	// be relaxed.
+	if !holds(t, db, conditions.C1) {
+		t.Fatal("Example 5 satisfies C1")
+	}
+	if !holds(t, db, conditions.C2) {
+		t.Fatal("Example 5 satisfies C2")
+	}
+
+	// Unique τ-optimum is (MS⋈SC)⋈(CI⋈ID): not linear, no CPs.
+	best, witness, unique := optimum(db)
+	if !unique {
+		t.Fatal("Example 5's optimum should be unique")
+	}
+	want := strategy.Combine(
+		strategy.Combine(strategy.Leaf(0), strategy.Leaf(1)),
+		strategy.Combine(strategy.Leaf(2), strategy.Leaf(3)))
+	if !witness.Equal(want) {
+		t.Fatalf("optimum = %s (cost %d), want (MS⋈SC)⋈(CI⋈ID)", witness.Render(db), best)
+	}
+	if witness.IsLinear() {
+		t.Fatal("optimum should not be linear")
+	}
+	if witness.UsesCartesian(g) {
+		t.Fatal("optimum should not use Cartesian products")
+	}
+}
+
+func TestAllExamplesValidate(t *testing.T) {
+	for i, db := range []*database.Database{
+		Example1(), Example2(), Example3(), Example4(), Example5(),
+	} {
+		if err := db.Validate(); err != nil {
+			t.Errorf("example %d: %v", i+1, err)
+		}
+		if !database.NewEvaluator(db).ResultNonEmpty() {
+			t.Errorf("example %d: R_D is empty", i+1)
+		}
+	}
+}
+
+func TestConditionWitnessesAreConcrete(t *testing.T) {
+	// The checker must return a usable witness for each violated
+	// condition, with the τ values actually violating the inequality.
+	ev := database.NewEvaluator(Example2())
+	rep := conditions.Check(ev, conditions.C1)
+	if rep.Holds || rep.Witness == nil {
+		t.Fatal("expected a C1 witness on Example 2")
+	}
+	w := rep.Witness
+	if w.Left <= w.Right {
+		t.Fatalf("witness does not violate C1: %d ≤ %d", w.Left, w.Right)
+	}
+	if w.String() == "" {
+		t.Fatal("witness should format")
+	}
+}

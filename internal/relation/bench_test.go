@@ -1,0 +1,98 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchRel builds a relation with the given rows over domain values.
+func benchRel(rng *rand.Rand, name, schema string, rows, domain int) *Relation {
+	sch := SchemaFromString(schema)
+	r := New(name, sch)
+	for i := 0; i < rows; i++ {
+		t := Tuple{}
+		for _, a := range sch.Attrs() {
+			t[a] = Value(fmt.Sprintf("v%d", rng.Intn(domain)))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+func BenchmarkJoinBySelectivity(b *testing.B) {
+	// Same input sizes, varying domain: small domains mean heavy fan-out.
+	for _, domain := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("domain%d", domain), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			r := benchRel(rng, "R", "AB", 1000, domain)
+			s := benchRel(rng, "S", "BC", 1000, domain)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Join(r, s)
+			}
+		})
+	}
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	r := benchRel(rng, "R", "AB", 5000, 2000)
+	s := benchRel(rng, "S", "BC", 5000, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Semijoin(r, s)
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	r := benchRel(rng, "R", "ABCD", 5000, 50)
+	x := SchemaFromString("AC")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Project(r, x)
+	}
+}
+
+func BenchmarkSetOperations(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	r := benchRel(rng, "R", "AB", 5000, 200)
+	s := benchRel(rng, "S", "AB", 5000, 200)
+	b.Run("union", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Union(r, s)
+		}
+	})
+	b.Run("intersect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Intersect(r, s)
+		}
+	})
+	b.Run("difference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Difference(r, s)
+		}
+	})
+}
+
+func BenchmarkInsertDedup(b *testing.B) {
+	sch := SchemaFromString("AB")
+	rows := make([][]Value, 10000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rows {
+		rows[i] = []Value{Value(fmt.Sprintf("v%d", rng.Intn(500))), Value(fmt.Sprintf("w%d", rng.Intn(500)))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New("R", sch)
+		for _, row := range rows {
+			r.InsertRow(row)
+		}
+	}
+}

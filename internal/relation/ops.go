@@ -1,0 +1,289 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// positions returns, for each attribute of sub, its index in the sorted
+// attribute list of super. Every attribute of sub must occur in super.
+func positions(super, sub Schema) []int {
+	out := make([]int, sub.Len())
+	superAttrs := super.Attrs()
+	j := 0
+	for i, a := range sub.Attrs() {
+		for superAttrs[j] != a {
+			j++
+			if j >= len(superAttrs) {
+				panic(fmt.Sprintf("relation: attribute %s not in schema %s", a, super))
+			}
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// keyOn encodes a row's values at the given positions as a hash key,
+// length-prefixing each value so the encoding is injective.
+func keyOn(row []Value, pos []int) string {
+	if len(pos) == 0 {
+		return ""
+	}
+	n := 0
+	for _, p := range pos {
+		n += len(row[p]) + binary.MaxVarintLen64
+	}
+	b := make([]byte, 0, n)
+	var buf [binary.MaxVarintLen64]byte
+	for _, p := range pos {
+		k := binary.PutUvarint(buf[:], uint64(len(row[p])))
+		b = append(b, buf[:k]...)
+		b = append(b, row[p]...)
+	}
+	return string(b)
+}
+
+// Join computes the natural join r ⋈ s:
+//
+//	{t over R ∪ S : t[R] ∈ r, t[S] ∈ s}
+//
+// When the schemes are disjoint this degenerates to the Cartesian
+// product, exactly as in the paper's model (a "step that uses a Cartesian
+// product" is simply a join of unlinked schemes).
+func Join(r, s *Relation) *Relation {
+	// Hash-join on the shared attributes. Build on the smaller input.
+	if r.Size() > s.Size() {
+		r, s = s, r
+	}
+	outSchema := r.schema.Union(s.schema)
+	shared := r.schema.Intersect(s.schema)
+	out := New(joinName(r, s), outSchema)
+
+	rShared := positions(r.schema, shared)
+	sShared := positions(s.schema, shared)
+
+	// Map each output column to (source, position in source row).
+	type src struct {
+		fromS bool
+		pos   int
+	}
+	srcs := make([]src, outSchema.Len())
+	rPos := map[Attr]int{}
+	for i, a := range r.schema.Attrs() {
+		rPos[a] = i
+	}
+	sPos := map[Attr]int{}
+	for i, a := range s.schema.Attrs() {
+		sPos[a] = i
+	}
+	for i, a := range outSchema.Attrs() {
+		if p, ok := rPos[a]; ok {
+			srcs[i] = src{fromS: false, pos: p}
+		} else {
+			srcs[i] = src{fromS: true, pos: sPos[a]}
+		}
+	}
+
+	build := make(map[string][]int, r.Size())
+	for i, row := range r.rows {
+		k := keyOn(row, rShared)
+		build[k] = append(build[k], i)
+	}
+	for _, sRow := range s.rows {
+		k := keyOn(sRow, sShared)
+		for _, ri := range build[k] {
+			rRow := r.rows[ri]
+			merged := make([]Value, len(srcs))
+			for i, sc := range srcs {
+				if sc.fromS {
+					merged[i] = sRow[sc.pos]
+				} else {
+					merged[i] = rRow[sc.pos]
+				}
+			}
+			out.InsertRow(merged)
+		}
+	}
+	return out
+}
+
+func joinName(r, s *Relation) string {
+	if r.name == "" || s.name == "" {
+		return ""
+	}
+	return "(" + r.name + "⋈" + s.name + ")"
+}
+
+// JoinAll joins all the given relation states. An empty input yields nil;
+// a single input is returned unchanged. This computes the paper's R_D for
+// D the set of input schemes (join order is irrelevant to the result by
+// commutativity and associativity).
+func JoinAll(rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		return nil
+	}
+	acc := rels[0]
+	for _, r := range rels[1:] {
+		acc = Join(acc, r)
+	}
+	return acc
+}
+
+// Product computes the Cartesian product of relations with disjoint
+// schemes. It panics if the schemes overlap, because in the natural-join
+// model a "product" of overlapping schemes is not a product at all.
+func Product(r, s *Relation) *Relation {
+	if r.schema.Overlaps(s.schema) {
+		panic(fmt.Sprintf("relation: Product of overlapping schemes %s, %s", r.schema, s.schema))
+	}
+	return Join(r, s)
+}
+
+// Semijoin computes r ⋉ s: the tuples of r that join with at least one
+// tuple of s. This is the primitive of the Bernstein–Chiu reducer used in
+// the Section 5 experiments.
+func Semijoin(r, s *Relation) *Relation {
+	shared := r.schema.Intersect(s.schema)
+	out := New(r.name, r.schema)
+	if shared.Empty() {
+		// Unlinked: r ⋉ s is r itself unless s is empty.
+		if s.Empty() {
+			return out
+		}
+		return r.Clone().WithName(r.name)
+	}
+	sShared := positions(s.schema, shared)
+	seen := make(map[string]struct{}, s.Size())
+	for _, row := range s.rows {
+		seen[keyOn(row, sShared)] = struct{}{}
+	}
+	rShared := positions(r.schema, shared)
+	for _, row := range r.rows {
+		if _, ok := seen[keyOn(row, rShared)]; ok {
+			out.InsertRow(row)
+		}
+	}
+	return out
+}
+
+// Project computes π_X(r) for X a subset of r's scheme.
+func Project(r *Relation, x Schema) *Relation {
+	if !x.SubsetOf(r.schema) {
+		panic(fmt.Sprintf("relation: projection %s not a subset of %s", x, r.schema))
+	}
+	pos := positions(r.schema, x)
+	out := New("", x)
+	for _, row := range r.rows {
+		proj := make([]Value, len(pos))
+		for i, p := range pos {
+			proj[i] = row[p]
+		}
+		out.InsertRow(proj)
+	}
+	return out
+}
+
+// Select returns the tuples of r satisfying pred.
+func Select(r *Relation, pred func(Tuple) bool) *Relation {
+	out := New(r.name, r.schema)
+	attrs := r.schema.Attrs()
+	for _, row := range r.rows {
+		t := make(Tuple, len(attrs))
+		for i, a := range attrs {
+			t[a] = row[i]
+		}
+		if pred(t) {
+			out.InsertRow(row)
+		}
+	}
+	return out
+}
+
+// Union computes r ∪ s for relations over equal schemes.
+func Union(r, s *Relation) *Relation {
+	requireSameSchema("Union", r, s)
+	out := New("", r.schema)
+	for _, row := range r.rows {
+		out.InsertRow(row)
+	}
+	for _, row := range s.rows {
+		out.InsertRow(row)
+	}
+	return out
+}
+
+// Intersect computes r ∩ s for relations over equal schemes.
+func Intersect(r, s *Relation) *Relation {
+	requireSameSchema("Intersect", r, s)
+	out := New("", r.schema)
+	for k, i := range r.index {
+		if _, ok := s.index[k]; ok {
+			out.InsertRow(r.rows[i])
+		}
+	}
+	return out
+}
+
+// Difference computes r − s for relations over equal schemes.
+func Difference(r, s *Relation) *Relation {
+	requireSameSchema("Difference", r, s)
+	out := New("", r.schema)
+	for k, i := range r.index {
+		if _, ok := s.index[k]; !ok {
+			out.InsertRow(r.rows[i])
+		}
+	}
+	return out
+}
+
+func requireSameSchema(op string, r, s *Relation) {
+	if !r.schema.Equal(s.schema) {
+		panic(fmt.Sprintf("relation: %s of different schemes %s, %s", op, r.schema, s.schema))
+	}
+}
+
+// Rename returns a copy of r with attribute from renamed to to. The new
+// attribute must not already occur in the scheme.
+func Rename(r *Relation, from, to Attr) *Relation {
+	if !r.schema.Contains(from) {
+		panic(fmt.Sprintf("relation: rename source %s not in schema %s", from, r.schema))
+	}
+	if r.schema.Contains(to) {
+		panic(fmt.Sprintf("relation: rename target %s already in schema %s", to, r.schema))
+	}
+	attrs := make([]Attr, 0, r.schema.Len())
+	for _, a := range r.schema.Attrs() {
+		if a == from {
+			attrs = append(attrs, to)
+		} else {
+			attrs = append(attrs, a)
+		}
+	}
+	newSchema := NewSchema(attrs...)
+	out := New(r.name, newSchema)
+	for _, t := range r.Tuples() {
+		nt := make(Tuple, len(t))
+		for a, v := range t {
+			if a == from {
+				nt[to] = v
+			} else {
+				nt[a] = v
+			}
+		}
+		out.Insert(nt)
+	}
+	return out
+}
+
+// Consistent reports whether r and s are consistent in the sense of
+// Section 5: r[R ∩ S] = s[R ∩ S]. Unlinked relations are vacuously
+// consistent only when both project to the same (empty-scheme) state;
+// following the literature we treat disjoint schemes as consistent
+// whenever both are nonempty or both empty.
+func Consistent(r, s *Relation) bool {
+	shared := r.schema.Intersect(s.schema)
+	if shared.Empty() {
+		return r.Empty() == s.Empty()
+	}
+	return Project(r, shared).Equal(Project(s, shared))
+}

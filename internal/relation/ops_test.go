@@ -1,0 +1,274 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinBasic(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y")
+	s := FromStrings("S", "BC", "x 7", "x 8", "z 9")
+	j := Join(r, s)
+	if j.Schema().String() != "ABC" {
+		t.Fatalf("schema = %s", j.Schema())
+	}
+	if j.Size() != 2 {
+		t.Fatalf("size = %d, want 2", j.Size())
+	}
+	want := FromStrings("", "ABC", "1 x 7", "1 x 8")
+	if !j.Equal(want) {
+		t.Fatalf("join = %v, want %v", j, want)
+	}
+}
+
+func TestJoinDisjointIsProduct(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y")
+	s := FromStrings("S", "CD", "7 p", "8 q", "9 r")
+	j := Join(r, s)
+	if j.Size() != r.Size()*s.Size() {
+		t.Fatalf("product size = %d, want %d", j.Size(), r.Size()*s.Size())
+	}
+	p := Product(r, s)
+	if !p.Equal(j) {
+		t.Fatalf("Product and disjoint Join disagree")
+	}
+}
+
+func TestProductPanicsOnOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Product(FromStrings("R", "AB"), FromStrings("S", "BC"))
+}
+
+func TestJoinWithEmpty(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	empty := New("E", SchemaFromString("BC"))
+	if got := Join(r, empty); got.Size() != 0 {
+		t.Fatalf("join with empty = %d tuples", got.Size())
+	}
+}
+
+func TestJoinSharedSchemaIsIntersection(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y", "3 z")
+	s := FromStrings("S", "AB", "2 y", "3 z", "4 w")
+	j := Join(r, s)
+	want := Intersect(r, s)
+	if !j.Equal(want) {
+		t.Fatalf("join over same scheme should equal intersection: %v vs %v", j, want)
+	}
+}
+
+func TestJoinPaperExample1Count(t *testing.T) {
+	// Example 1 of the paper: τ(R1 ⋈ R2) = 10.
+	r1 := FromStrings("R1", "AB", "p 0", "q 0", "r 0", "s 1")
+	r2 := FromStrings("R2", "BC", "0 w", "0 x", "0 y", "1 z")
+	j := Join(r1, r2)
+	if j.Size() != 10 {
+		t.Fatalf("τ(R1⋈R2) = %d, want 10", j.Size())
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y", "3 z")
+	s := FromStrings("S", "BC", "x 7", "z 8")
+	sj := Semijoin(r, s)
+	want := FromStrings("", "AB", "1 x", "3 z")
+	if !sj.Equal(want) {
+		t.Fatalf("semijoin = %v, want %v", sj, want)
+	}
+	// r ⋉ s has the same tuples as π_R(r ⋈ s).
+	alt := Project(Join(r, s), r.Schema())
+	if !sj.Equal(alt) {
+		t.Fatalf("semijoin %v != π(join) %v", sj, alt)
+	}
+}
+
+func TestSemijoinUnlinked(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	s := FromStrings("S", "CD", "7 p")
+	if got := Semijoin(r, s); !got.Equal(r) {
+		t.Fatalf("unlinked semijoin should be identity, got %v", got)
+	}
+	empty := New("E", SchemaFromString("CD"))
+	if got := Semijoin(r, empty); got.Size() != 0 {
+		t.Fatalf("semijoin with empty unlinked relation should be empty, got %v", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := FromStrings("R", "ABC", "1 x 7", "1 x 8", "2 y 7")
+	p := Project(r, SchemaFromString("AB"))
+	want := FromStrings("", "AB", "1 x", "2 y")
+	if !p.Equal(want) {
+		t.Fatalf("projection = %v, want %v", p, want)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y", "3 x")
+	got := Select(r, func(t Tuple) bool { return t["B"] == "x" })
+	want := FromStrings("", "AB", "1 x", "3 x")
+	if !got.Equal(want) {
+		t.Fatalf("select = %v, want %v", got, want)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y")
+	s := FromStrings("S", "AB", "2 y", "3 z")
+	if got := Union(r, s); got.Size() != 3 {
+		t.Fatalf("union size = %d", got.Size())
+	}
+	if got := Intersect(r, s); got.Size() != 1 || !got.Contains(NewTuple(r.Schema(), "2", "y")) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := Difference(r, s); got.Size() != 1 || !got.Contains(NewTuple(r.Schema(), "1", "x")) {
+		t.Fatalf("difference = %v", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	got := Rename(r, "B", "C")
+	if got.Schema().String() != "AC" {
+		t.Fatalf("schema = %s", got.Schema())
+	}
+	if !got.Contains(NewTuple(got.Schema(), "1", "x")) {
+		t.Fatalf("tuple missing after rename: %v", got)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x", "2 y")
+	s := FromStrings("S", "BC", "x 7", "y 8")
+	if !Consistent(r, s) {
+		t.Fatal("expected consistent")
+	}
+	s2 := FromStrings("S", "BC", "x 7", "w 8")
+	if Consistent(r, s2) {
+		t.Fatal("expected inconsistent")
+	}
+}
+
+// randomRelation builds a small random relation over the given scheme for
+// property testing.
+func randomRelation(rng *rand.Rand, name string, schema Schema, maxRows, domain int) *Relation {
+	r := New(name, schema)
+	n := rng.Intn(maxRows + 1)
+	for i := 0; i < n; i++ {
+		row := make([]Value, schema.Len())
+		for j := range row {
+			row[j] = Value(rune('0' + rng.Intn(domain)))
+		}
+		r.InsertRow(row)
+	}
+	return r
+}
+
+func TestJoinCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		r := randomRelation(rng, "R", SchemaFromString("AB"), 8, 4)
+		s := randomRelation(rng, "S", SchemaFromString("BC"), 8, 4)
+		return Join(r, s).Equal(Join(s, r))
+	}
+	for i := 0; i < 200; i++ {
+		if !f() {
+			t.Fatalf("join not commutative (iteration %d)", i)
+		}
+	}
+}
+
+func TestJoinAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		r := randomRelation(rng, "R", SchemaFromString("AB"), 6, 3)
+		s := randomRelation(rng, "S", SchemaFromString("BC"), 6, 3)
+		u := randomRelation(rng, "U", SchemaFromString("CD"), 6, 3)
+		left := Join(Join(r, s), u)
+		right := Join(r, Join(s, u))
+		if !left.Equal(right) {
+			t.Fatalf("join not associative (iteration %d): %v vs %v", i, left, right)
+		}
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		r := randomRelation(rng, "R", SchemaFromString("AB"), 8, 4)
+		if !Join(r, r).Equal(r) {
+			t.Fatalf("R ⋈ R != R (iteration %d)", i)
+		}
+	}
+}
+
+func TestJoinSizeBoundedByProduct(t *testing.T) {
+	// τ(R ⋈ S) ≤ τ(R)·τ(S), with equality for Cartesian products (§2).
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		r := randomRelation(rng, "R", SchemaFromString("AB"), 8, 3)
+		s := randomRelation(rng, "S", SchemaFromString("BC"), 8, 3)
+		if got := Join(r, s).Size(); got > r.Size()*s.Size() {
+			t.Fatalf("join size %d exceeds product bound %d", got, r.Size()*s.Size())
+		}
+		u := randomRelation(rng, "U", SchemaFromString("CD"), 8, 3)
+		if got := Join(r, u).Size(); got != r.Size()*u.Size() {
+			t.Fatalf("product size %d, want %d", got, r.Size()*u.Size())
+		}
+	}
+}
+
+func TestProjectionContainment(t *testing.T) {
+	// π_R(R ⋈ S) ⊆ R always; equality exactly when r is unchanged by the
+	// semijoin with s.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		r := randomRelation(rng, "R", SchemaFromString("AB"), 8, 3)
+		s := randomRelation(rng, "S", SchemaFromString("BC"), 8, 3)
+		proj := Project(Join(r, s), r.Schema())
+		if !proj.SubsetOf(r) {
+			t.Fatalf("π_R(R⋈S) ⊄ R")
+		}
+	}
+}
+
+func TestTupleMerge(t *testing.T) {
+	a := Tuple{"A": "1", "B": "x"}
+	b := Tuple{"B": "x", "C": "7"}
+	m, ok := a.Merge(b)
+	if !ok || len(m) != 3 || m["A"] != "1" || m["C"] != "7" {
+		t.Fatalf("merge = %v, %v", m, ok)
+	}
+	c := Tuple{"B": "y"}
+	if _, ok := a.Merge(c); ok {
+		t.Fatal("expected merge conflict")
+	}
+}
+
+func TestTupleRestrict(t *testing.T) {
+	a := Tuple{"A": "1", "B": "x", "C": "7"}
+	r := a.Restrict(SchemaFromString("AC"))
+	if len(r) != 2 || r["A"] != "1" || r["C"] != "7" {
+		t.Fatalf("restrict = %v", r)
+	}
+}
+
+func TestQuickUnionIntersectDuality(t *testing.T) {
+	// |r ∪ s| + |r ∩ s| == |r| + |s| over equal schemes.
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		sch := SchemaFromString("AB")
+		r := randomRelation(rng, "R", sch, 10, 4)
+		s := randomRelation(rng, "S", sch, 10, 4)
+		return Union(r, s).Size()+Intersect(r, s).Size() == r.Size()+s.Size()
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(uint8) bool { return f() }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Algebraic identities of the relational operators, checked on random
+// states. These are the laws the rest of the system silently leans on:
+// the Evaluator assumes joins commute and associate, the semijoin
+// reducer assumes ⋉ absorbs repeated application, and the condition
+// checkers assume τ(R ⋈ S) behaves set-theoretically.
+
+func randRel(rng *rand.Rand, name, schema string, maxRows, domain int) *Relation {
+	return randomRelation(rng, name, SchemaFromString(schema), maxRows, domain)
+}
+
+func TestSemijoinIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 300; i++ {
+		r := randRel(rng, "R", "AB", 8, 4)
+		s := randRel(rng, "S", "BC", 8, 4)
+
+		// r ⋉ s = π_R(r ⋈ s).
+		if !Semijoin(r, s).Equal(Project(Join(r, s), r.Schema())) {
+			t.Fatal("⋉ ≠ π(⋈)")
+		}
+		// Idempotence: (r ⋉ s) ⋉ s = r ⋉ s.
+		once := Semijoin(r, s)
+		if !Semijoin(once, s).Equal(once) {
+			t.Fatal("⋉ not idempotent")
+		}
+		// Absorption: (r ⋉ s) ⋈ s = r ⋈ s.
+		if !Join(once, s).Equal(Join(r, s)) {
+			t.Fatal("⋉ must not change the join")
+		}
+		// Containment: r ⋉ s ⊆ r.
+		if !once.SubsetOf(r) {
+			t.Fatal("⋉ must shrink")
+		}
+	}
+}
+
+func TestProjectionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	abc := SchemaFromString("ABC")
+	ab := SchemaFromString("AB")
+	a := SchemaFromString("A")
+	for i := 0; i < 300; i++ {
+		r := randomRelation(rng, "R", abc, 10, 3)
+		// Cascade: π_A(π_AB(r)) = π_A(r).
+		if !Project(Project(r, ab), a).Equal(Project(r, a)) {
+			t.Fatal("projection cascade failed")
+		}
+		// Identity: π_R(r) = r.
+		if !Project(r, abc).Equal(r) {
+			t.Fatal("identity projection failed")
+		}
+		// Size: |π_X(r)| ≤ |r|.
+		if Project(r, ab).Size() > r.Size() {
+			t.Fatal("projection grew")
+		}
+	}
+}
+
+func TestJoinDistributesOverUnionOfMatches(t *testing.T) {
+	// (r ∪ r′) ⋈ s = (r ⋈ s) ∪ (r′ ⋈ s) over equal schemes.
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 200; i++ {
+		r := randRel(rng, "R", "AB", 6, 3)
+		r2 := randRel(rng, "R2", "AB", 6, 3)
+		s := randRel(rng, "S", "BC", 6, 3)
+		left := Join(Union(r, r2), s)
+		right := Union(Join(r, s), Join(r2, s))
+		if !left.Equal(right) {
+			t.Fatal("join does not distribute over union")
+		}
+	}
+}
+
+func TestSelectCommutesWithJoinOnPreservedAttr(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	pred := func(t Tuple) bool { return t["B"] == "0" }
+	for i := 0; i < 200; i++ {
+		r := randRel(rng, "R", "AB", 8, 3)
+		s := randRel(rng, "S", "BC", 8, 3)
+		left := Select(Join(r, s), pred)
+		right := Join(Select(r, pred), s)
+		if !left.Equal(right) {
+			t.Fatal("selection pushdown changed the result")
+		}
+	}
+}
+
+func TestDifferenceLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for i := 0; i < 200; i++ {
+		r := randRel(rng, "R", "AB", 10, 4)
+		s := randRel(rng, "S", "AB", 10, 4)
+		diff := Difference(r, s)
+		if Intersect(diff, s).Size() != 0 {
+			t.Fatal("difference overlaps subtrahend")
+		}
+		if !Union(diff, Intersect(r, s)).Equal(r) {
+			t.Fatal("difference + intersection must rebuild r")
+		}
+	}
+}
+
+func TestConsistencyAfterMutualSemijoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for i := 0; i < 200; i++ {
+		r := randRel(rng, "R", "AB", 8, 4)
+		s := randRel(rng, "S", "BC", 8, 4)
+		r2 := Semijoin(r, s)
+		s2 := Semijoin(s, r)
+		if !Consistent(r2, s2) {
+			t.Fatalf("mutual semijoin must produce consistency: %v vs %v", r2, s2)
+		}
+	}
+}
+
+func TestJoinMonotoneInInputs(t *testing.T) {
+	// r ⊆ r′ implies r ⋈ s ⊆ r′ ⋈ s.
+	rng := rand.New(rand.NewSource(87))
+	for i := 0; i < 200; i++ {
+		rBig := randRel(rng, "R", "AB", 10, 4)
+		s := randRel(rng, "S", "BC", 8, 4)
+		// Take a random sub-state of rBig.
+		rSmall := New("Rs", rBig.Schema())
+		for _, row := range rBig.Rows() {
+			if rng.Intn(2) == 0 {
+				rSmall.InsertRow(row)
+			}
+		}
+		if !Join(rSmall, s).SubsetOf(Join(rBig, s)) {
+			t.Fatal("join not monotone in its input")
+		}
+	}
+}

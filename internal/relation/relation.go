@@ -1,0 +1,257 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named relation state over a scheme: the paper's ordered
+// pair (R, R) of a relation scheme and a finite set of tuples. Rows are
+// stored positionally in the schema's sorted attribute order and are
+// deduplicated on insert, preserving the set semantics of the model.
+//
+// A Relation may carry a Name for presentation (e.g. "GS" for the
+// game/student relation of Example 3); the name plays no role in the
+// algebra, which is driven purely by schemes, exactly as in the paper.
+type Relation struct {
+	name   string
+	schema Schema
+	rows   [][]Value
+	index  map[string]int // canonical row key -> row position
+}
+
+// New creates an empty relation state over the given scheme.
+func New(name string, schema Schema) *Relation {
+	return &Relation{
+		name:   name,
+		schema: schema,
+		index:  make(map[string]int),
+	}
+}
+
+// FromTuples creates a relation state containing the given tuples. Each
+// tuple must be defined on exactly the schema's attributes.
+func FromTuples(name string, schema Schema, tuples ...Tuple) *Relation {
+	r := New(name, schema)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+// FromRows creates a relation from positional rows, each giving values in
+// the schema's sorted attribute order.
+func FromRows(name string, schema Schema, rows ...[]Value) *Relation {
+	r := New(name, schema)
+	for _, row := range rows {
+		r.InsertRow(row)
+	}
+	return r
+}
+
+// FromStrings creates a relation over a compact single-rune scheme, with
+// each row given as space-separated values, e.g.
+//
+//	FromStrings("R1", "AB", "p 0", "q 0")
+//
+// mirroring how the paper's examples present their states.
+func FromStrings(name, schema string, rows ...string) *Relation {
+	sch := SchemaFromString(schema)
+	r := New(name, sch)
+	for _, line := range rows {
+		fields := strings.Fields(line)
+		if len(fields) != sch.Len() {
+			panic(fmt.Sprintf("relation: row %q has %d values, schema %s needs %d",
+				line, len(fields), sch, sch.Len()))
+		}
+		vals := make([]Value, len(fields))
+		for i, f := range fields {
+			vals[i] = Value(f)
+		}
+		r.InsertRow(vals)
+	}
+	return r
+}
+
+// Name returns the relation's presentation name.
+func (r *Relation) Name() string { return r.name }
+
+// WithName returns a shallow copy of the relation carrying a new name.
+// The row storage is shared; relations are treated as immutable once
+// handed out, so sharing is safe.
+func (r *Relation) WithName(name string) *Relation {
+	cp := *r
+	cp.name = name
+	return &cp
+}
+
+// Schema returns the relation's scheme.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Size is the paper's τ(R): the number of tuples in the state.
+func (r *Relation) Size() int { return len(r.rows) }
+
+// Empty reports whether the state has no tuples.
+func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+
+// rowKey canonically encodes a positional row. Each value is
+// length-prefixed (uvarint), so the encoding is injective even for
+// values containing separator-like bytes.
+func rowKey(row []Value) string {
+	var b strings.Builder
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range row {
+		n := binary.PutUvarint(buf[:], uint64(len(v)))
+		b.Write(buf[:n])
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Insert adds a tuple to the state (a no-op if an equal tuple is already
+// present). The tuple must be defined on at least the schema's
+// attributes; extra attributes are ignored, so inserting a projection
+// source tuple works naturally.
+func (r *Relation) Insert(t Tuple) {
+	row := make([]Value, r.schema.Len())
+	for i, a := range r.schema.Attrs() {
+		v, ok := t[a]
+		if !ok {
+			panic(fmt.Sprintf("relation %s: tuple %v missing attribute %s", r.name, t, a))
+		}
+		row[i] = v
+	}
+	r.InsertRow(row)
+}
+
+// InsertRow adds a positional row (values in sorted attribute order).
+func (r *Relation) InsertRow(row []Value) {
+	if len(row) != r.schema.Len() {
+		panic(fmt.Sprintf("relation %s: row width %d, schema width %d", r.name, len(row), r.schema.Len()))
+	}
+	k := rowKey(row)
+	if _, dup := r.index[k]; dup {
+		return
+	}
+	cp := make([]Value, len(row))
+	copy(cp, row)
+	r.index[k] = len(r.rows)
+	r.rows = append(r.rows, cp)
+}
+
+// Contains reports whether the state contains a tuple equal to t on the
+// relation's schema.
+func (r *Relation) Contains(t Tuple) bool {
+	row := make([]Value, r.schema.Len())
+	for i, a := range r.schema.Attrs() {
+		v, ok := t[a]
+		if !ok {
+			return false
+		}
+		row[i] = v
+	}
+	_, ok := r.index[rowKey(row)]
+	return ok
+}
+
+// Tuples returns the state's tuples as maps, in insertion order. The
+// returned tuples are fresh copies.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	attrs := r.schema.Attrs()
+	for i, row := range r.rows {
+		t := make(Tuple, len(attrs))
+		for j, a := range attrs {
+			t[a] = row[j]
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Rows returns the positional rows in insertion order. The caller must
+// not modify the returned slices.
+func (r *Relation) Rows() [][]Value { return r.rows }
+
+// Equal reports whether two relations have the same scheme and the same
+// set of tuples (names are ignored).
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.schema.Equal(s.schema) || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for k := range r.index {
+		if _, ok := s.index[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of r appears in s. The schemes
+// must be equal for the answer to be meaningful; differing schemes report
+// false.
+func (r *Relation) SubsetOf(s *Relation) bool {
+	if !r.schema.Equal(s.schema) {
+		return false
+	}
+	for k := range r.index {
+		if _, ok := s.index[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	cp := New(r.name, r.schema)
+	for _, row := range r.rows {
+		cp.InsertRow(row)
+	}
+	return cp
+}
+
+// sortedRows returns the rows in canonical (lexicographic) order, for
+// deterministic printing.
+func (r *Relation) sortedRows() [][]Value {
+	out := make([][]Value, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation as a small table, in the style of the
+// paper's example states.
+func (r *Relation) String() string {
+	var b strings.Builder
+	if r.name != "" {
+		b.WriteString(r.name)
+	}
+	b.WriteString(r.schema.String())
+	b.WriteString("{")
+	for i, row := range r.sortedRows() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(string(v))
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString("}")
+	return b.String()
+}

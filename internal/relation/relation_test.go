@@ -1,0 +1,178 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInsertDeduplicates(t *testing.T) {
+	r := New("R", SchemaFromString("AB"))
+	r.Insert(Tuple{"A": "1", "B": "x"})
+	r.Insert(Tuple{"A": "1", "B": "x"})
+	r.Insert(Tuple{"A": "2", "B": "y"})
+	if r.Size() != 2 {
+		t.Fatalf("size = %d, want 2", r.Size())
+	}
+}
+
+func TestInsertRowCopies(t *testing.T) {
+	r := New("R", SchemaFromString("AB"))
+	row := []Value{"1", "x"}
+	r.InsertRow(row)
+	row[0] = "mutated"
+	if !r.Contains(Tuple{"A": "1", "B": "x"}) {
+		t.Fatal("InsertRow must copy its argument")
+	}
+}
+
+func TestInsertPanicsOnMissingAttr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("R", SchemaFromString("AB")).Insert(Tuple{"A": "1"})
+}
+
+func TestFromStringsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromStrings("R", "AB", "1 x y")
+}
+
+func TestContains(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	if !r.Contains(Tuple{"A": "1", "B": "x"}) {
+		t.Fatal("expected tuple present")
+	}
+	if r.Contains(Tuple{"A": "1", "B": "y"}) {
+		t.Fatal("unexpected tuple")
+	}
+	if r.Contains(Tuple{"A": "1"}) {
+		t.Fatal("partial tuple should not be contained")
+	}
+}
+
+func TestTuplesRoundTrip(t *testing.T) {
+	r := FromStrings("R", "BA", "x 1", "y 2") // scheme sorts to AB
+	tuples := r.Tuples()
+	r2 := FromTuples("R2", r.Schema(), tuples...)
+	if !r.Equal(r2) {
+		t.Fatalf("round trip failed: %v vs %v", r, r2)
+	}
+}
+
+func TestEqualIgnoresName(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	s := FromStrings("S", "AB", "1 x")
+	if !r.Equal(s) {
+		t.Fatal("Equal should ignore names")
+	}
+}
+
+func TestEqualDifferentSchema(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	s := FromStrings("S", "AC", "1 x")
+	if r.Equal(s) {
+		t.Fatal("different schemes must not compare equal")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	c := r.Clone()
+	c.Insert(Tuple{"A": "2", "B": "y"})
+	if r.Size() != 1 || c.Size() != 2 {
+		t.Fatalf("clone not independent: r=%d c=%d", r.Size(), c.Size())
+	}
+}
+
+func TestWithName(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	s := r.WithName("S")
+	if s.Name() != "S" || r.Name() != "R" {
+		t.Fatalf("names: r=%s s=%s", r.Name(), s.Name())
+	}
+	if !r.Equal(s) {
+		t.Fatal("WithName must preserve contents")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	r := FromStrings("R", "AB", "2 y", "1 x")
+	got := r.String()
+	if !strings.Contains(got, "(1,x), (2,y)") {
+		t.Fatalf("rows not in canonical order: %q", got)
+	}
+}
+
+func TestNewTuplePanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTuple(SchemaFromString("AB"), "1")
+}
+
+func TestTupleSchema(t *testing.T) {
+	tu := Tuple{"B": "x", "A": "1"}
+	if got := tu.Schema().String(); got != "AB" {
+		t.Fatalf("schema = %s", got)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{"B": "x", "A": "1"}
+	if got := tu.String(); got != "(A:1, B:x)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	r := FromStrings("R", "AB", "1 x")
+	s := FromStrings("S", "AB", "1 x", "2 y")
+	if !r.SubsetOf(s) {
+		t.Fatal("r ⊆ s expected")
+	}
+	if s.SubsetOf(r) {
+		t.Fatal("s ⊄ r expected")
+	}
+}
+
+func TestRowKeyInjectiveOnNulBytes(t *testing.T) {
+	// Values containing the separator byte must not collide: ("a\x00",
+	// "b") and ("a", "\x00b") are different tuples.
+	r := New("R", SchemaFromString("AB"))
+	r.Insert(Tuple{"A": "a\x00", "B": "b"})
+	r.Insert(Tuple{"A": "a", "B": "\x00b"})
+	if r.Size() != 2 {
+		t.Fatalf("NUL-containing values collided: size = %d, want 2", r.Size())
+	}
+}
+
+func TestJoinKeyInjectiveOnNulBytes(t *testing.T) {
+	// Same for the join's hash keys on multi-attribute shared schemas.
+	r := FromTuples("R", SchemaFromString("ABC"),
+		Tuple{"A": "a\x00", "B": "b", "C": "1"})
+	s := FromTuples("S", SchemaFromString("ABD"),
+		Tuple{"A": "a", "B": "\x00b", "D": "2"})
+	if got := Join(r, s); got.Size() != 0 {
+		t.Fatalf("NUL collision produced a spurious join result: %v", got)
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	attrs := SchemaFromString("AB").Attrs()
+	a := Tuple{"A": "a\x00", "B": "b"}
+	b := Tuple{"A": "a", "B": "\x00b"}
+	if a.Key(attrs) == b.Key(attrs) {
+		t.Fatal("Tuple.Key must be injective")
+	}
+	if a.Key(attrs) != a.Key(attrs) {
+		t.Fatal("Tuple.Key must be deterministic")
+	}
+}

@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+)
+
+// Tuple is a mapping from attributes to domain values: the paper's "tuple
+// over relation scheme R". Tuples are passed by map reference; operations
+// in this package never mutate tuples they receive.
+type Tuple map[Attr]Value
+
+// NewTuple builds a tuple over the given schema from values in the
+// schema's sorted attribute order. It panics if the lengths differ, since
+// that is always a programming error.
+func NewTuple(schema Schema, values ...Value) Tuple {
+	if len(values) != schema.Len() {
+		panic("relation: NewTuple value count does not match schema")
+	}
+	t := make(Tuple, len(values))
+	for i, a := range schema.Attrs() {
+		t[a] = values[i]
+	}
+	return t
+}
+
+// Restrict is the paper's t[X]: the restriction of the tuple to the
+// attributes of x. Attributes of x missing from t are skipped.
+func (t Tuple) Restrict(x Schema) Tuple {
+	out := make(Tuple, x.Len())
+	for _, a := range x.Attrs() {
+		if v, ok := t[a]; ok {
+			out[a] = v
+		}
+	}
+	return out
+}
+
+// Schema returns the set of attributes the tuple is defined on.
+func (t Tuple) Schema() Schema {
+	attrs := make([]Attr, 0, len(t))
+	for a := range t {
+		attrs = append(attrs, a)
+	}
+	return NewSchema(attrs...)
+}
+
+// Merge combines two tuples that agree on their shared attributes into a
+// tuple over the union of their schemas. The second result is false if
+// they disagree on any shared attribute (in which case they do not join).
+func (t Tuple) Merge(u Tuple) (Tuple, bool) {
+	out := make(Tuple, len(t)+len(u))
+	for a, v := range t {
+		out[a] = v
+	}
+	for a, v := range u {
+		if w, ok := out[a]; ok && w != v {
+			return nil, false
+		}
+		out[a] = v
+	}
+	return out, true
+}
+
+// Equal reports whether two tuples have identical attribute/value pairs.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for a, v := range t {
+		if w, ok := u[a]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the tuple's values on the given
+// attributes, suitable as a hash key: each value is length-prefixed so
+// the encoding is injective. Attributes should be passed in a canonical
+// order (Schema.Attrs' sorted order) for keys to be comparable.
+func (t Tuple) Key(attrs []Attr) string {
+	var b strings.Builder
+	var buf [binary.MaxVarintLen64]byte
+	for _, a := range attrs {
+		v := t[a]
+		n := binary.PutUvarint(buf[:], uint64(len(v)))
+		b.Write(buf[:n])
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// String renders the tuple with attributes sorted, e.g. "(A:1, B:x)".
+func (t Tuple) String() string {
+	attrs := make([]string, 0, len(t))
+	for a := range t {
+		attrs = append(attrs, string(a))
+	}
+	sort.Strings(attrs)
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a)
+		b.WriteByte(':')
+		b.WriteString(string(t[Attr(a)]))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

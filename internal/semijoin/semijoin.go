@@ -1,0 +1,213 @@
+// Package semijoin implements the Section 5 substrate: pairwise
+// consistency, the Bernstein–Chiu full reducer for α-acyclic database
+// schemes, and Yannakakis-style evaluation along a join tree. The paper
+// uses these to satisfy condition C4 — every γ-acyclic (or, with the
+// join-tree notion of connectedness, α-acyclic) pairwise-consistent
+// database satisfies C4, making every strategy step monotone increasing —
+// and the E-c4 and E-yannakakis experiments exercise exactly that.
+package semijoin
+
+import (
+	"errors"
+	"fmt"
+
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+)
+
+// ErrNotAcyclic is returned when a join tree is required but the database
+// scheme is cyclic or unconnected.
+var ErrNotAcyclic = errors.New("semijoin: database scheme has no join tree (cyclic or unconnected)")
+
+// PairwiseConsistent reports whether every pair of relations in the
+// database is consistent: r[R ∩ R′] = r′[R ∩ R′] for all pairs (the
+// paper's Section 5, after Beeri et al.). Pairs with disjoint schemes are
+// ignored.
+func PairwiseConsistent(db *database.Database) bool {
+	n := db.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !db.Scheme(i).Overlaps(db.Scheme(j)) {
+				continue
+			}
+			if !relation.Consistent(db.Relation(i), db.Relation(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FullReduce runs the Bernstein–Chiu full-reducer semijoin program on an
+// α-acyclic connected database: a leaves-to-root sweep of semijoins
+// followed by a root-to-leaves sweep along a join tree. The returned
+// database is pairwise consistent (semijoin reduced) and has the same
+// full join R_D. The input database is not modified.
+func FullReduce(db *database.Database) (*database.Database, error) {
+	g := db.Graph()
+	edges, ok := g.JoinTree()
+	if !ok {
+		return nil, ErrNotAcyclic
+	}
+	states := make([]*relation.Relation, db.Len())
+	for i := range states {
+		states[i] = db.Relation(i)
+	}
+	if db.Len() == 1 {
+		return database.New(states...), nil
+	}
+
+	adj := make([][]int, db.Len())
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+
+	// Order nodes by BFS from the root (node 0); parents precede
+	// children.
+	root := 0
+	order := make([]int, 0, db.Len())
+	parent := make([]int, db.Len())
+	parent[root] = -1
+	seen := make([]bool, db.Len())
+	seen[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				parent[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+
+	// Up sweep: children into parents, deepest first.
+	for i := len(order) - 1; i > 0; i-- {
+		c := order[i]
+		p := parent[c]
+		states[p] = relation.Semijoin(states[p], states[c])
+	}
+	// Down sweep: parents into children, shallowest first.
+	for _, c := range order[1:] {
+		p := parent[c]
+		states[c] = relation.Semijoin(states[c], states[p])
+	}
+
+	named := make([]*relation.Relation, len(states))
+	for i, r := range states {
+		named[i] = r.WithName(db.Relation(i).Name())
+	}
+	return database.New(named...), nil
+}
+
+// Yannakakis evaluates the full join of an α-acyclic connected database
+// by fully reducing it and then joining bottom-up along a join tree. It
+// returns the result and the sizes of the intermediate results (one per
+// join step, in evaluation order). For a fully reduced database every
+// intermediate is a subset-projection-free join of a connected subtree,
+// so each intermediate size is bounded by τ(R_D) — the monotone-
+// increasing regime of Section 5.
+func Yannakakis(db *database.Database) (*relation.Relation, []int, error) {
+	reduced, err := FullReduce(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := reduced.Graph()
+	edges, _ := g.JoinTree() // succeeded in FullReduce
+
+	adj := make([][]int, reduced.Len())
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+
+	var sizes []int
+	var visit func(node, from int) *relation.Relation
+	visit = func(node, from int) *relation.Relation {
+		acc := reduced.Relation(node)
+		for _, nb := range adj[node] {
+			if nb == from {
+				continue
+			}
+			acc = relation.Join(acc, visit(nb, node))
+			sizes = append(sizes, acc.Size())
+		}
+		return acc
+	}
+	result := visit(0, -1)
+	return result, sizes, nil
+}
+
+// ReduceToConsistency makes any database pairwise consistent by
+// iterating semijoins between every linked pair to a fixpoint — a
+// general (not acyclicity-requiring) reducer used to prepare C4
+// experiment inputs on cyclic schemes. Unlike a full reducer it does not
+// guarantee global consistency of the join, only pairwise consistency.
+func ReduceToConsistency(db *database.Database) *database.Database {
+	states := make([]*relation.Relation, db.Len())
+	for i := range states {
+		states[i] = db.Relation(i)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := range states {
+			for j := range states {
+				if i == j || !db.Scheme(i).Overlaps(db.Scheme(j)) {
+					continue
+				}
+				next := relation.Semijoin(states[i], states[j])
+				if next.Size() != states[i].Size() {
+					states[i] = next
+					changed = true
+				}
+			}
+		}
+	}
+	named := make([]*relation.Relation, len(states))
+	for i, r := range states {
+		named[i] = r.WithName(db.Relation(i).Name())
+	}
+	return database.New(named...)
+}
+
+// SemijoinProgramSize reports the number of semijoins a full reducer
+// issues for the database: 2·(|D|−1), the two sweeps along the join
+// tree. Returns an error for schemes without a join tree.
+func SemijoinProgramSize(db *database.Database) (int, error) {
+	if _, ok := db.Graph().JoinTree(); !ok {
+		return 0, fmt.Errorf("%w", ErrNotAcyclic)
+	}
+	if db.Len() <= 1 {
+		return 0, nil
+	}
+	return 2 * (db.Len() - 1), nil
+}
+
+// FullReduceComponents extends FullReduce to unconnected schemes: each
+// connected component is fully reduced independently (components share no
+// attributes, so semijoins across them are vacuous). Every component must
+// be α-acyclic; a cyclic component yields ErrNotAcyclic.
+func FullReduceComponents(db *database.Database) (*database.Database, error) {
+	g := db.Graph()
+	comps := g.Components(db.All())
+	if len(comps) == 1 {
+		return FullReduce(db)
+	}
+	out := make([]*relation.Relation, db.Len())
+	for _, comp := range comps {
+		sub := db.Restrict(comp)
+		reduced, err := FullReduce(sub)
+		if err != nil {
+			return nil, err
+		}
+		for pos, orig := range comp.Indexes() {
+			out[orig] = reduced.Relation(pos)
+		}
+	}
+	return database.New(out...), nil
+}

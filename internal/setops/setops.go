@@ -1,0 +1,198 @@
+// Package setops implements the paper's Section 5 reinterpretation of
+// strategies for set operations. Viewing a multiset of same-scheme
+// relations as a "database" and redefining ⋈ to be ∩ (or ∪), every pair
+// of "schemes" is connected, and:
+//
+//   - with ⋈ = ∩, condition C3 holds automatically (|X ∩ Y| ≤ |X|, |Y|),
+//     so by Theorem 3 there is a τ-optimal strategy of the form
+//     (…((X_θ(1) ∩ X_θ(2)) ∩ X_θ(3)) …) ∩ X_θ(n) — linear;
+//   - with ⋈ = ∪, condition C4 holds (|X ∪ Y| ≥ |X|, |Y|), the
+//     monotone-increasing regime whose τ-optimality the paper leaves
+//     open.
+//
+// The package provides evaluation, exhaustive and DP optimization over
+// set-operation strategy trees, and the size-sorted linear heuristic,
+// letting the E-intersect experiment verify Theorem 3's corollary and
+// probe the union question empirically.
+package setops
+
+import (
+	"fmt"
+	"math"
+
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+	"multijoin/internal/strategy"
+)
+
+// Op selects the set operation playing the role of ⋈.
+type Op int
+
+const (
+	// Intersection: ⋈ = ∩.
+	Intersection Op = iota
+	// Union: ⋈ = ∪.
+	Union
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case Intersection:
+		return "intersection"
+	case Union:
+		return "union"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Evaluator memoizes the fold of the operation over subsets of the input
+// sets, mirroring database.Evaluator for the redefined ⋈.
+type Evaluator struct {
+	op   Op
+	sets []*relation.Relation
+	memo map[hypergraph.Set]*relation.Relation
+}
+
+// NewEvaluator creates an evaluator over the given same-scheme relations.
+// It panics if the schemes differ or no relation is given.
+func NewEvaluator(op Op, sets ...*relation.Relation) *Evaluator {
+	if len(sets) == 0 {
+		panic("setops: need at least one relation")
+	}
+	for _, s := range sets[1:] {
+		if !s.Schema().Equal(sets[0].Schema()) {
+			panic(fmt.Sprintf("setops: mixed schemes %s and %s", sets[0].Schema(), s.Schema()))
+		}
+	}
+	return &Evaluator{op: op, sets: sets, memo: make(map[hypergraph.Set]*relation.Relation)}
+}
+
+// Len returns the number of input sets.
+func (e *Evaluator) Len() int { return len(e.sets) }
+
+// All returns the full index set.
+func (e *Evaluator) All() hypergraph.Set { return hypergraph.Full(len(e.sets)) }
+
+// Eval returns the fold of the operation over the subset s.
+func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
+	if s.Empty() {
+		panic("setops: Eval of empty subset")
+	}
+	if r, ok := e.memo[s]; ok {
+		return r
+	}
+	var out *relation.Relation
+	if s.Len() == 1 {
+		out = e.sets[s.First()]
+	} else {
+		first := s.First()
+		rest := e.Eval(s.Remove(first))
+		switch e.op {
+		case Intersection:
+			out = relation.Intersect(rest, e.sets[first])
+		case Union:
+			out = relation.Union(rest, e.sets[first])
+		}
+	}
+	e.memo[s] = out
+	return out
+}
+
+// Size returns τ of the fold over s.
+func (e *Evaluator) Size(s hypergraph.Set) int { return e.Eval(s).Size() }
+
+// Cost returns τ(S) for a strategy tree over the input sets: the sum of
+// the step result sizes, exactly as for joins.
+func (e *Evaluator) Cost(n *strategy.Node) int {
+	total := 0
+	for _, s := range n.Steps() {
+		total += e.Size(s.Set())
+	}
+	return total
+}
+
+// OptimizeAll returns a τ-optimal strategy tree over the full space, by
+// subset dynamic programming.
+func (e *Evaluator) OptimizeAll() (*strategy.Node, int) {
+	return e.dp(false)
+}
+
+// OptimizeLinear returns a τ-optimal linear strategy tree.
+func (e *Evaluator) OptimizeLinear() (*strategy.Node, int) {
+	return e.dp(true)
+}
+
+func (e *Evaluator) dp(linear bool) (*strategy.Node, int) {
+	cost := make(map[hypergraph.Set]int)
+	pick := make(map[hypergraph.Set][2]hypergraph.Set)
+	var solve func(s hypergraph.Set) int
+	solve = func(s hypergraph.Set) int {
+		if s.Len() == 1 {
+			return 0
+		}
+		if c, ok := cost[s]; ok {
+			return c
+		}
+		best := math.MaxInt
+		var bestSplit [2]hypergraph.Set
+		consider := func(a, b hypergraph.Set) {
+			c := solve(a) + solve(b) + e.Size(s)
+			if c < best {
+				best = c
+				bestSplit = [2]hypergraph.Set{a, b}
+			}
+		}
+		if linear {
+			for _, i := range s.Indexes() {
+				consider(s.Remove(i), hypergraph.Singleton(i))
+			}
+		} else {
+			s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+				consider(a, b)
+				return true
+			})
+		}
+		cost[s] = best
+		pick[s] = bestSplit
+		return best
+	}
+	total := solve(e.All())
+	var build func(s hypergraph.Set) *strategy.Node
+	build = func(s hypergraph.Set) *strategy.Node {
+		if s.Len() == 1 {
+			return strategy.Leaf(s.First())
+		}
+		p := pick[s]
+		return strategy.Combine(build(p[0]), build(p[1]))
+	}
+	return build(e.All()), total
+}
+
+// SortedLinear returns the linear strategy that folds the inputs in
+// ascending size order — the natural heuristic for intersections — and
+// its cost.
+func (e *Evaluator) SortedLinear() (*strategy.Node, int) {
+	order := make([]int, len(e.sets))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && e.sets[order[j]].Size() < e.sets[order[j-1]].Size(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	n := strategy.LeftDeep(order...)
+	return n, e.Cost(n)
+}
+
+// IntersectAll folds ∩ over the inputs (the final result, order
+// independent).
+func IntersectAll(sets ...*relation.Relation) *relation.Relation {
+	return NewEvaluator(Intersection, sets...).Eval(hypergraph.Full(len(sets)))
+}
+
+// UnionAll folds ∪ over the inputs.
+func UnionAll(sets ...*relation.Relation) *relation.Relation {
+	return NewEvaluator(Union, sets...).Eval(hypergraph.Full(len(sets)))
+}

@@ -1,0 +1,84 @@
+package strategy
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+func BenchmarkEnumerateAll(b *testing.B) {
+	s := hypergraph.Full(8) // 135135 strategies
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		EnumerateAll(s, func(*Node) bool {
+			count++
+			return true
+		})
+		if count != 135135 {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}
+
+func BenchmarkEnumerateLinear(b *testing.B) {
+	s := hypergraph.Full(8) // 20160 linear strategies
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EnumerateLinear(s, func(*Node) bool { return true })
+	}
+}
+
+func BenchmarkCountConnectedChain(b *testing.B) {
+	schemes := make([]relation.Schema, 20)
+	for i := range schemes {
+		schemes[i] = relation.NewSchema(
+			relation.Attr(rune('a'+i)), relation.Attr(rune('a'+i+1)))
+	}
+	g := hypergraph.New(schemes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountConnected(g, g.All())
+	}
+}
+
+func BenchmarkCostEvaluation(b *testing.B) {
+	db := example1()
+	s := LeftDeep(0, 1, 2, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Fresh evaluator each round: measures materialization + sum.
+		ev := database.NewEvaluator(db)
+		if s.Cost(ev) != 570 {
+			b.Fatal("cost wrong")
+		}
+	}
+}
+
+func BenchmarkPluckGraft(b *testing.B) {
+	s := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Combine(Leaf(3), Leaf(4))))
+	target := hypergraph.Singleton(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rem, sub, err := Pluck(s, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Graft(rem, sub, rem.Set()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	db := parseDB()
+	src := "((R1⋈R2)⋈R3)⋈R4"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(db, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

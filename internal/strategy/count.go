@@ -1,0 +1,126 @@
+package strategy
+
+import (
+	"math/big"
+
+	"multijoin/internal/hypergraph"
+)
+
+// This file computes the sizes of the strategy subspaces in closed form
+// or by subset dynamic programming — the numbers behind the paper's
+// introductory example ("3 orderings of the form (R1⋈R2)⋈(R3⋈R4) and 12
+// orderings of the form ((R1⋈R2)⋈R3)⋈R4", 15 in total for four
+// relations) and behind the E-intro experiment table.
+
+// CountAll returns the number of strategies for n relations:
+// (2n−3)!! = 1·3·5···(2n−3), the number of unordered binary trees with n
+// labeled leaves. CountAll(1) = 1.
+func CountAll(n int) *big.Int {
+	out := big.NewInt(1)
+	for k := 3; k <= 2*n-3; k += 2 {
+		out.Mul(out, big.NewInt(int64(k)))
+	}
+	return out
+}
+
+// CountLinear returns the number of linear strategies for n relations:
+// n!/2 for n ≥ 2 (permutations of the leaves, modulo swapping the first
+// two), and 1 for n ≤ 1.
+func CountLinear(n int) *big.Int {
+	if n <= 1 {
+		return big.NewInt(1)
+	}
+	out := big.NewInt(1)
+	for k := 3; k <= n; k++ {
+		out.Mul(out, big.NewInt(int64(k)))
+	}
+	// n!/2 = (3·4···n) · (2!/2) = product above.
+	return out
+}
+
+// CountConnected returns the number of strategies for the subset s that
+// use no Cartesian products, via the subset recurrence
+//
+//	f({i}) = 1
+//	f(S)   = Σ over unordered splits S = A ⊎ B with A, B connected
+//	          of f(A)·f(B)
+//
+// (for connected S; unconnected subsets count 0).
+func CountConnected(g *hypergraph.Graph, s hypergraph.Set) *big.Int {
+	memo := make(map[hypergraph.Set]*big.Int)
+	var f func(hypergraph.Set) *big.Int
+	f = func(t hypergraph.Set) *big.Int {
+		if v, ok := memo[t]; ok {
+			return v
+		}
+		out := big.NewInt(0)
+		switch {
+		case t.Len() == 1:
+			out.SetInt64(1)
+		case g.Connected(t):
+			t.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+				if g.Connected(a) && g.Connected(b) {
+					out.Add(out, new(big.Int).Mul(f(a), f(b)))
+				}
+				return true
+			})
+		}
+		memo[t] = out
+		return out
+	}
+	return f(s)
+}
+
+// CountLinearConnected returns the number of linear strategies for the
+// subset s with every prefix connected (no Cartesian products), counted
+// modulo swapping the first two leaves, via
+//
+//	h({i}) = 1
+//	h(S)   = Σ over i ∈ S with S−{i} connected of h(S−{i})
+//
+// and a final division by 2 for |s| ≥ 2 (each linear strategy is counted
+// by both orders of its base pair).
+func CountLinearConnected(g *hypergraph.Graph, s hypergraph.Set) *big.Int {
+	if !g.Connected(s) {
+		return big.NewInt(0)
+	}
+	memo := make(map[hypergraph.Set]*big.Int)
+	var h func(hypergraph.Set) *big.Int
+	h = func(t hypergraph.Set) *big.Int {
+		if v, ok := memo[t]; ok {
+			return v
+		}
+		out := big.NewInt(0)
+		if t.Len() == 1 {
+			out.SetInt64(1)
+		} else {
+			for _, i := range t.Indexes() {
+				rest := t.Remove(i)
+				if g.Connected(rest) && g.Linked(rest, hypergraph.Singleton(i)) {
+					out.Add(out, h(rest))
+				}
+			}
+		}
+		memo[t] = out
+		return out
+	}
+	out := h(s)
+	if s.Len() >= 2 {
+		out.Rsh(out, 1)
+	}
+	return out
+}
+
+// CountAvoidCP returns the number of strategies that avoid Cartesian
+// products for the subset s: the product over s's components of their
+// connected-strategy counts, times the number of tree shapes combining
+// the comp(s) component results, CountAll(comp(s)).
+func CountAvoidCP(g *hypergraph.Graph, s hypergraph.Set) *big.Int {
+	out := big.NewInt(1)
+	comps := g.Components(s)
+	for _, c := range comps {
+		out.Mul(out, CountConnected(g, c))
+	}
+	out.Mul(out, CountAll(len(comps)))
+	return out
+}

@@ -1,0 +1,229 @@
+package strategy
+
+import (
+	"multijoin/internal/hypergraph"
+)
+
+// This file enumerates the strategy subspaces that the paper's query
+// optimizers search:
+//
+//   - all strategies (the full space),
+//   - linear strategies (GAMMA, System R),
+//   - strategies that do not use Cartesian products ("connected"
+//     strategies, Lemma 6's terminology; INGRES, Starburst),
+//   - linear connected strategies (System R, Office-by-Example),
+//   - strategies that avoid Cartesian products on unconnected schemes
+//     (components individually + the mandatory comp(D)−1 products).
+//
+// Enumerators call fn for each strategy and stop early when fn returns
+// false. They are exponential by nature and intended for small databases;
+// the optimizer package provides polynomial-in-2^n dynamic programs for
+// finding cheapest members without materializing the spaces.
+
+// EnumerateAll enumerates every strategy for the index set s. The two
+// children of a step are unordered, so each strategy shape is produced
+// exactly once; the space has (2k−3)!! members for |s| = k.
+func EnumerateAll(s hypergraph.Set, fn func(*Node) bool) {
+	enumAll(s, func(n *Node) bool { return fn(n) })
+}
+
+func enumAll(s hypergraph.Set, fn func(*Node) bool) bool {
+	if s.Len() == 1 {
+		return fn(Leaf(s.First()))
+	}
+	ok := true
+	s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+		ok = enumPair(a, b, fn)
+		return ok
+	})
+	return ok
+}
+
+// enumPair enumerates Combine(x, y) for all strategies x over a and y
+// over b.
+func enumPair(a, b hypergraph.Set, fn func(*Node) bool) bool {
+	ok := true
+	enumAll(a, func(x *Node) bool {
+		enumAll(b, func(y *Node) bool {
+			ok = fn(Combine(x, y))
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// EnumerateLinear enumerates every linear strategy for the index set s:
+// one per permutation of s's indexes, modulo the swap of the first two
+// (the space has k!/2 members for k ≥ 2).
+func EnumerateLinear(s hypergraph.Set, fn func(*Node) bool) {
+	idx := s.Indexes()
+	if len(idx) == 1 {
+		fn(Leaf(idx[0]))
+		return
+	}
+	// Fix: the first element of the permutation is always the smaller of
+	// the first two leaves, so each unordered base pair appears once.
+	perm := make([]int, 0, len(idx))
+	used := make([]bool, len(idx))
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == len(idx) {
+			return fn(LeftDeep(perm...))
+		}
+		for i, v := range idx {
+			if used[i] {
+				continue
+			}
+			if len(perm) == 1 && v < perm[0] {
+				continue // canonical order of the base pair
+			}
+			used[i] = true
+			perm = append(perm, v)
+			ok := rec()
+			perm = perm[:len(perm)-1]
+			used[i] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// EnumerateConnected enumerates the strategies for a *connected* index
+// set s that use no Cartesian products: every step joins linked parts,
+// so every node's set is connected.
+func EnumerateConnected(g *hypergraph.Graph, s hypergraph.Set, fn func(*Node) bool) {
+	if !g.Connected(s) {
+		return
+	}
+	enumConnected(g, s, func(n *Node) bool { return fn(n) })
+}
+
+func enumConnected(g *hypergraph.Graph, s hypergraph.Set, fn func(*Node) bool) bool {
+	if s.Len() == 1 {
+		return fn(Leaf(s.First()))
+	}
+	ok := true
+	s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+		if !g.Connected(a) || !g.Connected(b) {
+			return true
+		}
+		// a and b partition the connected s, so they are linked.
+		enumConnected(g, a, func(x *Node) bool {
+			enumConnected(g, b, func(y *Node) bool {
+				ok = fn(Combine(x, y))
+				return ok
+			})
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// EnumerateLinearConnected enumerates linear strategies for a connected
+// index set s in which every step joins linked parts (every prefix of the
+// leaf order is connected).
+func EnumerateLinearConnected(g *hypergraph.Graph, s hypergraph.Set, fn func(*Node) bool) {
+	if !g.Connected(s) {
+		return
+	}
+	idx := s.Indexes()
+	if len(idx) == 1 {
+		fn(Leaf(idx[0]))
+		return
+	}
+	perm := make([]int, 0, len(idx))
+	var prefix hypergraph.Set
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == len(idx) {
+			return fn(LeftDeep(perm...))
+		}
+		for _, v := range idx {
+			if prefix.Has(v) {
+				continue
+			}
+			if len(perm) == 1 && v < perm[0] {
+				continue // canonical base pair
+			}
+			if len(perm) >= 1 && !g.Linked(prefix, hypergraph.Singleton(v)) {
+				continue
+			}
+			perm = append(perm, v)
+			prefix = prefix.Add(v)
+			ok := rec()
+			prefix = prefix.Remove(v)
+			perm = perm[:len(perm)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// EnumerateAvoidCP enumerates the strategies that *avoid Cartesian
+// products* in the paper's extended sense: each connected component is
+// evaluated individually with a Cartesian-product-free substrategy, and
+// the component results are combined (in every possible tree shape) by
+// the mandatory comp(D) − 1 product steps. For a connected scheme this
+// coincides with EnumerateConnected.
+func EnumerateAvoidCP(g *hypergraph.Graph, s hypergraph.Set, fn func(*Node) bool) {
+	comps := g.Components(s)
+	if len(comps) == 1 {
+		EnumerateConnected(g, s, fn)
+		return
+	}
+	// For each component choose a connected strategy, then combine the
+	// component roots in every tree shape.
+	choices := make([]*Node, len(comps))
+	var pick func(i int) bool
+	pick = func(i int) bool {
+		if i == len(comps) {
+			return combineShapes(choices, fn)
+		}
+		ok := true
+		enumConnected(g, comps[i], func(n *Node) bool {
+			choices[i] = n
+			ok = pick(i + 1)
+			return ok
+		})
+		return ok
+	}
+	pick(0)
+}
+
+// combineShapes enumerates all binary-tree combinations of the given
+// disjoint strategies (each used exactly once as a leaf block).
+func combineShapes(blocks []*Node, fn func(*Node) bool) bool {
+	byIdx := make(map[int]*Node, len(blocks)) // block's smallest index -> block
+	var mask hypergraph.Set
+	for i, b := range blocks {
+		byIdx[i] = b
+		mask = mask.Add(i)
+	}
+	var build func(sub hypergraph.Set, emit func(*Node) bool) bool
+	build = func(sub hypergraph.Set, emit func(*Node) bool) bool {
+		if sub.Len() == 1 {
+			return emit(byIdx[sub.First()])
+		}
+		ok := true
+		sub.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
+			build(a, func(x *Node) bool {
+				build(b, func(y *Node) bool {
+					ok = emit(Combine(x, y))
+					return ok
+				})
+				return ok
+			})
+			return ok
+		})
+		return ok
+	}
+	return build(mask, fn)
+}

@@ -1,0 +1,292 @@
+package strategy
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+func TestEnumerateAllCounts(t *testing.T) {
+	// (2n−3)!!: 1, 1, 3, 15, 105, 945 for n = 1..6 — including the
+	// paper's 15 orderings for four relations.
+	want := []int{1, 1, 3, 15, 105, 945}
+	for n := 1; n <= 6; n++ {
+		count := 0
+		EnumerateAll(hypergraph.Full(n), func(s *Node) bool {
+			count++
+			return true
+		})
+		if count != want[n-1] {
+			t.Errorf("n=%d: %d strategies, want %d", n, count, want[n-1])
+		}
+	}
+}
+
+func TestEnumerateAllDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	EnumerateAll(hypergraph.Full(4), func(s *Node) bool {
+		key := canonicalKey(s)
+		if seen[key] {
+			t.Fatalf("duplicate strategy %s", s)
+		}
+		seen[key] = true
+		if err := s.Validate(hypergraph.Full(4)); err != nil {
+			t.Fatalf("invalid strategy: %v", err)
+		}
+		return true
+	})
+}
+
+// canonicalKey renders a strategy up to child order.
+func canonicalKey(n *Node) string {
+	if n.IsLeaf() {
+		return n.String()
+	}
+	l, r := canonicalKey(n.left), canonicalKey(n.right)
+	if l > r {
+		l, r = r, l
+	}
+	return "(" + l + " " + r + ")"
+}
+
+func TestEnumerateAllSplitOfFour(t *testing.T) {
+	// The paper's intro: 3 strategies of the bushy form
+	// (Ra⋈Rb)⋈(Rc⋈Rd) and 12 of the linear form ((Ra⋈Rb)⋈Rc)⋈Rd.
+	bushy, linear := 0, 0
+	EnumerateAll(hypergraph.Full(4), func(s *Node) bool {
+		if s.IsLinear() {
+			linear++
+		} else {
+			bushy++
+		}
+		return true
+	})
+	if bushy != 3 || linear != 12 {
+		t.Fatalf("bushy=%d linear=%d, want 3 and 12", bushy, linear)
+	}
+}
+
+func TestEnumerateLinearCounts(t *testing.T) {
+	// n!/2 for n ≥ 2: 1, 3, 12, 60.
+	want := map[int]int{2: 1, 3: 3, 4: 12, 5: 60}
+	for n, w := range want {
+		count := 0
+		EnumerateLinear(hypergraph.Full(n), func(s *Node) bool {
+			if !s.IsLinear() {
+				t.Fatalf("non-linear strategy enumerated: %s", s)
+			}
+			count++
+			return true
+		})
+		if count != w {
+			t.Errorf("n=%d: %d linear strategies, want %d", n, count, w)
+		}
+	}
+}
+
+func TestEnumerateLinearDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	EnumerateLinear(hypergraph.Full(4), func(s *Node) bool {
+		key := canonicalKey(s)
+		if seen[key] {
+			t.Fatalf("duplicate linear strategy %s", s)
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func chainDB(n int) *database.Database {
+	// Chain scheme R_i(A_i, A_{i+1}).
+	rels := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		rels[i] = relation.New("", relation.NewSchema(a, b))
+	}
+	return database.New(rels...)
+}
+
+func TestEnumerateConnectedChain(t *testing.T) {
+	// For a chain of n relations, the CP-free strategies are exactly the
+	// ways to parenthesize a sequence: Catalan(n−1) = 1, 2, 5, 14.
+	want := []int{1, 2, 5, 14}
+	for n := 2; n <= 5; n++ {
+		db := chainDB(n)
+		count := 0
+		EnumerateConnected(db.Graph(), db.All(), func(s *Node) bool {
+			if s.UsesCartesian(db.Graph()) {
+				t.Fatalf("CP strategy enumerated: %s", s)
+			}
+			count++
+			return true
+		})
+		if count != want[n-2] {
+			t.Errorf("chain n=%d: %d connected strategies, want %d", n, count, want[n-2])
+		}
+	}
+}
+
+func TestEnumerateConnectedUnconnectedSchemeIsEmpty(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("R", "AB"),
+		relation.FromStrings("S", "CD"),
+	)
+	called := false
+	EnumerateConnected(db.Graph(), db.All(), func(*Node) bool { called = true; return true })
+	if called {
+		t.Fatal("unconnected scheme has no connected strategies")
+	}
+}
+
+func TestEnumerateLinearConnectedChain(t *testing.T) {
+	// Linear CP-free strategies on a chain: each is determined by an
+	// interval growth order. For a chain of n nodes there are 2^(n-2)
+	// prefix-connected permutations up to base-pair swap... verified
+	// against brute force below instead of a closed form.
+	for n := 2; n <= 5; n++ {
+		db := chainDB(n)
+		g := db.Graph()
+		want := 0
+		EnumerateLinear(db.All(), func(s *Node) bool {
+			if !s.UsesCartesian(g) {
+				want++
+			}
+			return true
+		})
+		got := 0
+		EnumerateLinearConnected(g, db.All(), func(s *Node) bool {
+			if !s.IsLinear() || s.UsesCartesian(g) {
+				t.Fatalf("bad strategy %s", s)
+			}
+			got++
+			return true
+		})
+		if got != want {
+			t.Errorf("chain n=%d: %d linear-connected, brute force says %d", n, got, want)
+		}
+	}
+}
+
+func TestEnumerateAvoidCPMatchesPredicate(t *testing.T) {
+	// On an unconnected scheme, EnumerateAvoidCP must produce exactly the
+	// strategies satisfying AvoidsCartesian.
+	db := database.New(
+		relation.FromStrings("R1", "AB"),
+		relation.FromStrings("R2", "BC"),
+		relation.FromStrings("R3", "DE"),
+		relation.FromStrings("R4", "FG"),
+	)
+	g := db.Graph()
+	want := 0
+	EnumerateAll(db.All(), func(s *Node) bool {
+		if s.AvoidsCartesian(g) {
+			want++
+		}
+		return true
+	})
+	got := 0
+	EnumerateAvoidCP(g, db.All(), func(s *Node) bool {
+		got++
+		return true
+	})
+	if got != want || want == 0 {
+		t.Fatalf("EnumerateAvoidCP: %d, predicate brute force: %d", got, want)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	count := 0
+	EnumerateAll(hypergraph.Full(5), func(*Node) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+	count = 0
+	EnumerateLinear(hypergraph.Full(5), func(*Node) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("linear early stop failed: %d", count)
+	}
+}
+
+func TestCountAllMatchesEnumeration(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		count := int64(0)
+		EnumerateAll(hypergraph.Full(n), func(*Node) bool { count++; return true })
+		if CountAll(n).Int64() != count {
+			t.Errorf("n=%d: CountAll=%s, enumerated %d", n, CountAll(n), count)
+		}
+	}
+}
+
+func TestCountLinearMatchesEnumeration(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		count := int64(0)
+		EnumerateLinear(hypergraph.Full(n), func(*Node) bool { count++; return true })
+		if CountLinear(n).Int64() != count {
+			t.Errorf("n=%d: CountLinear=%s, enumerated %d", n, CountLinear(n), count)
+		}
+	}
+}
+
+func TestCountConnectedMatchesEnumeration(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		db := chainDB(n)
+		g := db.Graph()
+		count := int64(0)
+		EnumerateConnected(g, db.All(), func(*Node) bool { count++; return true })
+		if got := CountConnected(g, db.All()).Int64(); got != count {
+			t.Errorf("chain n=%d: CountConnected=%d, enumerated %d", n, got, count)
+		}
+	}
+}
+
+func TestCountLinearConnectedMatchesEnumeration(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		db := chainDB(n)
+		g := db.Graph()
+		count := int64(0)
+		EnumerateLinearConnected(g, db.All(), func(*Node) bool { count++; return true })
+		if got := CountLinearConnected(g, db.All()).Int64(); got != count {
+			t.Errorf("chain n=%d: CountLinearConnected=%d, enumerated %d", n, got, count)
+		}
+	}
+}
+
+func TestCountAvoidCPExample1(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("R1", "AB"),
+		relation.FromStrings("R2", "BC"),
+		relation.FromStrings("R3", "DE"),
+		relation.FromStrings("R4", "FG"),
+	)
+	if got := CountAvoidCP(db.Graph(), db.All()).Int64(); got != 3 {
+		t.Fatalf("CountAvoidCP = %d, want 3 (Example 1)", got)
+	}
+}
+
+func TestCountsOnCliqueEqualUnrestricted(t *testing.T) {
+	// When every pair of schemes is linked (clique), no strategy uses a
+	// Cartesian product, so the restricted counts match the full ones.
+	rels := make([]*relation.Relation, 5)
+	for i := range rels {
+		a := relation.Attr('X')
+		b := relation.Attr(rune('A' + i))
+		rels[i] = relation.New("", relation.NewSchema(a, b))
+	}
+	db := database.New(rels...)
+	g := db.Graph()
+	if CountConnected(g, db.All()).Cmp(CountAll(5)) != 0 {
+		t.Fatal("clique connected count should equal CountAll")
+	}
+	if CountLinearConnected(g, db.All()).Cmp(CountLinear(5)) != 0 {
+		t.Fatal("clique linear-connected count should equal CountLinear")
+	}
+}

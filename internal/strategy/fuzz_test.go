@@ -1,0 +1,48 @@
+package strategy
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+)
+
+// FuzzParse feeds arbitrary expressions to the strategy parser. Invariant:
+// Parse either errors or returns a structurally valid strategy whose
+// rendering parses back to an Equal tree. Seeds run in ordinary go test;
+// use `go test -fuzz=FuzzParse ./internal/strategy` for exploration.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"((R1 R2) R3) R4",
+		"(R1⋈R2)⋈(R3⋈R4)",
+		"R1*R2*R3",
+		"R1 (R2 (R3 R4))",
+		"", "(", ")", "R1 R1", "((((",
+		"R1 ⋈ ⋈ R2", "0 1 2 3", "R1\x00R2",
+		"  ( R1   R2 )  ", "((R1 R2)) R3",
+	} {
+		f.Add(seed)
+	}
+	db := database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "BC", "x 7"),
+		relation.FromStrings("R3", "CD", "7 p"),
+		relation.FromStrings("R4", "DE", "p z"),
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(db, src)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(db.All()); verr != nil {
+			t.Fatalf("Parse(%q) returned invalid strategy: %v", src, verr)
+		}
+		back, err := Parse(db, s.Render(db))
+		if err != nil {
+			t.Fatalf("Render of Parse(%q) does not re-parse: %v", src, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("round trip changed the strategy for %q", src)
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package strategy
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+// example1 is the paper's Example 1 database: R1=AB, R2=BC, R3=DE, R4=FG
+// with τ(R1)=τ(R2)=4, τ(R1⋈R2)=10, τ(R3)=τ(R4)=7.
+func example1() *database.Database {
+	r1 := relation.FromStrings("R1", "AB", "p 0", "q 0", "r 0", "s 1")
+	r2 := relation.FromStrings("R2", "BC", "0 w", "0 x", "0 y", "1 z")
+	r3 := relation.FromStrings("R3", "DE", "1 1", "2 2", "3 3", "4 4", "5 5", "6 6", "7 7")
+	r4 := relation.FromStrings("R4", "FG", "1 1", "2 2", "3 3", "4 4", "5 5", "6 6", "7 7")
+	return database.New(r1, r2, r3, r4)
+}
+
+func TestExample1Costs(t *testing.T) {
+	db := example1()
+	ev := database.NewEvaluator(db)
+
+	s1 := LeftDeep(0, 1, 2, 3)               // ((R1⋈R2)⋈R3)⋈R4
+	s2 := LeftDeep(0, 1, 3, 2)               // ((R1⋈R2)⋈R4)⋈R3
+	s3 := Combine(Combine(Leaf(0), Leaf(1)), // (R1⋈R2)⋈(R3⋈R4)
+		Combine(Leaf(2), Leaf(3)))
+	s4 := Combine(Combine(Leaf(0), Leaf(2)), // (R1⋈R3)⋈(R2⋈R4)
+		Combine(Leaf(1), Leaf(3)))
+
+	if got := s1.Cost(ev); got != 570 {
+		t.Errorf("τ(S1) = %d, want 570", got)
+	}
+	if got := s2.Cost(ev); got != 570 {
+		t.Errorf("τ(S2) = %d, want 570", got)
+	}
+	if got := s3.Cost(ev); got != 549 {
+		t.Errorf("τ(S3) = %d, want 549", got)
+	}
+	if got := s4.Cost(ev); got != 546 {
+		t.Errorf("τ(S4) = %d, want 546", got)
+	}
+}
+
+func TestExample1OptimumUsesCartesian(t *testing.T) {
+	db := example1()
+	ev := database.NewEvaluator(db)
+	g := db.Graph()
+
+	best := -1
+	var bestNode *Node
+	EnumerateAll(db.All(), func(n *Node) bool {
+		if c := n.Cost(ev); best == -1 || c < best {
+			best, bestNode = c, n
+		}
+		return true
+	})
+	if best != 546 {
+		t.Fatalf("optimum cost = %d, want 546", best)
+	}
+	if bestNode.AvoidsCartesian(g) {
+		t.Fatal("Example 1's optimum should not avoid Cartesian products")
+	}
+
+	// Best among strategies avoiding Cartesian products is S3 at 549.
+	bestAvoid := -1
+	EnumerateAvoidCP(g, db.All(), func(n *Node) bool {
+		if c := n.Cost(ev); bestAvoid == -1 || c < bestAvoid {
+			bestAvoid = c
+		}
+		return true
+	})
+	if bestAvoid != 549 {
+		t.Fatalf("best CP-avoiding cost = %d, want 549", bestAvoid)
+	}
+}
+
+func TestExample1AvoidCPSpaceHasThreeStrategies(t *testing.T) {
+	// "There are three strategies that avoid Cartesian products" (Ex. 1).
+	db := example1()
+	g := db.Graph()
+	count := 0
+	EnumerateAvoidCP(g, db.All(), func(n *Node) bool {
+		if !n.AvoidsCartesian(g) {
+			t.Fatalf("enumerated strategy %s does not avoid CPs", n)
+		}
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("got %d CP-avoiding strategies, want 3", count)
+	}
+}
+
+func TestStructuralPredicates(t *testing.T) {
+	db := example1()
+	g := db.Graph()
+
+	lin := LeftDeep(0, 1, 2, 3)
+	if !lin.IsLinear() {
+		t.Fatal("left-deep tree should be linear")
+	}
+	bushy := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3)))
+	if bushy.IsLinear() {
+		t.Fatal("bushy tree should not be linear")
+	}
+	// R1=AB and R2=BC are linked; R3=DE is not linked to them.
+	if Combine(Leaf(0), Leaf(1)).UsesCartesian(g) {
+		t.Fatal("R1⋈R2 is not a Cartesian product")
+	}
+	if !Combine(Leaf(0), Leaf(2)).UsesCartesian(g) {
+		t.Fatal("R1⋈R3 is a Cartesian product")
+	}
+	if got := bushy.CartesianStepCount(g); got != 2 {
+		t.Fatalf("bushy CP steps = %d, want 2", got)
+	}
+}
+
+func TestEvaluatesComponentsIndividuallyPaperExample(t *testing.T) {
+	// From §2: (ABC ⋈ BE) ⋈ DF evaluates the components of {ABC,BE,DF}
+	// individually; (ABC ⋈ DF) ⋈ BE does not.
+	db := database.New(
+		relation.FromStrings("ABC", "ABC"),
+		relation.FromStrings("BE", "BE"),
+		relation.FromStrings("DF", "DF"),
+	)
+	g := db.Graph()
+	yes := Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))
+	no := Combine(Combine(Leaf(0), Leaf(2)), Leaf(1))
+	if !yes.EvaluatesComponentsIndividually(g) {
+		t.Fatal("(ABC⋈BE)⋈DF should evaluate components individually")
+	}
+	if no.EvaluatesComponentsIndividually(g) {
+		t.Fatal("(ABC⋈DF)⋈BE should not")
+	}
+}
+
+func TestAvoidsCartesianPaperExample(t *testing.T) {
+	// From §2: ((ABC⋈BE)⋈(CG⋈GH))⋈DF avoids Cartesian products, but
+	// ((ABC⋈CG)⋈(BE⋈GH))⋈DF does not, although the latter evaluates
+	// components individually.
+	db := database.New(
+		relation.FromStrings("ABC", "ABC"),
+		relation.FromStrings("BE", "BE"),
+		relation.FromStrings("CG", "CG"),
+		relation.FromStrings("GH", "GH"),
+		relation.FromStrings("DF", "DF"),
+	)
+	g := db.Graph()
+	good := Combine(
+		Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3))),
+		Leaf(4))
+	bad := Combine(
+		Combine(Combine(Leaf(0), Leaf(2)), Combine(Leaf(1), Leaf(3))),
+		Leaf(4))
+	if !good.AvoidsCartesian(g) {
+		t.Fatal("first strategy should avoid Cartesian products")
+	}
+	if bad.AvoidsCartesian(g) {
+		t.Fatal("second strategy should not avoid Cartesian products")
+	}
+	if !bad.EvaluatesComponentsIndividually(g) {
+		t.Fatal("second strategy does evaluate components individually")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	db := example1()
+	s := LeftDeep(0, 1, 2, 3)
+	if err := s.Validate(db.All()); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+	if err := s.Validate(hypergraph.Full(3)); err == nil {
+		t.Fatal("universe too small should fail")
+	}
+	// Hand-build a corrupt node (overlapping children) bypassing Combine.
+	bad := &Node{
+		left:  Leaf(0),
+		right: &Node{left: Leaf(0), right: Leaf(1), set: hypergraph.Full(2)},
+		set:   hypergraph.Full(2),
+	}
+	if err := bad.Validate(hypergraph.Full(2)); err == nil {
+		t.Fatal("overlapping children should fail validation")
+	}
+}
+
+func TestCombinePanicsOnOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Combine(Leaf(0), Leaf(0))
+}
+
+func TestStepsAndLeaves(t *testing.T) {
+	s := Combine(Combine(Leaf(2), Leaf(0)), Leaf(1))
+	if got := s.StepCount(); got != 2 {
+		t.Fatalf("steps = %d", got)
+	}
+	leaves := s.Leaves()
+	if len(leaves) != 3 || leaves[0] != 2 || leaves[1] != 0 || leaves[2] != 1 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	steps := s.Steps()
+	if len(steps) != 2 || steps[len(steps)-1] != s {
+		t.Fatal("Steps should be post-order ending at the root")
+	}
+}
+
+func TestFindAndContains(t *testing.T) {
+	s := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3)))
+	if s.Find(hypergraph.Set(0b0011)) == nil {
+		t.Fatal("should find left subtree")
+	}
+	if s.Find(hypergraph.Set(0b0110)) != nil {
+		t.Fatal("0b0110 is not a node of this strategy")
+	}
+	if !s.Contains(hypergraph.Singleton(3)) {
+		t.Fatal("leaf 3 should be contained")
+	}
+}
+
+func TestEqualUnordered(t *testing.T) {
+	a := Combine(Leaf(0), Leaf(1))
+	b := Combine(Leaf(1), Leaf(0))
+	if !a.Equal(b) {
+		t.Fatal("R⋈S and S⋈R are the same strategy")
+	}
+	c := Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))
+	d := Combine(Leaf(2), Combine(Leaf(1), Leaf(0)))
+	if !c.Equal(d) {
+		t.Fatal("equal up to child order")
+	}
+	e := Combine(Combine(Leaf(0), Leaf(2)), Leaf(1))
+	if c.Equal(e) {
+		t.Fatal("different shapes must differ")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	s := Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	if s == c || s.left == c.left {
+		t.Fatal("clone must not share nodes")
+	}
+}
+
+func TestRenderAndString(t *testing.T) {
+	db := example1()
+	s := Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))
+	if got := s.String(); got != "((0⋈1)⋈2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := s.Render(db); got != "((R1⋈R2)⋈R3)" {
+		t.Fatalf("Render = %q", got)
+	}
+}
+
+func TestIndexPanicsOnStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Combine(Leaf(0), Leaf(1)).Index()
+}
+
+func TestMonotonePredicates(t *testing.T) {
+	// R1 ⋈ R2 grows from 4 to 10 tuples: monotone increasing, not
+	// decreasing.
+	db := example1()
+	ev := database.NewEvaluator(db)
+	s := Combine(Leaf(0), Leaf(1))
+	if s.MonotoneDecreasing(ev) {
+		t.Fatal("growing join is not monotone decreasing")
+	}
+	if !s.MonotoneIncreasing(ev) {
+		t.Fatal("growing join is monotone increasing")
+	}
+}
+
+func TestLeftDeepPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LeftDeep()
+}

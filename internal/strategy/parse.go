@@ -1,0 +1,159 @@
+package strategy
+
+import (
+	"fmt"
+	"strings"
+
+	"multijoin/internal/database"
+)
+
+// Parse reads a strategy from a parenthesized expression over relation
+// names (or indexes for unnamed relations), resolving names against the
+// database. Accepted operators between siblings: "⋈", "*", or plain
+// whitespace. Examples, all equivalent for the paper's Example 1:
+//
+//	((R1⋈R2)⋈R3)⋈R4
+//	((R1 R2) R3) R4
+//	((R1*R2)*R3)*R4
+//
+// Each relation must appear exactly once; the expression must cover a
+// nonempty subset of the database (not necessarily all of it, so
+// substrategies parse too).
+func Parse(db *database.Database, src string) (*Node, error) {
+	p := &parser{db: db, src: src}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("strategy: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return n, nil
+}
+
+// MustParse is Parse for tests and fixtures; it panics on error.
+func MustParse(db *database.Database, src string) *Node {
+	n, err := Parse(db, src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	db  *database.Database
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// skipJoinOp consumes an optional ⋈ or * between siblings, reporting
+// whether an explicit operator was present.
+func (p *parser) skipJoinOp() bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		return true
+	}
+	if strings.HasPrefix(p.src[p.pos:], "⋈") {
+		p.pos += len("⋈")
+		return true
+	}
+	return false
+}
+
+// parseExpr parses a sequence of one or more terms joined left to right:
+// "a b c" means (a⋈b)⋈c.
+func (p *parser) parseExpr() (*Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		explicit := p.skipJoinOp()
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] == ')' {
+			if explicit {
+				return nil, fmt.Errorf("strategy: dangling join operator in %q", p.src)
+			}
+			return left, nil
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if !left.Set().Disjoint(right.Set()) {
+			return nil, fmt.Errorf("strategy: relation used twice in %q", p.src)
+		}
+		left = Combine(left, right)
+	}
+}
+
+// parseTerm parses a parenthesized expression or a relation name.
+func (p *parser) parseTerm() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("strategy: unexpected end of %q", p.src)
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("strategy: missing ')' at %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		return n, nil
+	}
+	return p.parseLeaf()
+}
+
+// parseLeaf reads a relation name up to a delimiter and resolves it.
+func (p *parser) parseLeaf() (*Node, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == '*' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		if strings.HasPrefix(p.src[p.pos:], "⋈") {
+			break
+		}
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if name == "" {
+		return nil, fmt.Errorf("strategy: expected a relation name at %d in %q", start, p.src)
+	}
+	if i := p.db.IndexOfName(name); i >= 0 {
+		return Leaf(i), nil
+	}
+	// Fall back to a numeric index for unnamed relations. Bound the
+	// accumulator against overflow (a fuzzer-found hazard: a 20-digit
+	// index wrapped around and produced an empty-set leaf).
+	idx := 0
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("strategy: unknown relation %q", name)
+		}
+		idx = idx*10 + int(c-'0')
+		if idx >= p.db.Len() {
+			return nil, fmt.Errorf("strategy: relation index %s out of range (database has %d)", name, p.db.Len())
+		}
+	}
+	return Leaf(idx), nil
+}

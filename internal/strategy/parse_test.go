@@ -1,0 +1,233 @@
+package strategy
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/relation"
+)
+
+func parseDB() *database.Database {
+	return database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "BC", "x 7"),
+		relation.FromStrings("R3", "CD", "7 p"),
+		relation.FromStrings("R4", "DE", "p z"),
+	)
+}
+
+func TestParseForms(t *testing.T) {
+	db := parseDB()
+	want := LeftDeep(0, 1, 2, 3)
+	for _, src := range []string{
+		"((R1⋈R2)⋈R3)⋈R4",
+		"((R1 R2) R3) R4",
+		"((R1*R2)*R3)*R4",
+		"R1 R2 R3 R4", // left-associative sequence
+		"  ( ( R1   R2 ) R3 ) R4 ",
+	} {
+		got, err := Parse(db, src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseBushy(t *testing.T) {
+	db := parseDB()
+	got := MustParse(db, "(R1 R2) (R3 R4)")
+	want := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3)))
+	if !got.Equal(want) {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestParseNumericIndexes(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("", "AB", "1 x"),
+		relation.FromStrings("", "BC", "x 7"),
+	)
+	got := MustParse(db, "(0 1)")
+	if !got.Equal(Combine(Leaf(0), Leaf(1))) {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestParseSubstrategy(t *testing.T) {
+	db := parseDB()
+	got := MustParse(db, "R2 R3")
+	if got.Set() != db.SetOf("R2", "R3") {
+		t.Fatalf("set = %v", got.Set())
+	}
+}
+
+func TestParseSingleLeaf(t *testing.T) {
+	db := parseDB()
+	got := MustParse(db, "R3")
+	if !got.IsLeaf() || got.Index() != 2 {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := parseDB()
+	cases := []string{
+		"",            // empty
+		"R1 R1",       // duplicate
+		"(R1 R2",      // unbalanced
+		"R1 R2)",      // trailing paren
+		"Nope",        // unknown name
+		"R1 ⋈",        // dangling operator
+		"()",          // empty parens
+		"(R1 R2)) R3", // extra close
+		"9",           // index out of range
+	}
+	for _, src := range cases {
+		if _, err := Parse(db, src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse(parseDB(), "junk(")
+}
+
+func TestParseRenderRoundTrip(t *testing.T) {
+	db := parseDB()
+	EnumerateAll(db.All(), func(s *Node) bool {
+		src := s.Render(db)
+		back, err := Parse(db, src)
+		if err != nil {
+			t.Fatalf("Parse(Render(%s)): %v", s, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("round trip: %s -> %q -> %s", s, src, back)
+		}
+		return true
+	})
+}
+
+func TestTraceEvaluation(t *testing.T) {
+	db := parseDB()
+	ev := database.NewEvaluator(db)
+	s := MustParse(db, "((R1 R2) R3) R4")
+	tr := TraceEvaluation(ev, s)
+	if len(tr.Steps) != 3 {
+		t.Fatalf("%d steps", len(tr.Steps))
+	}
+	if tr.Total != s.Cost(ev) {
+		t.Fatalf("trace total %d, cost %d", tr.Total, s.Cost(ev))
+	}
+	for _, step := range tr.Steps {
+		if step.Cartesian {
+			t.Fatalf("chain strategy should have no Cartesian steps: %+v", step)
+		}
+		if step.ResultSize != 1 {
+			t.Fatalf("all joins here produce one tuple: %+v", step)
+		}
+	}
+	if got := tr.String(); got == "" {
+		t.Fatal("trace must render")
+	}
+}
+
+func TestTraceCartesianFlag(t *testing.T) {
+	db := parseDB()
+	ev := database.NewEvaluator(db)
+	s := MustParse(db, "(R1 R3) (R2 R4)")
+	tr := TraceEvaluation(ev, s)
+	if !tr.Steps[0].Cartesian {
+		t.Fatal("R1⋈R3 is a Cartesian product")
+	}
+	if tr.Steps[0].ResultSize != 1 {
+		t.Fatalf("1×1 product has one tuple: %+v", tr.Steps[0])
+	}
+}
+
+func TestTraceMonotoneClassification(t *testing.T) {
+	grow := database.New(
+		relation.FromStrings("R1", "AB", "1 x", "2 x"),
+		relation.FromStrings("R2", "BC", "x 1", "x 2"),
+	)
+	ev := database.NewEvaluator(grow)
+	tr := TraceEvaluation(ev, MustParse(grow, "R1 R2"))
+	if !tr.MonotoneIncreasing() || tr.MonotoneDecreasing() {
+		t.Fatalf("2×2 fanout grows: %+v", tr.Steps[0])
+	}
+	shrink := database.New(
+		relation.FromStrings("R1", "AB", "1 x", "2 y"),
+		relation.FromStrings("R2", "BC", "x 1"),
+	)
+	ev2 := database.NewEvaluator(shrink)
+	tr2 := TraceEvaluation(ev2, MustParse(shrink, "R1 R2"))
+	if !tr2.MonotoneDecreasing() || tr2.MonotoneIncreasing() {
+		t.Fatalf("selective join shrinks: %+v", tr2.Steps[0])
+	}
+}
+
+func TestEvaluateWithAbort(t *testing.T) {
+	// R2 and R3 do not join: any strategy computing R2⋈R3 early aborts
+	// there; the full evaluation would pay for later steps too... except
+	// all later steps are empty as well, so the saving is the *number of
+	// join executions*, which StepsRun captures.
+	db := database.New(
+		relation.FromStrings("R1", "AB", "1 x", "2 y"),
+		relation.FromStrings("R2", "BC", "x 7"),
+		relation.FromStrings("R3", "CD", "9 p"),
+		relation.FromStrings("R4", "DE", "p z"),
+	)
+	ev := database.NewEvaluator(db)
+	s := MustParse(db, "((R2 R3) R1) R4")
+	res := EvaluateWithAbort(ev, s)
+	if !res.Aborted {
+		t.Fatal("expected abort")
+	}
+	if res.StepsRun != 1 || res.CostPaid != 0 {
+		t.Fatalf("abort at step 1 with τ=0, got %+v", res)
+	}
+
+	// A live database runs to completion with CostPaid = τ(S).
+	live := database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "BC", "x 7"),
+	)
+	evLive := database.NewEvaluator(live)
+	sLive := MustParse(live, "R1 R2")
+	resLive := EvaluateWithAbort(evLive, sLive)
+	if resLive.Aborted || resLive.CostPaid != sLive.Cost(evLive) || resLive.StepsRun != 1 {
+		t.Fatalf("live run wrong: %+v", resLive)
+	}
+}
+
+func TestEvaluateWithAbortOrderMatters(t *testing.T) {
+	// The remark's operational content: an order that reaches the empty
+	// join late pays for the tuples generated before it.
+	db := database.New(
+		relation.FromStrings("R1", "AB", "1 x", "2 x", "3 x"),
+		relation.FromStrings("R2", "BC", "x 7", "x 8"),
+		relation.FromStrings("R3", "CD", "0 p"), // kills everything
+	)
+	ev := database.NewEvaluator(db)
+	early := MustParse(db, "(R2 R3) R1")
+	late := MustParse(db, "(R1 R2) R3")
+	eRes := EvaluateWithAbort(ev, early)
+	lRes := EvaluateWithAbort(ev, late)
+	if !eRes.Aborted || !lRes.Aborted {
+		t.Fatal("both must abort")
+	}
+	if eRes.CostPaid != 0 {
+		t.Fatalf("early abort should pay nothing, paid %d", eRes.CostPaid)
+	}
+	if lRes.CostPaid != 6 {
+		t.Fatalf("late abort pays for R1⋈R2 (6 tuples), paid %d", lRes.CostPaid)
+	}
+}

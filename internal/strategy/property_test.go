@@ -1,0 +1,251 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+// Structural invariants of strategy trees and their transformations,
+// checked over randomly generated trees — the properties the proofs of
+// Lemmas 2–6 quietly rely on.
+
+// randomTree builds a random strategy over the index set s.
+func randomTree(rng *rand.Rand, s hypergraph.Set) *Node {
+	idx := s.Indexes()
+	var build func(part []int) *Node
+	build = func(part []int) *Node {
+		if len(part) == 1 {
+			return Leaf(part[0])
+		}
+		rng.Shuffle(len(part), func(i, j int) { part[i], part[j] = part[j], part[i] })
+		cut := 1 + rng.Intn(len(part)-1)
+		return Combine(build(append([]int{}, part[:cut]...)), build(append([]int{}, part[cut:]...)))
+	}
+	return build(idx)
+}
+
+func TestRandomTreesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 300; i++ {
+		n := 2 + rng.Intn(7)
+		s := randomTree(rng, hypergraph.Full(n))
+		if err := s.Validate(hypergraph.Full(n)); err != nil {
+			t.Fatalf("random tree invalid: %v", err)
+		}
+		if s.StepCount() != n-1 {
+			t.Fatalf("steps = %d, want %d", s.StepCount(), n-1)
+		}
+		if len(s.Leaves()) != n {
+			t.Fatalf("leaves = %d", len(s.Leaves()))
+		}
+	}
+}
+
+func TestPluckGraftInverseProperty(t *testing.T) {
+	// For any tree and any non-root node x whose parent is the root,
+	// plucking x and grafting it above the remainder's root restores an
+	// Equal tree. For deeper nodes, pluck followed by graft above the old
+	// sibling restores the same multiset of leaf sets at the top level.
+	rng := rand.New(rand.NewSource(92))
+	for i := 0; i < 300; i++ {
+		n := 3 + rng.Intn(5)
+		s := randomTree(rng, hypergraph.Full(n))
+		// Pick a random proper subtree.
+		nodes := s.Steps()
+		var target *Node
+		if rng.Intn(2) == 0 {
+			target = nodes[rng.Intn(len(nodes))]
+			if target == s {
+				target = s.Left()
+			}
+		} else {
+			leaves := s.Leaves()
+			target = s.Find(hypergraph.Singleton(leaves[rng.Intn(len(leaves))]))
+		}
+		if target.Set() == s.Set() {
+			continue
+		}
+		rem, sub, err := Pluck(s, target.Set())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Leaf sets partition.
+		if rem.Set().Union(sub.Set()) != s.Set() || !rem.Set().Disjoint(sub.Set()) {
+			t.Fatal("pluck broke the partition")
+		}
+		if err := rem.Validate(s.Set()); err != nil {
+			t.Fatalf("remainder invalid: %v", err)
+		}
+		// Graft anywhere valid keeps validity.
+		targets := append(rem.Steps(), rem)
+		above := targets[rng.Intn(len(targets))].Set()
+		back, err := Graft(rem, sub, above)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Set() != s.Set() {
+			t.Fatal("graft lost leaves")
+		}
+		if err := back.Validate(s.Set()); err != nil {
+			t.Fatalf("grafted tree invalid: %v", err)
+		}
+	}
+}
+
+func TestExchangePreservesLeafSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for i := 0; i < 200; i++ {
+		n := 4 + rng.Intn(4)
+		s := randomTree(rng, hypergraph.Full(n))
+		leaves := s.Leaves()
+		a := hypergraph.Singleton(leaves[rng.Intn(len(leaves))])
+		b := hypergraph.Singleton(leaves[rng.Intn(len(leaves))])
+		if a == b {
+			continue
+		}
+		out, err := Exchange(s, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Set() != s.Set() {
+			t.Fatal("exchange changed the leaf set")
+		}
+		if err := out.Validate(s.Set()); err != nil {
+			t.Fatalf("invalid after exchange: %v", err)
+		}
+		// Exchanging twice restores the original.
+		back, err := Exchange(out, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(s) {
+			t.Fatal("double exchange is not the identity")
+		}
+	}
+}
+
+func TestCostDecomposition(t *testing.T) {
+	// τ(S) = τ(S_left) + τ(S_right) + |R_root| — the identity behind the
+	// optimizer's dynamic program.
+	rng := rand.New(rand.NewSource(94))
+	rels := make([]*relation.Relation, 5)
+	for i := range rels {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		r := relation.New("", relation.NewSchema(a, b))
+		for k := 0; k < 4; k++ {
+			r.Insert(relation.Tuple{
+				a: relation.Value(rune('0' + rng.Intn(3))),
+				b: relation.Value(rune('0' + rng.Intn(3))),
+			})
+		}
+		rels[i] = r
+	}
+	db := database.New(rels...)
+	ev := database.NewEvaluator(db)
+	for i := 0; i < 200; i++ {
+		s := randomTree(rng, db.All())
+		if s.IsLeaf() {
+			continue
+		}
+		want := s.Left().Cost(ev) + s.Right().Cost(ev) + ev.Size(s.Set())
+		if got := s.Cost(ev); got != want {
+			t.Fatalf("cost decomposition failed: %d vs %d", got, want)
+		}
+	}
+}
+
+func TestAllStrategiesProduceSameResult(t *testing.T) {
+	// Commutativity/associativity at the strategy level: every strategy
+	// materializes the same R_D (§2: the order does not affect the final
+	// result).
+	rng := rand.New(rand.NewSource(95))
+	rels := make([]*relation.Relation, 4)
+	for i := range rels {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		r := relation.New("", relation.NewSchema(a, b))
+		for k := 0; k < 4; k++ {
+			r.Insert(relation.Tuple{
+				a: relation.Value(rune('0' + rng.Intn(3))),
+				b: relation.Value(rune('0' + rng.Intn(3))),
+			})
+		}
+		rels[i] = r
+	}
+	db := database.New(rels...)
+	want := relation.JoinAll(rels...)
+	EnumerateAll(db.All(), func(s *Node) bool {
+		// Evaluate the strategy by literally following its tree.
+		var eval func(n *Node) *relation.Relation
+		eval = func(n *Node) *relation.Relation {
+			if n.IsLeaf() {
+				return db.Relation(n.Index())
+			}
+			return relation.Join(eval(n.Left()), eval(n.Right()))
+		}
+		if !eval(s).Equal(want) {
+			t.Fatalf("strategy %s produced a different result", s)
+		}
+		return true
+	})
+}
+
+func TestLinearizedTreeHasRightShape(t *testing.T) {
+	// Every linear tree's steps form a chain: step i's set is contained
+	// in step i+1's.
+	rng := rand.New(rand.NewSource(96))
+	for i := 0; i < 100; i++ {
+		n := 2 + rng.Intn(6)
+		perm := rng.Perm(n)
+		s := LeftDeep(perm...)
+		steps := s.Steps()
+		for j := 0; j+1 < len(steps); j++ {
+			if !steps[j].Set().SubsetOf(steps[j+1].Set()) {
+				t.Fatal("linear steps must nest")
+			}
+		}
+	}
+}
+
+func TestReplaceSubtreePreservesCostOutsideTarget(t *testing.T) {
+	// Replacing a substrategy changes only the replaced subtree's
+	// internal steps: the paper's τ-optimum substitution argument.
+	rng := rand.New(rand.NewSource(97))
+	rels := make([]*relation.Relation, 5)
+	for i := range rels {
+		a := relation.Attr(rune('A' + i))
+		b := relation.Attr(rune('A' + i + 1))
+		r := relation.New("", relation.NewSchema(a, b))
+		for k := 0; k < 3; k++ {
+			r.Insert(relation.Tuple{
+				a: relation.Value(rune('0' + rng.Intn(3))),
+				b: relation.Value(rune('0' + rng.Intn(3))),
+			})
+		}
+		rels[i] = r
+	}
+	db := database.New(rels...)
+	ev := database.NewEvaluator(db)
+	for i := 0; i < 100; i++ {
+		s := randomTree(rng, db.All())
+		steps := s.Steps()
+		target := steps[rng.Intn(len(steps))]
+		if target == s {
+			continue
+		}
+		alt := randomTree(rng, target.Set())
+		out, err := ReplaceSubtree(s, target.Set(), alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDelta := alt.Cost(ev) - target.Cost(ev)
+		if out.Cost(ev)-s.Cost(ev) != wantDelta {
+			t.Fatalf("replacement changed cost outside the subtree")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package strategy
+
+import (
+	"fmt"
+
+	"multijoin/internal/hypergraph"
+)
+
+// This file implements the strategy transformations of Section 2
+// (Figures 1 and 2) and the specific rewrites the proofs use (Figures
+// 3–6). All transformations are pure: they return new trees and leave
+// their inputs untouched (sharing unaffected subtrees).
+
+// Pluck removes the subtree S_D″ whose root has index set target, where
+// target's node must be the child of some step (not the root). Ancestors
+// of the removed step have their sets shrunk by target, exactly as in the
+// paper's definition: the parent step [D′ ∪ D″] collapses to the sibling
+// subtree [D′]. It returns the new strategy (for D − D″) and the plucked
+// subtree (a strategy for D″).
+func Pluck(root *Node, target hypergraph.Set) (remainder, plucked *Node, err error) {
+	if root.set == target {
+		return nil, nil, fmt.Errorf("strategy: cannot pluck the root %v", target)
+	}
+	node := root.Find(target)
+	if node == nil {
+		return nil, nil, fmt.Errorf("strategy: no node with set %v", target)
+	}
+	rem := pluckRec(root, target)
+	return rem, node, nil
+}
+
+// pluckRec rebuilds the tree without the subtree rooted at target. The
+// caller guarantees target is a proper descendant of n.
+func pluckRec(n *Node, target hypergraph.Set) *Node {
+	if n.left.set == target {
+		return n.right
+	}
+	if n.right.set == target {
+		return n.left
+	}
+	if target.SubsetOf(n.left.set) {
+		return Combine(pluckRec(n.left, target), n.right)
+	}
+	return Combine(n.left, pluckRec(n.right, target))
+}
+
+// Graft inserts the strategy sub (for a database scheme disjoint from
+// root's) above the node of root whose index set is above: that node N is
+// replaced by the step N ⋈ sub, and every ancestor's set grows by sub's
+// set — Figure 2 of the paper. It returns the new strategy for the union
+// scheme.
+func Graft(root, sub *Node, above hypergraph.Set) (*Node, error) {
+	if !root.set.Disjoint(sub.set) {
+		return nil, fmt.Errorf("strategy: grafting overlapping sets %v, %v", root.set, sub.set)
+	}
+	if root.Find(above) == nil {
+		return nil, fmt.Errorf("strategy: no node with set %v to graft above", above)
+	}
+	return graftRec(root, sub, above), nil
+}
+
+func graftRec(n *Node, sub *Node, above hypergraph.Set) *Node {
+	if n.set == above {
+		return Combine(n, sub)
+	}
+	if above.SubsetOf(n.left.set) {
+		return Combine(graftRec(n.left, sub, above), n.right)
+	}
+	return Combine(n.left, graftRec(n.right, sub, above))
+}
+
+// PluckAndGraft plucks the subtree with index set target and grafts it
+// above the node with index set above, the composite move used throughout
+// the proofs of Lemmas 2, 3 and 6. The above set is located after the
+// pluck (its node must survive the pluck, i.e. above must be disjoint
+// from target).
+func PluckAndGraft(root *Node, target, above hypergraph.Set) (*Node, error) {
+	if !target.Disjoint(above) {
+		return nil, fmt.Errorf("strategy: pluck target %v overlaps graft point %v", target, above)
+	}
+	rem, sub, err := Pluck(root, target)
+	if err != nil {
+		return nil, err
+	}
+	return Graft(rem, sub, above)
+}
+
+// Exchange swaps the positions of the two disjoint subtrees with index
+// sets a and b (neither may contain the other) — the move in Case 2 of
+// Theorem 1's proof, which exchanges [{R′}] and [{R″}]. Ancestors of both
+// have their sets adjusted automatically by the rebuild.
+func Exchange(root *Node, a, b hypergraph.Set) (*Node, error) {
+	if !a.Disjoint(b) {
+		return nil, fmt.Errorf("strategy: Exchange of overlapping sets %v, %v", a, b)
+	}
+	na, nb := root.Find(a), root.Find(b)
+	if na == nil || nb == nil {
+		return nil, fmt.Errorf("strategy: Exchange sets %v, %v not both present", a, b)
+	}
+	return exchangeRec(root, a, b, na, nb), nil
+}
+
+func exchangeRec(n *Node, a, b hypergraph.Set, na, nb *Node) *Node {
+	if n.set == a {
+		return nb
+	}
+	if n.set == b {
+		return na
+	}
+	if n.IsLeaf() {
+		return n
+	}
+	// Only descend into children that contain one of the targets.
+	l, r := n.left, n.right
+	if a.SubsetOf(l.set) || b.SubsetOf(l.set) {
+		l = exchangeRec(l, a, b, na, nb)
+	}
+	if a.SubsetOf(r.set) || b.SubsetOf(r.set) {
+		r = exchangeRec(r, a, b, na, nb)
+	}
+	return Combine(l, r)
+}
+
+// ReplaceSubtree substitutes a new strategy for the node with index set
+// target; the replacement must be a strategy for exactly the same index
+// set (this is the proof device "replace a substrategy by a τ-optimum
+// one").
+func ReplaceSubtree(root *Node, target hypergraph.Set, replacement *Node) (*Node, error) {
+	if replacement.set != target {
+		return nil, fmt.Errorf("strategy: replacement covers %v, want %v", replacement.set, target)
+	}
+	if root.Find(target) == nil {
+		return nil, fmt.Errorf("strategy: no node with set %v", target)
+	}
+	return replaceRec(root, target, replacement), nil
+}
+
+func replaceRec(n *Node, target hypergraph.Set, replacement *Node) *Node {
+	if n.set == target {
+		return replacement
+	}
+	if target.SubsetOf(n.left.set) {
+		return Combine(replaceRec(n.left, target, replacement), n.right)
+	}
+	return Combine(n.left, replaceRec(n.right, target, replacement))
+}

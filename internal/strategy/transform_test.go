@@ -1,0 +1,229 @@
+package strategy
+
+import (
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
+)
+
+func TestPluckLeaf(t *testing.T) {
+	// S = ((0⋈1)⋈2); pluck leaf 2 → (0⋈1).
+	s := Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))
+	rem, plucked, err := Pluck(s, hypergraph.Singleton(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rem.Equal(Combine(Leaf(0), Leaf(1))) {
+		t.Fatalf("remainder = %s", rem)
+	}
+	if !plucked.IsLeaf() || plucked.Index() != 2 {
+		t.Fatalf("plucked = %s", plucked)
+	}
+}
+
+func TestPluckInnerSubtree(t *testing.T) {
+	// S = ((0⋈1)⋈(2⋈3)); pluck (2⋈3) → (0⋈1).
+	s := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3)))
+	rem, plucked, err := Pluck(s, hypergraph.Set(0b1100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rem.Equal(Combine(Leaf(0), Leaf(1))) {
+		t.Fatalf("remainder = %s", rem)
+	}
+	if !plucked.Equal(Combine(Leaf(2), Leaf(3))) {
+		t.Fatalf("plucked = %s", plucked)
+	}
+}
+
+func TestPluckUpdatesAncestorSets(t *testing.T) {
+	// S = (((0⋈1)⋈2)⋈3); pluck leaf 1: ancestors lose index 1.
+	s := LeftDeep(0, 1, 2, 3)
+	rem, _, err := Pluck(s, hypergraph.Singleton(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem.Set() != hypergraph.Set(0b1101) {
+		t.Fatalf("root set = %v", rem.Set())
+	}
+	if err := rem.Validate(hypergraph.Full(4)); err != nil {
+		t.Fatalf("plucked remainder invalid: %v", err)
+	}
+	if !rem.Equal(LeftDeep(0, 2, 3)) {
+		t.Fatalf("remainder = %s, want ((0⋈2)⋈3)", rem)
+	}
+}
+
+func TestPluckErrors(t *testing.T) {
+	s := Combine(Leaf(0), Leaf(1))
+	if _, _, err := Pluck(s, s.Set()); err == nil {
+		t.Fatal("plucking the root must fail")
+	}
+	if _, _, err := Pluck(s, hypergraph.Singleton(7)); err == nil {
+		t.Fatal("plucking an absent set must fail")
+	}
+}
+
+func TestGraft(t *testing.T) {
+	// Graft leaf 2 above (0⋈1)'s left child 0: ((0⋈2)⋈1).
+	s := Combine(Leaf(0), Leaf(1))
+	out, err := Graft(s, Leaf(2), hypergraph.Singleton(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Combine(Combine(Leaf(0), Leaf(2)), Leaf(1))
+	if !out.Equal(want) {
+		t.Fatalf("graft = %s, want %s", out, want)
+	}
+	if err := out.Validate(hypergraph.Full(3)); err != nil {
+		t.Fatalf("grafted tree invalid: %v", err)
+	}
+}
+
+func TestGraftAtRoot(t *testing.T) {
+	s := Combine(Leaf(0), Leaf(1))
+	out, err := Graft(s, Leaf(2), s.Set())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))) {
+		t.Fatalf("graft at root = %s", out)
+	}
+}
+
+func TestGraftErrors(t *testing.T) {
+	s := Combine(Leaf(0), Leaf(1))
+	if _, err := Graft(s, Leaf(1), hypergraph.Singleton(0)); err == nil {
+		t.Fatal("overlapping graft must fail")
+	}
+	if _, err := Graft(s, Leaf(2), hypergraph.Singleton(5)); err == nil {
+		t.Fatal("absent graft point must fail")
+	}
+}
+
+func TestPluckGraftRoundTrip(t *testing.T) {
+	// Pluck a subtree and graft it back above its old sibling: for a
+	// strategy where the plucked node's parent is the root, this is the
+	// identity up to child order.
+	s := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3)))
+	rem, sub, err := Pluck(s, hypergraph.Set(0b1100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Graft(rem, sub, rem.Set())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip = %s, want %s", back, s)
+	}
+}
+
+func TestPluckAndGraft(t *testing.T) {
+	// The Lemma 2 move on Example 1's S3 = (R1⋈R2)⋈(R3⋈R4): pluck R3 and
+	// graft it above (R1⋈R2) giving ((R1⋈R2)⋈R3)⋈R4 = S1.
+	s3 := Combine(Combine(Leaf(0), Leaf(1)), Combine(Leaf(2), Leaf(3)))
+	out, err := PluckAndGraft(s3, hypergraph.Singleton(2), hypergraph.Set(0b0011))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(LeftDeep(0, 1, 2, 3)) {
+		t.Fatalf("got %s, want ((0⋈1)⋈2)⋈3", out)
+	}
+}
+
+func TestPluckAndGraftRejectsOverlap(t *testing.T) {
+	s := LeftDeep(0, 1, 2)
+	if _, err := PluckAndGraft(s, hypergraph.Singleton(1), hypergraph.Set(0b011)); err == nil {
+		t.Fatal("overlapping target/above must fail")
+	}
+}
+
+func TestExchange(t *testing.T) {
+	// Theorem 1, Case 2: exchange leaves in a linear tree.
+	// S = ((0⋈1)⋈2); exchange 1 and 2 → ((0⋈2)⋈1).
+	s := LeftDeep(0, 1, 2)
+	out, err := Exchange(s, hypergraph.Singleton(1), hypergraph.Singleton(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(LeftDeep(0, 2, 1)) {
+		t.Fatalf("exchange = %s", out)
+	}
+	if err := out.Validate(hypergraph.Full(3)); err != nil {
+		t.Fatalf("invalid after exchange: %v", err)
+	}
+}
+
+func TestExchangeSubtrees(t *testing.T) {
+	// Exchange subtree (0⋈1) with leaf 3 in ((0⋈1)⋈2)⋈3.
+	s := Combine(Combine(Combine(Leaf(0), Leaf(1)), Leaf(2)), Leaf(3))
+	out, err := Exchange(s, hypergraph.Set(0b0011), hypergraph.Singleton(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Combine(Combine(Leaf(3), Leaf(2)), Combine(Leaf(0), Leaf(1)))
+	if !out.Equal(want) {
+		t.Fatalf("exchange = %s, want %s", out, want)
+	}
+}
+
+func TestExchangeErrors(t *testing.T) {
+	s := LeftDeep(0, 1, 2)
+	if _, err := Exchange(s, hypergraph.Set(0b011), hypergraph.Singleton(1)); err == nil {
+		t.Fatal("overlapping exchange must fail")
+	}
+	if _, err := Exchange(s, hypergraph.Singleton(0), hypergraph.Singleton(9)); err == nil {
+		t.Fatal("absent node must fail")
+	}
+}
+
+func TestReplaceSubtree(t *testing.T) {
+	s := Combine(Combine(Leaf(0), Leaf(1)), Leaf(2))
+	repl := Combine(Leaf(1), Leaf(0))
+	out, err := ReplaceSubtree(s, hypergraph.Set(0b011), repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(s) {
+		t.Fatal("replacement by an Equal tree should stay Equal")
+	}
+	if _, err := ReplaceSubtree(s, hypergraph.Set(0b011), Leaf(5)); err == nil {
+		t.Fatal("mismatched replacement set must fail")
+	}
+	if _, err := ReplaceSubtree(s, hypergraph.Set(0b110), repl); err == nil {
+		t.Fatal("absent target must fail")
+	}
+}
+
+func TestTheorem1Case1TransformReducesCost(t *testing.T) {
+	// Build a concrete instance of Figure 3, Case 1: a linear strategy
+	// whose step s = E ⋈ R′ uses a Cartesian product while R′ is linked
+	// to R″. Plucking R′ and grafting it above R″... in a linear tree R″
+	// is above, so the T1 transform grafts the trivial strategy for R′
+	// above the trivial strategy for R″. Verify τ decreases under C1′-ish
+	// data.
+	e := relation.FromStrings("E", "AB", "1 x", "2 y")     // E
+	rp := relation.FromStrings("Rp", "CD", "7 p", "8 q")   // R′ (unlinked to E)
+	rpp := relation.FromStrings("Rpp", "BD", "x 7", "y 8") // R″ linked to both
+	db := database.New(e, rp, rpp)
+	ev := database.NewEvaluator(db)
+
+	// S = (E ⋈ R′) ⋈ R″ — linear, uses a Cartesian product.
+	s := LeftDeep(0, 1, 2)
+	if !s.UsesCartesian(db.Graph()) {
+		t.Fatal("setup: S should use a Cartesian product")
+	}
+	// T1: pluck R′ and graft it above R″ — but in the linear tree R″ is a
+	// leaf, so this yields (E ⋈ (R′ ⋈ R″))... the paper's Figure 3 grafts
+	// above the *trivial substrategy* for R″, producing E ⋈ (R″ ⋈ R′).
+	t1, err := PluckAndGraft(s, hypergraph.Singleton(1), hypergraph.Singleton(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Cost(ev) >= s.Cost(ev) {
+		t.Fatalf("τ(T1)=%d should beat τ(S)=%d", t1.Cost(ev), s.Cost(ev))
+	}
+}
