@@ -8,6 +8,7 @@
 package multijoin_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -15,6 +16,16 @@ import (
 	"multijoin"
 	"multijoin/internal/experiments"
 )
+
+// benchGuard returns a fresh resource guard with budgets far above any
+// healthy iteration's spend, so the scaling benches double as regression
+// tripwires: an evaluation blow-up aborts with a typed budget error
+// instead of letting the bench run away. Fresh per iteration because
+// budgets are cumulative.
+func benchGuard() *multijoin.Guard {
+	return multijoin.NewGuard(context.Background(),
+		multijoin.GuardLimits{MaxTuples: 1 << 24, MaxStates: 1 << 22})
+}
 
 // runExperiment drives one registered experiment per iteration.
 func runExperiment(b *testing.B, id string) {
@@ -125,7 +136,7 @@ func BenchmarkSubsetEvaluator(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ev := multijoin.NewEvaluator(db)
+				ev := multijoin.NewEvaluator(db).WithGuard(benchGuard())
 				full := multijoin.Set(1)<<uint(n) - 1
 				full.Subsets(func(s multijoin.Set) bool {
 					ev.Size(s)
@@ -152,8 +163,8 @@ func BenchmarkOptimizeSpaces(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ev := multijoin.NewEvaluator(db)
-				if _, err := multijoin.Optimize(ev, sp); err != nil {
+				ev := multijoin.NewEvaluator(db).WithGuard(benchGuard())
+				if _, err := multijoin.OptimizeGuarded(ev, sp); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -168,8 +179,10 @@ func BenchmarkGreedyHeuristic(b *testing.B) {
 	db := multijoin.GenerateDiagonal(rng, multijoin.GenerateSchemes(multijoin.ShapeChain, 10), 6, 0.4)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ev := multijoin.NewEvaluator(db)
-		multijoin.GreedySmallestResult(ev)
+		ev := multijoin.NewEvaluator(db).WithGuard(benchGuard())
+		if _, err := multijoin.GreedyGuarded(ev); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -3,9 +3,18 @@
 // optima), costing individual strategies, and running the semijoin
 // reducer. It is a separate package so the command's behaviour is
 // testable end to end.
+//
+// Every run is resource-governed: -timeout, -max-tuples and -max-states
+// bound wall clock, materialized intermediate tuples (the paper's τ) and
+// examined states. A tripped budget aborts with a typed error naming the
+// phase that was cut, and the exhaustive listings (-optima, -strategies)
+// degrade along the ladder exhaustive → DP → greedy instead of failing
+// outright. A panic boundary converts internal invariant panics into
+// errors, so malformed input cannot crash the process.
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,6 +26,7 @@ import (
 	"multijoin/internal/core"
 	"multijoin/internal/database"
 	"multijoin/internal/gen"
+	"multijoin/internal/guard"
 	"multijoin/internal/optimizer"
 	"multijoin/internal/paperex"
 	"multijoin/internal/semijoin"
@@ -44,13 +54,34 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	optima := fs.Bool("optima", false, "list every τ-optimum strategy per subspace (small databases)")
 	csvDir := fs.String("csv", "", "load the database from headered .csv files in a directory")
 	dotExpr := fs.String("dot", "", "emit a Graphviz rendering of one strategy, e.g. '((R1 R2) R3)'")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 500ms (0 = none)")
+	maxTuples := fs.Int64("max-tuples", 0, "budget on materialized intermediate tuples, the paper's τ (0 = unlimited)")
+	maxStates := fs.Int64("max-states", 0, "budget on evaluator memo + optimizer DP states examined (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 
-	err := func() error {
+	err := func() (err error) {
+		// Panic boundary: internal invariant violations and malformed
+		// input degrade to reported errors, never a crash.
+		defer guard.Protect(&err)
+
+		ctx := context.Background()
+		cancel := func() {}
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		defer cancel()
+		var g *guard.Guard
+		if *timeout > 0 || *maxTuples > 0 || *maxStates > 0 {
+			g = guard.New(ctx, guard.Limits{MaxTuples: *maxTuples, MaxStates: *maxStates})
+		}
+
+		g.SetPhase("load")
 		var db *database.Database
-		var err error
 		if *csvDir != "" {
 			db, err = database.LoadCSVDir(*csvDir)
 		} else {
@@ -70,28 +101,32 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				return err
 			}
-			ev := database.NewEvaluator(db)
+			g.SetPhase("render")
+			ev := database.NewEvaluator(db).WithGuard(g)
 			fmt.Fprint(stdout, strategy.DOT(ev, st))
 			return nil
 		case *costExpr != "":
-			return costOne(stdout, db, *costExpr)
+			return costOne(stdout, db, g, *costExpr)
 		case *reduce:
 			return reduceReport(stdout, db)
 		case *optima:
-			return listOptima(stdout, db)
+			return listOptima(stdout, db, g)
 		case *format == "json":
-			an, err := core.Analyze(db)
+			an, err := core.AnalyzeGuarded(db, g)
 			if err != nil {
 				return err
 			}
 			if err := core.VerifyCertificates(an); err != nil {
 				return err
 			}
-			return core.EncodeAnalysisJSON(stdout, db, an)
+			if err := core.EncodeAnalysisJSON(stdout, db, an); err != nil {
+				return err
+			}
+			return truncationError(an)
 		case *format != "text":
 			return fmt.Errorf("unknown format %q", *format)
 		default:
-			return analyze(stdout, db, *listStrategies)
+			return analyze(stdout, db, g, *listStrategies)
 		}
 	}()
 	if err != nil {
@@ -99,6 +134,16 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// truncationError converts a truncated analysis into the typed
+// governance error of its first cut phase, wrapped with the phase list,
+// so the exit code reflects that the report is partial.
+func truncationError(an *core.Analysis) error {
+	if an.Complete() {
+		return nil
+	}
+	return fmt.Errorf("analysis truncated in phase %q: %w", an.Truncated[0].Phase, an.Truncated[0].Err)
 }
 
 func loadDatabase(example int, file, genShape string, n, rows, domain int, seed int64, diagonal bool) (*database.Database, error) {
@@ -149,7 +194,8 @@ func loadDatabase(example int, file, genShape string, n, rows, domain int, seed 
 }
 
 // costOne parses a strategy expression and prints its evaluation trace.
-func costOne(w io.Writer, db *database.Database, expr string) error {
+func costOne(w io.Writer, db *database.Database, g *guard.Guard, expr string) (err error) {
+	defer guard.Trap(&err)
 	s, err := strategy.Parse(db, expr)
 	if err != nil {
 		return err
@@ -157,12 +203,14 @@ func costOne(w io.Writer, db *database.Database, expr string) error {
 	if s.Set() != db.All() {
 		return fmt.Errorf("strategy covers %v, not the whole database", s.Set())
 	}
-	ev := database.NewEvaluator(db)
+	g.SetPhase("trace")
+	ev := database.NewEvaluator(db).WithGuard(g)
 	tr := strategy.TraceEvaluation(ev, s)
 	fmt.Fprintln(w, tr)
 	fmt.Fprintf(w, "linear: %v   uses Cartesian products: %v   monotone: decreasing=%v increasing=%v\n",
 		s.IsLinear(), s.UsesCartesian(db.Graph()),
 		tr.MonotoneDecreasing(), tr.MonotoneIncreasing())
+	g.SetPhase("optimize:all")
 	best, err := optimizer.Optimize(ev, optimizer.SpaceAll)
 	if err != nil {
 		return err
@@ -194,19 +242,30 @@ func reduceReport(w io.Writer, db *database.Database) error {
 	return nil
 }
 
-// listOptima prints every τ-optimum strategy per subspace.
-func listOptima(w io.Writer, db *database.Database) error {
+// listOptima prints every τ-optimum strategy per subspace. Under a
+// tripped budget each subspace degrades along the ladder
+// exhaustive enumeration → subset DP → greedy heuristic, reporting at
+// each rung what was truncated and why; the run only errors when no
+// rung can produce a result (e.g. a hard deadline already passed).
+func listOptima(w io.Writer, db *database.Database, g *guard.Guard) error {
 	if db.Len() > 8 {
 		return fmt.Errorf("-optima is limited to 8 relations")
 	}
-	ev := database.NewEvaluator(db)
+	ev := database.NewEvaluator(db).WithGuard(g)
 	for _, sp := range []optimizer.Space{
 		optimizer.SpaceAll, optimizer.SpaceNoCP,
 		optimizer.SpaceLinear, optimizer.SpaceLinearNoCP,
 	} {
+		g.SetPhase("optima:" + sp.String())
 		opts, err := optimizer.Optima(ev, sp)
 		if err == optimizer.ErrEmptySpace {
 			fmt.Fprintf(w, "%s: empty subspace\n", sp)
+			continue
+		}
+		if guard.Tripped(err) {
+			if ferr := optimaFallback(w, ev, sp, err); ferr != nil {
+				return ferr
+			}
 			continue
 		}
 		if err != nil {
@@ -220,12 +279,39 @@ func listOptima(w io.Writer, db *database.Database) error {
 	return nil
 }
 
-func analyze(w io.Writer, db *database.Database, listStrategies bool) error {
+// optimaFallback is the degradation ladder below exhaustive optima
+// enumeration: the memoization-backed DP, then the greedy heuristic. It
+// returns an error only when every rung trips, in which case the
+// original typed enumeration error is surfaced.
+func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cause error) error {
+	db := ev.Database()
+	fmt.Fprintf(w, "%s: ⚠ exhaustive enumeration truncated: %v\n", sp, cause)
+	res, err := optimizer.Optimize(ev, sp)
+	if err == optimizer.ErrEmptySpace {
+		fmt.Fprintf(w, "  (empty subspace)\n")
+		return nil
+	}
+	if err == nil {
+		fmt.Fprintf(w, "  falling back to the DP optimum: τ=%d  %s\n", res.Cost, res.Strategy.Render(db))
+		return nil
+	}
+	fmt.Fprintf(w, "  DP fallback also cut: %v\n", err)
+	greedy, err := optimizer.GreedyGuarded(ev)
+	if err == nil {
+		fmt.Fprintf(w, "  falling back to greedy (full space, no optimality guarantee): τ=%d  %s\n",
+			greedy.Cost, greedy.Strategy.Render(db))
+		return nil
+	}
+	fmt.Fprintf(w, "  greedy fallback also cut: %v\n", err)
+	return cause
+}
+
+func analyze(w io.Writer, db *database.Database, g *guard.Guard, listStrategies bool) error {
 	fmt.Fprintln(w, "database:")
 	fmt.Fprintln(w, db)
 	fmt.Fprintln(w)
 
-	an, err := core.Analyze(db)
+	an, err := core.AnalyzeGuarded(db, g)
 	if err != nil {
 		return err
 	}
@@ -235,7 +321,7 @@ func analyze(w io.Writer, db *database.Database, listStrategies bool) error {
 	if err := core.VerifyCertificates(an); err != nil {
 		return fmt.Errorf("certificate verification failed (this would falsify the paper): %w", err)
 	}
-	if len(an.Certificates) > 0 {
+	if len(an.Certificates) > 0 && an.Complete() {
 		fmt.Fprintln(w, "certificates verified against measured optima ✓")
 	}
 
@@ -244,28 +330,43 @@ func analyze(w io.Writer, db *database.Database, listStrategies bool) error {
 		if db.Len() > 8 {
 			return fmt.Errorf("-strategies is limited to 8 relations ((2n−3)!! blows up)")
 		}
-		ev := database.NewEvaluator(db)
+		g.SetPhase("enumerate:all")
+		ev := database.NewEvaluator(db).WithGuard(g)
 		type entry struct {
 			cost int
 			desc string
 		}
 		var entries []entry
-		strategy.EnumerateAll(db.All(), func(s *strategy.Node) bool {
-			tags := ""
-			if s.IsLinear() {
-				tags += " linear"
-			}
-			if s.UsesCartesian(db.Graph()) {
-				tags += " uses-CP"
-			}
-			entries = append(entries, entry{s.Cost(ev), fmt.Sprintf("τ=%-8d %s%s", s.Cost(ev), s.Render(db), tags)})
-			return true
-		})
+		enumErr := func() (err error) {
+			defer guard.Trap(&err)
+			strategy.EnumerateAll(db.All(), func(s *strategy.Node) bool {
+				tags := ""
+				if s.IsLinear() {
+					tags += " linear"
+				}
+				if s.UsesCartesian(db.Graph()) {
+					tags += " uses-CP"
+				}
+				entries = append(entries, entry{s.Cost(ev), fmt.Sprintf("τ=%-8d %s%s", s.Cost(ev), s.Render(db), tags)})
+				return true
+			})
+			return nil
+		}()
 		sort.SliceStable(entries, func(i, j int) bool { return entries[i].cost < entries[j].cost })
-		fmt.Fprintf(w, "all %d strategies, cheapest first:\n", len(entries))
+		if enumErr == nil {
+			fmt.Fprintf(w, "all %d strategies, cheapest first:\n", len(entries))
+		} else if guard.Tripped(enumErr) {
+			fmt.Fprintf(w, "⚠ strategy enumeration truncated after %d strategies: %v\n", len(entries), enumErr)
+			if res, ok := an.Result(optimizer.SpaceAll); ok {
+				fmt.Fprintf(w, "falling back to the DP optimum: τ=%d  %s\n", res.Cost, res.Strategy.Render(db))
+			}
+			fmt.Fprintf(w, "first %d enumerated strategies, cheapest first:\n", len(entries))
+		} else {
+			return enumErr
+		}
 		for _, e := range entries {
 			fmt.Fprintln(w, " ", e.desc)
 		}
 	}
-	return nil
+	return truncationError(an)
 }

@@ -246,6 +246,125 @@ func TestCSVErrors(t *testing.T) {
 	}
 }
 
+func TestHelpExitsZero(t *testing.T) {
+	_, errOut, code := run(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h should exit 0, got %d", code)
+	}
+	if !strings.Contains(errOut, "Usage") && !strings.Contains(errOut, "-example") {
+		t.Errorf("-h should print usage: %s", errOut)
+	}
+}
+
+func TestTimeoutTypedError(t *testing.T) {
+	// A 1ns deadline is expired before the first governed charge, so the
+	// run must abort with the guard's cancellation error naming the phase
+	// it interrupted, not hang or crash.
+	_, errOut, code := run(t, "-gen", "chain", "-n", "6", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "cancelled in phase") || !strings.Contains(errOut, "deadline") {
+		t.Errorf("want typed cancellation naming the phase: %s", errOut)
+	}
+}
+
+func TestTupleBudgetTypedError(t *testing.T) {
+	_, errOut, code := run(t, "-example", "5", "-max-tuples", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, `tuples budget exceeded in phase "materialize"`) {
+		t.Errorf("want typed tuple budget error naming the phase: %s", errOut)
+	}
+}
+
+func TestStateBudgetPartialReport(t *testing.T) {
+	// A state budget that survives materialization and condition checking
+	// but trips inside the optimizer produces a *partial* report: the
+	// profile and any completed subspace optima print, the truncated
+	// phases are named, and the exit code still reflects the cut.
+	out, errOut, code := run(t, "-example", "5", "-max-states", "40")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "analysis truncated in phase") ||
+		!strings.Contains(errOut, "states budget exceeded") {
+		t.Errorf("stderr should name the truncated phase: %s", errOut)
+	}
+	for _, want := range []string{
+		"conditions:", // the profile itself completed
+		"truncated phases (resource guard):",
+		"cut short",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "certificates verified") {
+		t.Errorf("truncated run must not claim full verification:\n%s", out)
+	}
+}
+
+func TestOptimaDegradationLadder(t *testing.T) {
+	// With a shared state budget every rung of the ladder (exhaustive →
+	// DP → greedy) re-trips; each attempt must be reported and the
+	// original typed error surfaced. The space that completed before the
+	// trip still prints its optima.
+	out, errOut, code := run(t, "-example", "5", "-optima", "-max-states", "25")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"all: 1 τ-optimum strategies at τ=11",
+		"exhaustive enumeration truncated",
+		"DP fallback also cut",
+		"greedy fallback also cut",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ladder output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errOut, "states budget exceeded") {
+		t.Errorf("want typed budget error: %s", errOut)
+	}
+}
+
+func TestJSONFormatTruncated(t *testing.T) {
+	out, errOut, code := run(t, "-example", "5", "-format", "json", "-max-states", "20")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+	var parsed struct {
+		Truncated []struct {
+			Phase string `json:"phase"`
+			Error string `json:"error"`
+		} `json:"truncated"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("truncated run must still emit valid JSON: %v\n%s", err, out)
+	}
+	if len(parsed.Truncated) == 0 || parsed.Truncated[0].Phase != "optimize:all" {
+		t.Fatalf("JSON missing truncation records: %+v", parsed)
+	}
+}
+
+func TestGovernedRunWithinBudgetSucceeds(t *testing.T) {
+	// Generous budgets must not change behaviour: the governed run's
+	// report matches the ungoverned one byte for byte.
+	want, _, code := run(t, "-example", "5")
+	if code != 0 {
+		t.Fatalf("ungoverned exit %d", code)
+	}
+	got, _, code := run(t, "-example", "5", "-timeout", "1m", "-max-tuples", "1000000", "-max-states", "1000000")
+	if code != 0 {
+		t.Fatalf("governed exit %d", code)
+	}
+	if got != want {
+		t.Errorf("governed output differs from ungoverned:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 func TestDOTOutput(t *testing.T) {
 	out, _, code := run(t, "-example", "1", "-dot", "(R1 R3) (R2 R4)")
 	if code != 0 {

@@ -21,6 +21,7 @@ import (
 
 	"multijoin/internal/conditions"
 	"multijoin/internal/database"
+	"multijoin/internal/guard"
 	"multijoin/internal/optimizer"
 )
 
@@ -68,6 +69,13 @@ func (p Profile) Holds(c conditions.Condition) bool {
 	return false
 }
 
+// Truncation records a phase of the analysis that the resource guard
+// cut short, together with the typed governance error that cut it.
+type Truncation struct {
+	Phase string
+	Err   error
+}
+
 // Analysis is the Analyzer's output.
 type Analysis struct {
 	Profile      Profile
@@ -76,7 +84,15 @@ type Analysis struct {
 	// SpaceAll, SpaceNoCP, SpaceLinear, SpaceLinearNoCP. Subspaces that
 	// are empty for this scheme are skipped.
 	Results []optimizer.Result
+	// Truncated lists the phases cut short by the resource guard, in
+	// execution order. Empty for ungoverned or within-budget runs; when
+	// non-empty the analysis is partial and certificate verification
+	// against measured optima may be impossible.
+	Truncated []Truncation
 }
+
+// Complete reports whether every phase of the analysis ran to the end.
+func (a *Analysis) Complete() bool { return len(a.Truncated) == 0 }
 
 // Result returns the optimization result for the given space, if present.
 func (a *Analysis) Result(s optimizer.Space) (optimizer.Result, bool) {
@@ -91,24 +107,61 @@ func (a *Analysis) Result(s optimizer.Space) (optimizer.Result, bool) {
 // Analyze checks conditions, derives certificates and optimizes in every
 // subspace.
 func Analyze(db *database.Database) (*Analysis, error) {
+	return AnalyzeGuarded(db, nil)
+}
+
+// AnalyzeGuarded is Analyze under resource governance. Every phase —
+// materializing R_D, checking conditions, optimizing each subspace —
+// charges the guard, and a phase that trips a budget is recorded in the
+// returned Analysis's Truncated list while the remaining phases are
+// still attempted (a deadline kills them all quickly; an exhausted
+// tuple budget often still lets the memo-backed phases finish). The
+// analysis fails outright — a nil Analysis and the typed governance
+// error — only when even the condition profile could not be computed,
+// since nothing reportable exists at that point.
+//
+// A nil guard makes it equivalent to Analyze.
+func AnalyzeGuarded(db *database.Database, g *guard.Guard) (*Analysis, error) {
 	if err := db.Validate(); err != nil {
 		return nil, err
 	}
-	ev := database.NewEvaluator(db)
-	profile := Profile{
-		Connected:      db.Connected(),
-		ResultNonEmpty: ev.ResultNonEmpty(),
-		Reports:        conditions.CheckAll(ev),
+	ev := database.NewEvaluator(db).WithGuard(g)
+	an := &Analysis{}
+
+	g.SetPhase("materialize")
+	var nonEmpty bool
+	if err := func() (err error) {
+		defer guard.Trap(&err)
+		nonEmpty = ev.ResultNonEmpty()
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
-	an := &Analysis{Profile: profile}
+
+	g.SetPhase("conditions")
+	profile := Profile{Connected: db.Connected(), ResultNonEmpty: nonEmpty}
+	if err := func() (err error) {
+		defer guard.Trap(&err)
+		profile.Reports = conditions.CheckAll(ev)
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+	an.Profile = profile
 	an.Certificates = Certify(profile)
 
 	for _, sp := range []optimizer.Space{
 		optimizer.SpaceAll, optimizer.SpaceNoCP,
 		optimizer.SpaceLinear, optimizer.SpaceLinearNoCP,
 	} {
+		phase := "optimize:" + sp.String()
+		g.SetPhase(phase)
 		res, err := optimizer.Optimize(ev, sp)
 		if err == optimizer.ErrEmptySpace {
+			continue
+		}
+		if guard.Tripped(err) {
+			an.Truncated = append(an.Truncated, Truncation{Phase: phase, Err: err})
 			continue
 		}
 		if err != nil {
@@ -158,6 +211,11 @@ func Certify(p Profile) []Certificate {
 // violation. A nil return means the paper's theorems held on this
 // instance — the cross-check run by the randomized validation
 // experiments (E-thm1/2/3).
+//
+// On a truncated analysis (resource guard cut one or more optimizer
+// phases) a certificate whose optima are missing is skipped rather than
+// reported as an error: absence of evidence from a budgeted run is not
+// a theorem violation.
 func VerifyCertificates(a *Analysis) error {
 	all, hasAll := a.Result(optimizer.SpaceAll)
 	lin, hasLin := a.Result(optimizer.SpaceLinear)
@@ -167,6 +225,9 @@ func VerifyCertificates(a *Analysis) error {
 		switch c.Theorem {
 		case Theorem1:
 			if !hasLin || !hasLNC {
+				if !a.Complete() {
+					continue
+				}
 				return fmt.Errorf("theorem 1: missing optimization results")
 			}
 			if lnc.Cost != lin.Cost {
@@ -175,6 +236,9 @@ func VerifyCertificates(a *Analysis) error {
 			}
 		case Theorem2:
 			if !hasAll || !hasNoCP {
+				if !a.Complete() {
+					continue
+				}
 				return fmt.Errorf("theorem 2: missing optimization results")
 			}
 			if nocp.Cost != all.Cost {
@@ -183,6 +247,9 @@ func VerifyCertificates(a *Analysis) error {
 			}
 		case Theorem3:
 			if !hasAll || !hasLNC {
+				if !a.Complete() {
+					continue
+				}
 				return fmt.Errorf("theorem 3: missing optimization results")
 			}
 			if lnc.Cost != all.Cost {

@@ -29,12 +29,18 @@ type jsonResult struct {
 	States   int    `json:"dpStates"`
 }
 
+type jsonTruncation struct {
+	Phase string `json:"phase"`
+	Error string `json:"error"`
+}
+
 type jsonAnalysis struct {
 	Connected      bool              `json:"connected"`
 	ResultNonEmpty bool              `json:"resultNonEmpty"`
 	Conditions     []jsonCondition   `json:"conditions"`
 	Certificates   []jsonCertificate `json:"certificates"`
 	Optima         []jsonResult      `json:"optima"`
+	Truncated      []jsonTruncation  `json:"truncated,omitempty"`
 }
 
 // EncodeAnalysisJSON writes the analysis in a stable JSON shape.
@@ -64,6 +70,11 @@ func EncodeAnalysisJSON(w io.Writer, db *database.Database, an *Analysis) error 
 		out.Optima = append(out.Optima, jsonResult{
 			Space: res.Space.String(), Cost: res.Cost,
 			Strategy: res.Strategy.Render(db), States: res.States,
+		})
+	}
+	for _, tr := range an.Truncated {
+		out.Truncated = append(out.Truncated, jsonTruncation{
+			Phase: tr.Phase, Error: tr.Err.Error(),
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -39,7 +39,13 @@ func WriteReport(w io.Writer, db *database.Database, an *Analysis) {
 		}
 		fmt.Fprintf(w, "  %-20s τ=%-8d %s%s\n", res.Space, res.Cost, res.Strategy.Render(db), sys)
 	}
-	if _, ok := an.Result(optimizer.SpaceLinearNoCP); !ok {
+	if _, ok := an.Result(optimizer.SpaceLinearNoCP); !ok && an.Complete() {
 		fmt.Fprintln(w, "  linear-no-cartesian: empty subspace for this scheme")
+	}
+	if !an.Complete() {
+		fmt.Fprintln(w, "truncated phases (resource guard):")
+		for _, tr := range an.Truncated {
+			fmt.Fprintf(w, "  ⚠ %s cut short: %v\n", tr.Phase, tr.Err)
+		}
 	}
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"multijoin/internal/database"
 	"multijoin/internal/gen"
+	"multijoin/internal/guard"
 	"multijoin/internal/optimizer"
 	"multijoin/internal/semijoin"
 	"multijoin/internal/strategy"
@@ -27,9 +29,17 @@ func TestSoakEndToEnd(t *testing.T) {
 		db := soakDatabase(rng, trial)
 		ev := database.NewEvaluator(db)
 
-		an, err := Analyze(db)
+		// The soak runs governed with budgets far above any healthy
+		// trial's spend: a regression that makes evaluation blow up now
+		// fails fast with a typed budget error instead of wedging the
+		// suite.
+		g := guard.New(context.Background(), guard.Limits{MaxTuples: 1 << 22, MaxStates: 1 << 20})
+		an, err := AnalyzeGuarded(db, g)
 		if err != nil {
 			t.Fatalf("trial %d: analyze: %v", trial, err)
+		}
+		if !an.Complete() {
+			t.Fatalf("trial %d: soak budget tripped: %v", trial, an.Truncated[0].Err)
 		}
 		if err := VerifyCertificates(an); err != nil {
 			t.Fatalf("trial %d: %v\n%v", trial, err, db)

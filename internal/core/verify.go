@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multijoin/internal/database"
+	"multijoin/internal/guard"
 	"multijoin/internal/strategy"
 )
 
@@ -13,7 +14,8 @@ import (
 // certificate-relevant—cost equality between the linear and
 // linear-no-CP subspaces.) It enumerates the linear space, so it is
 // meant for the small databases of the randomized validation runs.
-func VerifyTheorem1Exhaustive(ev *database.Evaluator) error {
+func VerifyTheorem1Exhaustive(ev *database.Evaluator) (err error) {
+	defer guard.Trap(&err)
 	db := ev.Database()
 	g := db.Graph()
 	best := -1
@@ -40,7 +42,8 @@ func VerifyTheorem1Exhaustive(ev *database.Evaluator) error {
 
 // VerifyTheorem2Exhaustive checks Theorem 2's conclusion by enumeration:
 // some τ-optimum strategy does not use Cartesian products.
-func VerifyTheorem2Exhaustive(ev *database.Evaluator) error {
+func VerifyTheorem2Exhaustive(ev *database.Evaluator) (err error) {
+	defer guard.Trap(&err)
 	db := ev.Database()
 	g := db.Graph()
 	best := -1
@@ -66,7 +69,8 @@ func VerifyTheorem2Exhaustive(ev *database.Evaluator) error {
 
 // VerifyTheorem3Exhaustive checks Theorem 3's conclusion by enumeration:
 // some τ-optimum strategy is linear and does not use Cartesian products.
-func VerifyTheorem3Exhaustive(ev *database.Evaluator) error {
+func VerifyTheorem3Exhaustive(ev *database.Evaluator) (err error) {
+	defer guard.Trap(&err)
 	db := ev.Database()
 	g := db.Graph()
 	best := -1

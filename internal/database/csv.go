@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 
+	"multijoin/internal/guard"
+	"multijoin/internal/hypergraph"
 	"multijoin/internal/relation"
 )
 
@@ -18,8 +20,13 @@ import (
 // database from every *.csv in a directory — the practical path for
 // feeding real data to cmd/joinopt.
 
-// ReadCSV reads one relation from headered CSV input.
-func ReadCSV(name string, r io.Reader) (*relation.Relation, error) {
+// ReadCSV reads one relation from headered CSV input. The input is
+// untrusted: malformed headers and ragged rows come back as errors, and
+// any residual invariant panic in the relation layer is converted to an
+// error rather than crashing the caller.
+func ReadCSV(name string, r io.Reader) (rel *relation.Relation, err error) {
+	defer wrapLoadPanic("CSV", &err)
+	defer guard.Protect(&err)
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 0 // all records must match the header's width
 	header, err := cr.Read()
@@ -38,7 +45,7 @@ func ReadCSV(name string, r io.Reader) (*relation.Relation, error) {
 	if schema.Len() != len(attrs) {
 		return nil, fmt.Errorf("database: %s has duplicate attributes", name)
 	}
-	rel := relation.New(name, schema)
+	rel = relation.New(name, schema)
 	for {
 		record, err := cr.Read()
 		if err == io.EOF {
@@ -71,6 +78,10 @@ func LoadCSVDir(dir string) (*Database, error) {
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("database: no .csv files in %s", dir)
+	}
+	if len(names) > hypergraph.MaxRelations {
+		return nil, fmt.Errorf("database: %s holds %d .csv files, the engine supports at most %d relations",
+			dir, len(names), hypergraph.MaxRelations)
 	}
 	sort.Strings(names)
 	rels := make([]*relation.Relation, 0, len(names))

@@ -1,6 +1,7 @@
 package database
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,5 +76,32 @@ func TestLoadCSVDirErrors(t *testing.T) {
 	}
 	if _, err := LoadCSVDir("/no/such/dir"); err == nil {
 		t.Fatal("missing dir should fail")
+	}
+}
+
+func TestLoadCSVDirTooManyRelations(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i <= 64; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("r%02d.csv", i))
+		if err := os.WriteFile(name, []byte(fmt.Sprintf("A%d\nv\n", i)), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Before the load-path hardening this reached the hypergraph's
+	// too-many-relations panic; it must be a plain error.
+	db, err := LoadCSVDir(dir)
+	if err == nil || db != nil {
+		t.Fatalf("want error for 65 csv files, got db=%v err=%v", db, err)
+	}
+	if !strings.Contains(err.Error(), "at most") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestReadCSVRaggedRowIsError(t *testing.T) {
+	// Regression: a ragged row must surface as an error from the csv
+	// layer, never as a relation row-width panic.
+	if _, err := ReadCSV("R", strings.NewReader("A,B\n1\n")); err == nil {
+		t.Fatal("ragged row should fail")
 	}
 }

@@ -1,6 +1,7 @@
 package database
 
 import (
+	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/relation"
 )
@@ -16,15 +17,32 @@ import (
 // 2^n joins in total.
 //
 // An Evaluator is not safe for concurrent use.
+//
+// An Evaluator may carry a guard.Guard (WithGuard), in which case every
+// materialization charges the guard's tuple/state/step budgets and every
+// evaluation — memo hit or not — polls its context. A tripped guard
+// unwinds via guard.Abort; the public entry points of the optimizer,
+// core and cli packages trap the abort and surface it as a typed error.
 type Evaluator struct {
-	db   *Database
-	memo map[hypergraph.Set]*relation.Relation
+	db    *Database
+	memo  map[hypergraph.Set]*relation.Relation
+	guard *guard.Guard
 }
 
 // NewEvaluator creates an evaluator for the database.
 func NewEvaluator(db *Database) *Evaluator {
 	return &Evaluator{db: db, memo: make(map[hypergraph.Set]*relation.Relation)}
 }
+
+// WithGuard attaches a resource guard to the evaluator and returns it.
+// A nil guard detaches governance.
+func (e *Evaluator) WithGuard(g *guard.Guard) *Evaluator {
+	e.guard = g
+	return e
+}
+
+// Guard returns the evaluator's resource guard (nil when ungoverned).
+func (e *Evaluator) Guard() *guard.Guard { return e.guard }
 
 // Database returns the underlying database.
 func (e *Evaluator) Database() *Database { return e.db }
@@ -34,6 +52,11 @@ func (e *Evaluator) Database() *Database { return e.db }
 func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 	if s.Empty() {
 		panic("database: Eval of empty subset")
+	}
+	if e.guard != nil {
+		// Cheap cancellation poll: memo hits dominate the enumeration
+		// and DP hot loops, and this is what keeps them interruptible.
+		guard.Must(e.guard.Tick())
 	}
 	if r, ok := e.memo[s]; ok {
 		return r
@@ -46,7 +69,12 @@ func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 		rest := s.Remove(first)
 		result = relation.Join(e.Eval(rest), e.db.Relation(first))
 	}
+	// Memoize before charging: the work is done either way, and a warm
+	// memo lets a degradation fallback reuse it free of charge.
 	e.memo[s] = result
+	if e.guard != nil && s.Len() > 1 {
+		guard.Must(e.guard.ChargeEval(result.Size()))
+	}
 	return result
 }
 

@@ -2,9 +2,12 @@ package database
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
+	"multijoin/internal/guard"
+	"multijoin/internal/hypergraph"
 	"multijoin/internal/relation"
 )
 
@@ -54,14 +57,24 @@ func EncodeJSON(w io.Writer, db *Database) error {
 	return enc.Encode(out)
 }
 
-// DecodeJSON reads a database in the interchange format.
-func DecodeJSON(r io.Reader) (*Database, error) {
+// DecodeJSON reads a database in the interchange format. The input is
+// untrusted: structural violations (no relations, too many relations,
+// duplicate attributes, ragged rows) come back as errors, and any
+// residual invariant panic in the relation layer is converted to an
+// error rather than crashing the caller.
+func DecodeJSON(r io.Reader) (db *Database, err error) {
+	defer wrapLoadPanic("JSON", &err)
+	defer guard.Protect(&err)
 	var in jsonDatabase
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("database: decoding JSON: %w", err)
 	}
 	if len(in.Relations) == 0 {
 		return nil, fmt.Errorf("database: JSON contains no relations")
+	}
+	if len(in.Relations) > hypergraph.MaxRelations {
+		return nil, fmt.Errorf("database: JSON has %d relations, the engine supports at most %d",
+			len(in.Relations), hypergraph.MaxRelations)
 	}
 	rels := make([]*relation.Relation, len(in.Relations))
 	for i, jr := range in.Relations {
@@ -91,4 +104,14 @@ func DecodeJSON(r io.Reader) (*Database, error) {
 		rels[i] = rel
 	}
 	return New(rels...), nil
+}
+
+// wrapLoadPanic, deferred after guard.Protect in the load paths, gives a
+// recovered relation/hypergraph invariant panic a loader-specific
+// message naming the input format.
+func wrapLoadPanic(format string, errp *error) {
+	var pe *guard.PanicError
+	if errors.As(*errp, &pe) {
+		*errp = fmt.Errorf("database: malformed %s input: %v", format, pe.Value)
+	}
 }

@@ -3,7 +3,9 @@ package database
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/relation"
 )
@@ -27,15 +29,29 @@ import (
 // workers ≤ 0 selects GOMAXPROCS. The returned evaluator is, like any
 // Evaluator, not safe for concurrent use after this call.
 func PrewarmConnected(db *Database, workers int) *Evaluator {
+	ev, _ := PrewarmConnectedGuarded(db, workers, nil)
+	return ev
+}
+
+// PrewarmConnectedGuarded is PrewarmConnected under resource governance:
+// every join charges the guard, and a tripped budget, a context
+// cancellation or an injected fault stops the computation at the current
+// level. It never leaks workers — the level's goroutines are joined
+// before returning — and on error the returned evaluator's memo is still
+// consistent: it contains exactly the states whose joins completed and
+// were charged, each a correct materialization usable by fallbacks.
+//
+// A nil guard makes it equivalent to PrewarmConnected.
+func PrewarmConnectedGuarded(db *Database, workers int, g *guard.Guard) (*Evaluator, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ev := NewEvaluator(db)
-	g := db.Graph()
+	ev := NewEvaluator(db).WithGuard(g)
+	graph := db.Graph()
 
 	// Group connected subsets by cardinality.
 	levels := make([][]hypergraph.Set, db.Len()+1)
-	g.ConnectedSubsetsOf(db.All(), func(s hypergraph.Set) bool {
+	graph.ConnectedSubsetsOf(db.All(), func(s hypergraph.Set) bool {
 		levels[s.Len()] = append(levels[s.Len()], s)
 		return true
 	})
@@ -69,35 +85,53 @@ func PrewarmConnected(db *Database, workers int) *Evaluator {
 			// of the subset).
 			for _, i := range s.Indexes() {
 				rest := s.Remove(i)
-				if g.Connected(rest) {
+				if graph.Connected(rest) {
 					prepared = append(prepared, job{set: s, left: ev.memo[rest], extra: i})
 					break
 				}
 			}
 		}
-		jobs := make(chan job)
-		results := make(chan done)
+		// Buffered channels sized to the level: the feeder cannot block,
+		// workers cannot block, so no goroutine can outlive the level
+		// whatever order the abort arrives in.
+		jobs := make(chan job, len(prepared))
+		for _, j := range prepared {
+			jobs <- j
+		}
+		close(jobs)
+		results := make(chan done, len(prepared))
+		errs := make(chan error, workers)
+		var stop atomic.Bool
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
-					results <- done{j.set, relation.Join(j.left, db.Relation(j.extra))}
+					if stop.Load() {
+						continue // drain the remaining jobs cheaply
+					}
+					rel := relation.Join(j.left, db.Relation(j.extra))
+					if err := g.ChargeEval(rel.Size()); err != nil {
+						stop.Store(true)
+						errs <- err
+						continue
+					}
+					results <- done{j.set, rel}
 				}
 			}()
 		}
-		go func() {
-			for _, j := range prepared {
-				jobs <- j
-			}
-			close(jobs)
-			wg.Wait()
-			close(results)
-		}()
+		wg.Wait()
+		close(results)
+		close(errs)
+		// Only fully-charged joins enter the memo, so it stays
+		// consistent even when the level was cut short.
 		for d := range results {
 			ev.memo[d.set] = d.rel
 		}
+		if err := <-errs; err != nil {
+			return ev, err
+		}
 	}
-	return ev
+	return ev, nil
 }

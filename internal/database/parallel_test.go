@@ -1,9 +1,14 @@
 package database
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
+	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/relation"
 )
@@ -54,6 +59,104 @@ func TestPrewarmSingleRelation(t *testing.T) {
 	warm := PrewarmConnected(db, 3)
 	if warm.Size(hypergraph.Singleton(0)) != 1 {
 		t.Fatal("singleton prewarm wrong")
+	}
+}
+
+// assertNoGoroutineLeak fails the test if the goroutine count has not
+// returned to its baseline shortly after the exercised code returned.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// checkMemoConsistent asserts that every memoized subset equals the
+// sequential evaluator's materialization — the guarantee that an
+// aborted prewarm leaves a usable, never a corrupted, memo.
+func checkMemoConsistent(t *testing.T, db *Database, warm *Evaluator) {
+	t.Helper()
+	cold := NewEvaluator(db)
+	for s, rel := range warm.memo {
+		if !rel.Equal(cold.Eval(s)) {
+			t.Fatalf("memo entry %v inconsistent after abort", s)
+		}
+	}
+}
+
+func TestPrewarmGuardedCancellationMidLevelNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	db := randomChain(rng, 8, 6, 3)
+	baseline := runtime.NumGoroutine()
+
+	// Cancel before the run: the first charge observes it, the prewarm
+	// stops at that level, and all workers join before returning.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	warm, err := PrewarmConnectedGuarded(db, 4, guard.New(ctx, guard.Limits{}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+	assertNoGoroutineLeak(t, baseline)
+	checkMemoConsistent(t, db, warm)
+}
+
+func TestPrewarmGuardedFaultMidLevelNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	db := randomChain(rng, 8, 6, 3)
+	// An 8-chain has 28 multi-relation connected subsets (intervals of
+	// length ≥ 2); inject the fault in the middle of that schedule so a
+	// level is genuinely cut half-way.
+	for _, faultStep := range []int64{1, 5, 13, 27} {
+		baseline := runtime.NumGoroutine()
+		g := guard.New(context.Background(), guard.Limits{FaultStep: faultStep})
+		warm, err := PrewarmConnectedGuarded(db, 4, g)
+		if !errors.Is(err, guard.ErrFaultInjected) {
+			t.Fatalf("fault at step %d: want injected fault, got %v", faultStep, err)
+		}
+		assertNoGoroutineLeak(t, baseline)
+		checkMemoConsistent(t, db, warm)
+		// The partial memo must still be usable: finishing the
+		// evaluation sequentially (fresh guard-free evaluator semantics
+		// via the same memo) yields the correct final result.
+		warm.WithGuard(nil)
+		if !warm.Result().Equal(NewEvaluator(db).Result()) {
+			t.Fatalf("fault at step %d: resuming from partial memo gave a wrong result", faultStep)
+		}
+	}
+}
+
+func TestPrewarmGuardedBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(136))
+	db := randomChain(rng, 6, 8, 3)
+	g := guard.New(context.Background(), guard.Limits{MaxTuples: 10})
+	_, err := PrewarmConnectedGuarded(db, 2, g)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	var be *guard.BudgetError
+	if !errors.As(err, &be) || be.Resource != "tuples" {
+		t.Fatalf("want typed tuples budget error, got %v", err)
+	}
+}
+
+func TestPrewarmGuardedNilGuardMatchesUnguarded(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	db := randomChain(rng, 5, 4, 3)
+	warm, err := PrewarmConnectedGuarded(db, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Result().Equal(NewEvaluator(db).Result()) {
+		t.Fatal("nil-guard prewarm differs from sequential")
 	}
 }
 

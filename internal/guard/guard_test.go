@@ -1,0 +1,222 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilGuardIsNoOp(t *testing.T) {
+	var g *Guard
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ChargeEval(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ChargeStates(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	g.SetPhase("ignored")
+	if g.Phase() != "" {
+		t.Fatal("nil guard has no phase")
+	}
+	if g.Context() == nil {
+		t.Fatal("nil guard context must be non-nil")
+	}
+}
+
+func TestTupleBudget(t *testing.T) {
+	g := New(nil, Limits{MaxTuples: 10})
+	g.SetPhase("optimize:all")
+	if err := g.ChargeEval(10); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	err := g.ChargeEval(1)
+	if err == nil {
+		t.Fatal("over the limit must fail")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("not a budget error: %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("not typed: %v", err)
+	}
+	if be.Resource != "tuples" || be.Phase != "optimize:all" || be.Spent != 11 || be.Limit != 10 {
+		t.Fatalf("wrong fields: %+v", be)
+	}
+	if !Tripped(err) {
+		t.Fatal("budget errors are governance trips")
+	}
+}
+
+func TestStateBudgetSharedByEvalAndDP(t *testing.T) {
+	g := New(nil, Limits{MaxStates: 3})
+	if err := g.ChargeEval(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ChargeStates(2); err != nil {
+		t.Fatal(err)
+	}
+	err := g.ChargeStates(1)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states budget error, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	g := New(nil, Limits{MaxSteps: 2})
+	if err := g.ChargeEval(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ChargeEval(0); err != nil {
+		t.Fatal(err)
+	}
+	var be *BudgetError
+	if err := g.ChargeEval(0); !errors.As(err, &be) || be.Resource != "steps" {
+		t.Fatalf("want steps budget error, got %v", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	g.SetPhase("prewarm")
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	err := g.Err()
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CancelError, got %v", err)
+	}
+	if ce.Phase != "prewarm" || !errors.Is(err, context.Canceled) {
+		t.Fatalf("wrong cancel error: %+v", ce)
+	}
+	if !Tripped(err) {
+		t.Fatal("cancellation is a governance trip")
+	}
+	if err := g.ChargeEval(1); !errors.As(err, &ce) {
+		t.Fatalf("charges observe cancellation: %v", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	g := New(ctx, Limits{})
+	if err := g.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+}
+
+func TestTickPollsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(ctx, Limits{})
+	var err error
+	for i := 0; i < 2*ctxPollInterval && err == nil; i++ {
+		err = g.Tick()
+	}
+	if !Tripped(err) {
+		t.Fatalf("ticks must observe cancellation within a poll interval: %v", err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	g := New(nil, Limits{FaultStep: 3})
+	for i := 0; i < 2; i++ {
+		if err := g.ChargeEval(5); err != nil {
+			t.Fatalf("step %d: %v", i+1, err)
+		}
+	}
+	if err := g.ChargeEval(5); !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("want injected fault at step 3, got %v", err)
+	}
+	// The fault is sticky: later steps keep failing deterministically.
+	if err := g.ChargeEval(5); !errors.Is(err, ErrFaultInjected) {
+		t.Fatal("fault must persist past its step")
+	}
+	if !Tripped(ErrFaultInjected) {
+		t.Fatal("injected faults are governance trips")
+	}
+
+	custom := errors.New("boom")
+	g2 := New(nil, Limits{FaultStep: 1, FaultErr: custom})
+	if err := g2.ChargeEval(0); !errors.Is(err, custom) {
+		t.Fatalf("custom fault error lost: %v", err)
+	}
+}
+
+func TestSpentLedger(t *testing.T) {
+	g := New(nil, Limits{MaxTuples: 5})
+	g.ChargeEval(4)
+	g.ChargeEval(4) // trips, but still charged
+	g.ChargeStates(7)
+	tuples, states, steps := g.Spent()
+	if tuples != 8 || states != 9 || steps != 2 {
+		t.Fatalf("ledger wrong: tuples=%d states=%d steps=%d", tuples, states, steps)
+	}
+}
+
+func TestAbortTrap(t *testing.T) {
+	sentinel := &BudgetError{Resource: "tuples", Spent: 2, Limit: 1}
+	err := func() (err error) {
+		defer Trap(&err)
+		Must(sentinel)
+		return nil
+	}()
+	if err != sentinel {
+		t.Fatalf("trap lost the abort error: %v", err)
+	}
+
+	// Trap must re-raise foreign panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("foreign panic swallowed by Trap")
+			}
+		}()
+		func() (err error) {
+			defer Trap(&err)
+			panic("genuine bug")
+		}()
+	}()
+}
+
+func TestProtectConvertsPanics(t *testing.T) {
+	err := func() (err error) {
+		defer Protect(&err)
+		panic(fmt.Sprintf("invariant violated: %d", 42))
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("stack missing")
+	}
+
+	inner := &BudgetError{Resource: "states", Spent: 9, Limit: 8}
+	err = func() (err error) {
+		defer Protect(&err)
+		Abort(inner)
+		return nil
+	}()
+	if err != inner {
+		t.Fatalf("protect must unwrap aborts: %v", err)
+	}
+}
+
+func TestMustNilIsNoOp(t *testing.T) {
+	Must(nil) // must not panic
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"multijoin/internal/database"
+	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/strategy"
 )
@@ -16,7 +17,8 @@ import (
 // connected/connected splits. Both must return identical costs — the
 // ablation tests assert it, and BenchmarkNoCPSplitAblation measures the
 // gap.
-func optimizeNoCPNaive(ev *database.Evaluator) (Result, error) {
+func optimizeNoCPNaive(ev *database.Evaluator) (res Result, err error) {
+	defer guard.Trap(&err)
 	db := ev.Database()
 	if err := db.Validate(); err != nil {
 		return Result{}, err
@@ -49,6 +51,7 @@ func optimizeNoCPNaive(ev *database.Evaluator) (Result, error) {
 		if c, ok := cost[s]; ok {
 			return c
 		}
+		guard.Must(ev.Guard().ChargeStates(1))
 		best := math.MaxInt
 		var bestSplit [2]hypergraph.Set
 		s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"multijoin/internal/database"
+	"multijoin/internal/guard"
 	"multijoin/internal/strategy"
 )
 
@@ -13,14 +14,17 @@ import (
 // strategy", Theorem 2's "there is a τ-optimum strategy that…").
 //
 // The returned slice is empty only when the subspace itself is empty.
-func Optima(ev *database.Evaluator, space Space) ([]*strategy.Node, error) {
+//
+// Under a guarded evaluator the enumeration pass is interruptible: every
+// cost lookup polls the guard, and a trip surfaces as its typed error.
+func Optima(ev *database.Evaluator, space Space) (out []*strategy.Node, err error) {
+	defer guard.Trap(&err)
 	res, err := Optimize(ev, space)
 	if err != nil {
 		return nil, err
 	}
 	db := ev.Database()
 	g := db.Graph()
-	var out []*strategy.Node
 	collect := func(n *strategy.Node) bool {
 		if n.Cost(ev) == res.Cost {
 			out = append(out, n)

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"multijoin/internal/database"
+	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/strategy"
 )
@@ -75,7 +76,13 @@ type Result struct {
 }
 
 // Optimize returns a τ-optimum strategy within the given subspace.
-func Optimize(ev *database.Evaluator, space Space) (Result, error) {
+//
+// When the evaluator carries a guard.Guard, the search is governed: each
+// DP state examined charges the state budget, each materialization
+// charges the tuple/step budgets, and a trip or cancellation returns the
+// guard's typed error (guard.Tripped reports it) instead of running on.
+func Optimize(ev *database.Evaluator, space Space) (res Result, err error) {
+	defer guard.Trap(&err)
 	db := ev.Database()
 	if err := db.Validate(); err != nil {
 		return Result{}, err
@@ -129,6 +136,7 @@ func (o *dp) solve(s hypergraph.Set) int {
 	if c, ok := o.cost[s]; ok {
 		return c
 	}
+	guard.Must(o.ev.Guard().ChargeStates(1))
 	o.cost[s] = inf // guard against re-entry; overwritten below
 	best := inf
 	var bestSplit [2]hypergraph.Set
@@ -254,6 +262,7 @@ func (o *dp) build(s hypergraph.Set) *strategy.Node {
 // O(n³) joins and offers no optimality guarantee.
 func Greedy(ev *database.Evaluator) Result {
 	db := ev.Database()
+	gd := ev.Guard()
 	pool := make([]*strategy.Node, db.Len())
 	for i := range pool {
 		pool[i] = strategy.Leaf(i)
@@ -264,6 +273,7 @@ func Greedy(ev *database.Evaluator) Result {
 		for i := 0; i < len(pool); i++ {
 			for j := i + 1; j < len(pool); j++ {
 				states++
+				guard.Must(gd.ChargeStates(1))
 				sz := ev.Size(pool[i].Set().Union(pool[j].Set()))
 				if sz < bestSize {
 					bi, bj, bestSize = i, j, sz
@@ -295,6 +305,22 @@ func Exhaustive(ev *database.Evaluator) Result {
 		return true
 	})
 	return Result{Space: SpaceAll, Strategy: bestNode, Cost: best, States: count}
+}
+
+// GreedyGuarded is Greedy with the evaluator's resource guard trapped:
+// a budget trip or cancellation surfaces as the guard's typed error
+// instead of unwinding through the caller. It is the last rung of the
+// CLI's degradation ladder (exhaustive → DP → greedy).
+func GreedyGuarded(ev *database.Evaluator) (res Result, err error) {
+	defer guard.Trap(&err)
+	return Greedy(ev), nil
+}
+
+// ExhaustiveGuarded is Exhaustive with the evaluator's resource guard
+// trapped, for callers that need the reference enumeration to fail soft.
+func ExhaustiveGuarded(ev *database.Evaluator) (res Result, err error) {
+	defer guard.Trap(&err)
+	return Exhaustive(ev), nil
 }
 
 // Systems names the production optimizers the paper's Section 1 places

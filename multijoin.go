@@ -1,6 +1,7 @@
 package multijoin
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"multijoin/internal/database"
 	"multijoin/internal/fd"
 	"multijoin/internal/gen"
+	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/optimizer"
 	"multijoin/internal/paperex"
@@ -336,4 +338,74 @@ func LosslessStrategy(db *Database, s *Strategy, fds []FD) bool {
 // internal/database.PrewarmConnected.
 func PrewarmConnected(db *Database, workers int) *Evaluator {
 	return database.PrewarmConnected(db, workers)
+}
+
+// Resource governance: budgets, cancellation and graceful degradation.
+type (
+	// Guard carries a context plus resource budgets (intermediate
+	// tuples, examined states, join steps) through the engine; a nil
+	// *Guard is a valid unlimited guard.
+	Guard = guard.Guard
+	// GuardLimits configures a Guard's budgets; zero values are
+	// unlimited.
+	GuardLimits = guard.Limits
+	// BudgetError is the typed error for an exceeded budget, carrying
+	// the resource, the spend, the limit and the phase that tripped.
+	BudgetError = guard.BudgetError
+	// CancelError is the typed error for evaluation cut short by the
+	// guard's context; it unwraps to the context error.
+	CancelError = guard.CancelError
+	// PanicError is a panic recovered at a library boundary, carrying
+	// the panic value and stack.
+	PanicError = guard.PanicError
+	// AnalysisTruncation records one analysis phase cut short by the
+	// resource guard.
+	AnalysisTruncation = core.Truncation
+)
+
+// Governance sentinels: ErrBudgetExceeded matches every budget trip via
+// errors.Is; ErrFaultInjected is the deterministic fault-injection error.
+var (
+	ErrBudgetExceeded = guard.ErrBudgetExceeded
+	ErrFaultInjected  = guard.ErrFaultInjected
+)
+
+// NewGuard creates a resource guard over ctx with the given limits; a
+// nil ctx means context.Background(). Attach it to an evaluator with
+// Evaluator.WithGuard.
+func NewGuard(ctx context.Context, lim GuardLimits) *Guard { return guard.New(ctx, lim) }
+
+// Tripped reports whether err is a resource-governance abort — a budget
+// trip, a cancellation or an injected fault — as opposed to a semantic
+// failure; callers use it to pick a degradation path.
+func Tripped(err error) bool { return guard.Tripped(err) }
+
+// AnalyzeGuarded is Analyze under resource governance: phases that trip
+// a budget are recorded in the Analysis's Truncated list, and the
+// analysis fails outright only when not even the condition profile could
+// be computed. A nil guard makes it equivalent to Analyze.
+func AnalyzeGuarded(db *Database, g *Guard) (*Analysis, error) {
+	return core.AnalyzeGuarded(db, g)
+}
+
+// OptimizeGuarded is Optimize on a guard-carrying evaluator: the search
+// charges the guard's budgets and a trip returns its typed error.
+func OptimizeGuarded(ev *Evaluator, space SearchSpace) (OptimizeResult, error) {
+	return optimizer.Optimize(ev, space)
+}
+
+// GreedyGuarded runs the smallest-result heuristic with the evaluator's
+// guard trapped — the last rung of the degradation ladder
+// exhaustive → DP → greedy.
+func GreedyGuarded(ev *Evaluator) (OptimizeResult, error) {
+	return optimizer.GreedyGuarded(ev)
+}
+
+// PrewarmConnectedGuarded is PrewarmConnected under resource
+// governance. On a budget trip, cancellation or injected fault it
+// returns the partially warmed evaluator — every memo entry fully
+// charged and consistent — together with the typed error, and leaks no
+// goroutines.
+func PrewarmConnectedGuarded(db *Database, workers int, g *Guard) (*Evaluator, error) {
+	return database.PrewarmConnectedGuarded(db, workers, g)
 }

@@ -1,6 +1,8 @@
 package multijoin_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -195,5 +197,52 @@ func TestPublicAPIZipfAndUniform(t *testing.T) {
 	z := multijoin.GenerateZipf(rng, schemes, 10, 10, 1.7)
 	if u.Len() != 3 || z.Len() != 3 {
 		t.Fatal("generators wrong")
+	}
+}
+
+func TestPublicAPIResourceGovernance(t *testing.T) {
+	db := multijoin.ExampleDatabase(5)
+
+	// Generous budgets: analysis completes and is marked complete.
+	g := multijoin.NewGuard(context.Background(),
+		multijoin.GuardLimits{MaxTuples: 1 << 20, MaxStates: 1 << 20})
+	an, err := multijoin.AnalyzeGuarded(db, g)
+	if err != nil || !an.Complete() {
+		t.Fatalf("governed analysis failed: err=%v truncated=%v", err, an.Truncated)
+	}
+	if err := multijoin.VerifyCertificates(an); err != nil {
+		t.Fatal(err)
+	}
+
+	// A one-tuple budget trips with the exported sentinel and typed error.
+	tight := multijoin.NewGuard(context.Background(), multijoin.GuardLimits{MaxTuples: 1})
+	_, err = multijoin.AnalyzeGuarded(db, tight)
+	if !errors.Is(err, multijoin.ErrBudgetExceeded) || !multijoin.Tripped(err) {
+		t.Fatalf("want exported budget sentinel, got %v", err)
+	}
+	var be *multijoin.BudgetError
+	if !errors.As(err, &be) || be.Resource != "tuples" {
+		t.Fatalf("want typed tuple budget error, got %v", err)
+	}
+
+	// Guarded optimize and greedy on a governed evaluator.
+	ev := multijoin.NewEvaluator(db).WithGuard(multijoin.NewGuard(context.Background(), multijoin.GuardLimits{}))
+	if _, err := multijoin.OptimizeGuarded(ev, multijoin.SpaceAll); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multijoin.GreedyGuarded(ev); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelled guarded prewarm returns the typed error and a usable
+	// partial evaluator.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	warm, err := multijoin.PrewarmConnectedGuarded(db, 2, multijoin.NewGuard(ctx, multijoin.GuardLimits{}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation, got %v", err)
+	}
+	if warm == nil {
+		t.Fatal("aborted prewarm must still return the partial evaluator")
 	}
 }
