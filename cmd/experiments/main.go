@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -list      # list experiment IDs
-//	experiments -run E-ex1 # run one experiment
+//	experiments                  # run everything
+//	experiments -list            # list experiment IDs
+//	experiments -run E-ex1       # run one experiment
+//	experiments -bench           # run the bench pipeline, write BENCH_joinopt.json
+//	experiments -check-bench F   # validate a previously written bench report
 //
 // The process exits nonzero if any experiment's checks fail, so the
-// harness can gate CI on the reproduction staying faithful.
+// harness can gate CI on the reproduction staying faithful; the bench
+// mode emits the schema-versioned performance report CI archives per
+// push.
 package main
 
 import (
@@ -24,11 +28,32 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "", "run a single experiment by ID (default: all)")
+	bench := flag.Bool("bench", false, "run the bench pipeline over the fixed corpus")
+	benchOut := flag.String("bench-out", "BENCH_joinopt.json", "bench report output file")
+	benchWorkers := flag.Int("bench-workers", 0, "prewarm workers for -bench (0 = GOMAXPROCS)")
+	checkBench := flag.String("check-bench", "", "validate a bench report file and exit")
 	flag.Parse()
 
 	if *list {
 		for _, info := range experiments.All() {
 			fmt.Printf("%-14s %s\n", info.ID, info.Paper)
+		}
+		return
+	}
+
+	if *checkBench != "" {
+		if err := checkBenchFile(*checkBench); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s validates against the bench schema\n", *checkBench)
+		return
+	}
+
+	if *bench {
+		if err := runBench(*benchOut, *benchWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -65,4 +90,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed their paper checks\n", failures)
 		os.Exit(1)
 	}
+}
+
+// runBench executes the bench pipeline, validates the report before
+// writing it, and saves it to path.
+func runBench(path string, workers int) error {
+	rep, err := experiments.RunBench(os.Stdout, workers)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBench(rep); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBench(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases, total wall %s)\n",
+		path, rep.Totals.Cases, time.Duration(rep.Totals.WallNS).Round(time.Millisecond))
+	return nil
+}
+
+// checkBenchFile decodes and validates a bench report — the CI gate for
+// the archived artifact.
+func checkBenchFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := experiments.DecodeBench(f)
+	if err != nil {
+		return err
+	}
+	return experiments.ValidateBench(rep)
 }

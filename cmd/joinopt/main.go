@@ -11,6 +11,12 @@
 //	joinopt -example 1 -cost '(R1 R3) (R2 R4)'   # trace one strategy
 //	joinopt -gen chain -n 4 -seed 3 -reduce      # full reducer report
 //
+// Runs are budgetable (-timeout, -max-tuples, -max-states; a trip exits
+// 1 with the tripped phase and a budget report) and observable:
+//
+//	joinopt -example 1 -metrics-out m.json -trace-out t.json
+//	joinopt -gen clique -n 8 -debug-addr :6060   # expvar + pprof while it runs
+//
 // The JSON format is documented in internal/database/json.go:
 //
 //	{"relations": [{"name": "R1", "attrs": ["A","B"], "rows": [["p","0"]]}]}

@@ -1,0 +1,62 @@
+// Command obscheck validates the machine-readable observability
+// artifacts joinopt emits: metrics snapshots (-metrics-out) and
+// structured traces (-trace-out). Each argument is sniffed by schema and
+// must decode cleanly with no unknown fields; CI runs it to keep the
+// JSON contracts honest.
+//
+// Usage:
+//
+//	obscheck FILE...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"multijoin/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck FILE...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := checkFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkFile sniffs the document's schema field and validates it with the
+// matching strict decoder.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("not a JSON document: %w", err)
+	}
+	switch head.Schema {
+	case obs.MetricsSchema:
+		_, err = obs.DecodeMetrics(bytes.NewReader(data))
+	case obs.TraceSchema:
+		_, err = obs.DecodeTrace(bytes.NewReader(data))
+	default:
+		return fmt.Errorf("unknown schema %q", head.Schema)
+	}
+	return err
+}

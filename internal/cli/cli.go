@@ -11,6 +11,13 @@
 // degrade along the ladder exhaustive → DP → greedy instead of failing
 // outright. A panic boundary converts internal invariant panics into
 // errors, so malformed input cannot crash the process.
+//
+// Every run is also observable: -metrics-out and -trace-out emit
+// schema-versioned JSON (the counter/timer snapshot and the structured
+// event stream), and -debug-addr serves expvar plus net/http/pprof for
+// live profiling of long evaluations. With none of the three set, no
+// recorder is allocated and the instrumented hot paths reduce to nil
+// checks.
 package cli
 
 import (
@@ -27,6 +34,7 @@ import (
 	"multijoin/internal/database"
 	"multijoin/internal/gen"
 	"multijoin/internal/guard"
+	"multijoin/internal/obs"
 	"multijoin/internal/optimizer"
 	"multijoin/internal/paperex"
 	"multijoin/internal/semijoin"
@@ -57,6 +65,9 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 500ms (0 = none)")
 	maxTuples := fs.Int64("max-tuples", 0, "budget on materialized intermediate tuples, the paper's τ (0 = unlimited)")
 	maxStates := fs.Int64("max-states", 0, "budget on evaluator memo + optimizer DP states examined (0 = unlimited)")
+	metricsOut := fs.String("metrics-out", "", "write the run's counter/gauge/timer snapshot as JSON to this file")
+	traceOut := fs.String("trace-out", "", "write the run's structured event trace as JSON to this file")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and net/http/pprof on this address, e.g. :6060")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -64,23 +75,42 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The recorder exists only when some observability surface asked for
+	// it; otherwise every instrumented path stays a nil check. A recorder
+	// implies a guard (possibly unlimited), so phase labels and the
+	// guard-spend gauges flow even on unbudgeted observed runs.
+	var rec *obs.Recorder
+	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" {
+		rec = obs.NewRecorder()
+	}
+
+	ctx := context.Background()
+	cancel := func() {}
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	defer cancel()
+	var g *guard.Guard
+	if *timeout > 0 || *maxTuples > 0 || *maxStates > 0 || rec != nil {
+		g = guard.New(ctx, guard.Limits{MaxTuples: *maxTuples, MaxStates: *maxStates})
+	}
+
+	if *debugAddr != "" {
+		srv, addr, derr := obs.DebugServer(*debugAddr, rec)
+		if derr != nil {
+			fmt.Fprintln(stderr, "joinopt:", derr)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "joinopt: debug server on http://%s/debug/pprof/\n", addr)
+	}
+
 	err := func() (err error) {
 		// Panic boundary: internal invariant violations and malformed
 		// input degrade to reported errors, never a crash.
 		defer guard.Protect(&err)
 
-		ctx := context.Background()
-		cancel := func() {}
-		if *timeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-		}
-		defer cancel()
-		var g *guard.Guard
-		if *timeout > 0 || *maxTuples > 0 || *maxStates > 0 {
-			g = guard.New(ctx, guard.Limits{MaxTuples: *maxTuples, MaxStates: *maxStates})
-		}
-
-		g.SetPhase("load")
+		setPhase(g, rec, "load")
 		var db *database.Database
 		if *csvDir != "" {
 			db, err = database.LoadCSVDir(*csvDir)
@@ -101,18 +131,18 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				return err
 			}
-			g.SetPhase("render")
-			ev := database.NewEvaluator(db).WithGuard(g)
+			setPhase(g, rec, "render")
+			ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
 			fmt.Fprint(stdout, strategy.DOT(ev, st))
 			return nil
 		case *costExpr != "":
-			return costOne(stdout, db, g, *costExpr)
+			return costOne(stdout, db, g, rec, *costExpr)
 		case *reduce:
 			return reduceReport(stdout, db)
 		case *optima:
-			return listOptima(stdout, db, g)
+			return listOptima(stdout, db, g, rec)
 		case *format == "json":
-			an, err := core.AnalyzeGuarded(db, g)
+			an, err := core.AnalyzeObserved(db, g, rec)
 			if err != nil {
 				return err
 			}
@@ -126,14 +156,96 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		case *format != "text":
 			return fmt.Errorf("unknown format %q", *format)
 		default:
-			return analyze(stdout, db, g, *listStrategies)
+			return analyze(stdout, db, g, rec, *listStrategies)
 		}
 	}()
+	// Metrics and trace are written even for failed runs — a tripped or
+	// crashed evaluation is exactly when the numbers matter most.
+	if rec != nil {
+		recordGuardGauges(rec, g)
+		if werr := writeObsFiles(rec, *metricsOut, *traceOut); werr != nil {
+			fmt.Fprintln(stderr, "joinopt:", werr)
+			if err == nil {
+				err = werr
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "joinopt:", err)
+		if guard.Tripped(err) {
+			reportBudget(stderr, g)
+		}
 		return 1
 	}
 	return 0
+}
+
+// setPhase labels both the guard and the recorder (either may be nil)
+// with a CLI-level phase, so budget trips and trace events from
+// command-specific work name where they happened.
+func setPhase(g *guard.Guard, rec *obs.Recorder, name string) {
+	g.SetPhase(name)
+	rec.SetPhase(name)
+}
+
+// recordGuardGauges copies the guard's atomic snapshot into the
+// recorder's gauges, so the metrics JSON carries the authoritative
+// spent/limit triples next to the engine's own counters and the two can
+// be reconciled offline.
+func recordGuardGauges(rec *obs.Recorder, g *guard.Guard) {
+	if g == nil {
+		return
+	}
+	snap := g.Snapshot()
+	rec.Gauge("guard.spent.tuples").Set(snap.Tuples.Spent)
+	rec.Gauge("guard.limit.tuples").Set(snap.Tuples.Limit)
+	rec.Gauge("guard.spent.states").Set(snap.States.Spent)
+	rec.Gauge("guard.limit.states").Set(snap.States.Limit)
+	rec.Gauge("guard.spent.steps").Set(snap.Steps.Spent)
+	rec.Gauge("guard.limit.steps").Set(snap.Steps.Limit)
+}
+
+// writeObsFiles writes the metrics snapshot and the structured trace to
+// the requested paths (either may be empty).
+func writeObsFiles(rec *obs.Recorder, metricsOut, traceOut string) error {
+	write := func(path string, emit func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(metricsOut, rec.WriteMetrics); err != nil {
+		return err
+	}
+	return write(traceOut, rec.WriteTrace)
+}
+
+// reportBudget prints the guard's atomic spent/limit snapshot after a
+// tripped run, so the user sees in one line which budget was exhausted,
+// in which phase, and how far the others got.
+func reportBudget(w io.Writer, g *guard.Guard) {
+	if g == nil {
+		return
+	}
+	snap := g.Snapshot()
+	fmt.Fprintf(w, "joinopt: budget report: phase=%s tuples=%s states=%s steps=%s\n",
+		snap.Phase, usageString(snap.Tuples), usageString(snap.States), usageString(snap.Steps))
+}
+
+// usageString renders one spent/limit pair, with "∞" for unlimited.
+func usageString(u guard.Usage) string {
+	if u.Limit <= 0 {
+		return fmt.Sprintf("%d/∞", u.Spent)
+	}
+	return fmt.Sprintf("%d/%d", u.Spent, u.Limit)
 }
 
 // truncationError converts a truncated analysis into the typed
@@ -194,7 +306,7 @@ func loadDatabase(example int, file, genShape string, n, rows, domain int, seed 
 }
 
 // costOne parses a strategy expression and prints its evaluation trace.
-func costOne(w io.Writer, db *database.Database, g *guard.Guard, expr string) (err error) {
+func costOne(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder, expr string) (err error) {
 	defer guard.Trap(&err)
 	s, err := strategy.Parse(db, expr)
 	if err != nil {
@@ -203,14 +315,14 @@ func costOne(w io.Writer, db *database.Database, g *guard.Guard, expr string) (e
 	if s.Set() != db.All() {
 		return fmt.Errorf("strategy covers %v, not the whole database", s.Set())
 	}
-	g.SetPhase("trace")
-	ev := database.NewEvaluator(db).WithGuard(g)
+	setPhase(g, rec, "trace")
+	ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
 	tr := strategy.TraceEvaluation(ev, s)
 	fmt.Fprintln(w, tr)
 	fmt.Fprintf(w, "linear: %v   uses Cartesian products: %v   monotone: decreasing=%v increasing=%v\n",
 		s.IsLinear(), s.UsesCartesian(db.Graph()),
 		tr.MonotoneDecreasing(), tr.MonotoneIncreasing())
-	g.SetPhase("optimize:all")
+	setPhase(g, rec, "optimize:all")
 	best, err := optimizer.Optimize(ev, optimizer.SpaceAll)
 	if err != nil {
 		return err
@@ -247,16 +359,16 @@ func reduceReport(w io.Writer, db *database.Database) error {
 // exhaustive enumeration → subset DP → greedy heuristic, reporting at
 // each rung what was truncated and why; the run only errors when no
 // rung can produce a result (e.g. a hard deadline already passed).
-func listOptima(w io.Writer, db *database.Database, g *guard.Guard) error {
+func listOptima(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder) error {
 	if db.Len() > 8 {
 		return fmt.Errorf("-optima is limited to 8 relations")
 	}
-	ev := database.NewEvaluator(db).WithGuard(g)
+	ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
 	for _, sp := range []optimizer.Space{
 		optimizer.SpaceAll, optimizer.SpaceNoCP,
 		optimizer.SpaceLinear, optimizer.SpaceLinearNoCP,
 	} {
-		g.SetPhase("optima:" + sp.String())
+		setPhase(g, rec, "optima:"+sp.String())
 		opts, err := optimizer.Optima(ev, sp)
 		if err == optimizer.ErrEmptySpace {
 			fmt.Fprintf(w, "%s: empty subspace\n", sp)
@@ -285,7 +397,10 @@ func listOptima(w io.Writer, db *database.Database, g *guard.Guard) error {
 // original typed enumeration error is surfaced.
 func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cause error) error {
 	db := ev.Database()
+	rec := ev.Recorder()
+	rec.Counter("guard.trips").Inc()
 	fmt.Fprintf(w, "%s: ⚠ exhaustive enumeration truncated: %v\n", sp, cause)
+	rec.Counter("degrade.dp").Inc()
 	res, err := optimizer.Optimize(ev, sp)
 	if err == optimizer.ErrEmptySpace {
 		fmt.Fprintf(w, "  (empty subspace)\n")
@@ -296,6 +411,7 @@ func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cau
 		return nil
 	}
 	fmt.Fprintf(w, "  DP fallback also cut: %v\n", err)
+	rec.Counter("degrade.greedy").Inc()
 	greedy, err := optimizer.GreedyGuarded(ev)
 	if err == nil {
 		fmt.Fprintf(w, "  falling back to greedy (full space, no optimality guarantee): τ=%d  %s\n",
@@ -306,12 +422,12 @@ func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cau
 	return cause
 }
 
-func analyze(w io.Writer, db *database.Database, g *guard.Guard, listStrategies bool) error {
+func analyze(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder, listStrategies bool) error {
 	fmt.Fprintln(w, "database:")
 	fmt.Fprintln(w, db)
 	fmt.Fprintln(w)
 
-	an, err := core.AnalyzeGuarded(db, g)
+	an, err := core.AnalyzeObserved(db, g, rec)
 	if err != nil {
 		return err
 	}
@@ -330,8 +446,8 @@ func analyze(w io.Writer, db *database.Database, g *guard.Guard, listStrategies 
 		if db.Len() > 8 {
 			return fmt.Errorf("-strategies is limited to 8 relations ((2n−3)!! blows up)")
 		}
-		g.SetPhase("enumerate:all")
-		ev := database.NewEvaluator(db).WithGuard(g)
+		setPhase(g, rec, "enumerate:all")
+		ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
 		type entry struct {
 			cost int
 			desc string

@@ -1,0 +1,207 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"multijoin/internal/obs"
+)
+
+// decodeObsFiles reads back the metrics and trace files a run wrote.
+func decodeObsFiles(t *testing.T, metricsPath, tracePath string) (*obs.Snapshot, *obs.Trace) {
+	t.Helper()
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	snap, err := obs.DecodeMetrics(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	tr, err := obs.DecodeTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, tr
+}
+
+// TestMetricsReconcileWithGuard is the acceptance check: the engine's
+// mirrored counters must equal the guard's atomic snapshot, exported as
+// gauges — eval.tuples == guard.spent.tuples, eval.states + dp.states ==
+// guard.spent.states, eval.steps == guard.spent.steps.
+func TestMetricsReconcileWithGuard(t *testing.T) {
+	dir := t.TempDir()
+	m, tr := filepath.Join(dir, "m.json"), filepath.Join(dir, "t.json")
+	_, _, code := run(t, "-example", "1", "-metrics-out", m, "-trace-out", tr)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	snap, trace := decodeObsFiles(t, m, tr)
+
+	if got, want := snap.Counters["eval.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
+		t.Errorf("eval.tuples = %d, guard.spent.tuples = %d", got, want)
+	}
+	if got, want := snap.Counters["eval.states"]+snap.Counters["dp.states"], snap.Gauges["guard.spent.states"]; got != want {
+		t.Errorf("eval.states+dp.states = %d, guard.spent.states = %d", got, want)
+	}
+	if got, want := snap.Counters["eval.steps"], snap.Gauges["guard.spent.steps"]; got != want {
+		t.Errorf("eval.steps = %d, guard.spent.steps = %d", got, want)
+	}
+	if snap.Counters["eval.tuples"] == 0 {
+		t.Error("eval.tuples is zero; the evaluator was not instrumented")
+	}
+
+	// Every analysis phase must appear as a begin/end pair, in order.
+	var begins, ends []string
+	for _, e := range trace.Events {
+		switch e.Kind {
+		case "begin":
+			begins = append(begins, e.Name)
+		case "end":
+			ends = append(ends, e.Name)
+		}
+	}
+	for _, phase := range []string{"materialize", "conditions", "optimize:all"} {
+		if !contains(begins, phase) || !contains(ends, phase) {
+			t.Errorf("trace missing begin/end pair for phase %q (begins %v ends %v)", phase, begins, ends)
+		}
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCostStepEventsSumToTau checks the other acceptance identity end
+// to end: the per-step ResultSize events in the trace sum to the τ(S)
+// the command printed.
+func TestCostStepEventsSumToTau(t *testing.T) {
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "t.json")
+	out, _, code := run(t, "-example", "1", "-cost", "(((R1 R2) R3) R4)", "-trace-out", trPath)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	m := regexp.MustCompile(`τ\(S\) = (\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no τ(S) in output:\n%s", out)
+	}
+	printed, _ := strconv.Atoi(m[1])
+
+	tf, err := os.Open(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	trace, err := obs.DecodeTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	steps := 0
+	for _, e := range trace.Events {
+		if e.Kind == "step" {
+			sum += e.Tuples
+			steps++
+		}
+	}
+	if steps == 0 {
+		t.Fatal("trace has no step events")
+	}
+	if sum != int64(printed) {
+		t.Errorf("Σ step event tuples = %d, printed τ(S) = %d", sum, printed)
+	}
+}
+
+// TestTrippedRunWritesReportAndMetrics: a budget trip must still write
+// the metrics file (failed runs are when the numbers matter) and print
+// the guard's spent/limit snapshot to stderr.
+func TestTrippedRunWritesReportAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	m := filepath.Join(dir, "m.json")
+	_, errOut, code := run(t, "-example", "1", "-max-tuples", "5", "-metrics-out", m)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "budget report") {
+		t.Errorf("stderr missing the budget report:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "/5") {
+		t.Errorf("budget report does not show the tuple limit:\n%s", errOut)
+	}
+	mf, err := os.Open(m)
+	if err != nil {
+		t.Fatalf("metrics not written on a tripped run: %v", err)
+	}
+	defer mf.Close()
+	snap, err := obs.DecodeMetrics(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges["guard.limit.tuples"] != 5 {
+		t.Errorf("guard.limit.tuples = %d, want 5", snap.Gauges["guard.limit.tuples"])
+	}
+	if snap.Counters["guard.trips"] == 0 {
+		t.Error("guard.trips counter not incremented on a tripped run")
+	}
+	// The acceptance identity must hold on budgeted runs too: the
+	// charge that trips is counted by both ledgers.
+	if got, want := snap.Counters["eval.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
+		t.Errorf("tripped run: eval.tuples = %d, guard.spent.tuples = %d", got, want)
+	}
+}
+
+// TestStateTrippedRunReconciles covers the state-budget trip: the DP
+// mirrors its states counter before charging, so the expansion that
+// trips still reconciles against the guard's snapshot.
+func TestStateTrippedRunReconciles(t *testing.T) {
+	dir := t.TempDir()
+	m := filepath.Join(dir, "m.json")
+	_, errOut, code := run(t, "-example", "5", "-max-states", "40", "-metrics-out", m)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, errOut)
+	}
+	mf, err := os.Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	snap, err := obs.DecodeMetrics(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snap.Counters["eval.states"] + snap.Counters["dp.states"]
+	if want := snap.Gauges["guard.spent.states"]; got != want {
+		t.Errorf("tripped run: eval.states+dp.states = %d, guard.spent.states = %d", got, want)
+	}
+	if got, want := snap.Counters["eval.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
+		t.Errorf("tripped run: eval.tuples = %d, guard.spent.tuples = %d", got, want)
+	}
+}
+
+// TestDebugAddrFlag starts the pprof/expvar server on an ephemeral port
+// and reports its address on stderr.
+func TestDebugAddrFlag(t *testing.T) {
+	_, errOut, code := run(t, "-example", "3", "-debug-addr", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "/debug/pprof/") {
+		t.Errorf("stderr does not announce the debug server:\n%s", errOut)
+	}
+}

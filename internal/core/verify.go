@@ -18,8 +18,12 @@ func VerifyTheorem1Exhaustive(ev *database.Evaluator) (err error) {
 	defer guard.Trap(&err)
 	db := ev.Database()
 	g := db.Graph()
+	rec := ev.Recorder()
+	cEnum := rec.Counter("verify.thm1.strategies")
+	defer rec.Timer("verify.thm1.wall").Start().Stop()
 	best := -1
 	strategy.EnumerateLinear(db.All(), func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if c := n.Cost(ev); best == -1 || c < best {
 			best = c
 		}
@@ -27,6 +31,7 @@ func VerifyTheorem1Exhaustive(ev *database.Evaluator) (err error) {
 	})
 	var bad *strategy.Node
 	strategy.EnumerateLinear(db.All(), func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if n.Cost(ev) == best && n.UsesCartesian(g) {
 			bad = n
 			return false
@@ -34,6 +39,7 @@ func VerifyTheorem1Exhaustive(ev *database.Evaluator) (err error) {
 		return true
 	})
 	if bad != nil {
+		rec.Counter("verify.counterexamples").Inc()
 		return fmt.Errorf("theorem 1 violated: τ-optimum linear strategy %s (cost %d) uses a Cartesian product",
 			bad.Render(db), best)
 	}
@@ -46,8 +52,12 @@ func VerifyTheorem2Exhaustive(ev *database.Evaluator) (err error) {
 	defer guard.Trap(&err)
 	db := ev.Database()
 	g := db.Graph()
+	rec := ev.Recorder()
+	cEnum := rec.Counter("verify.thm2.strategies")
+	defer rec.Timer("verify.thm2.wall").Start().Stop()
 	best := -1
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if c := n.Cost(ev); best == -1 || c < best {
 			best = c
 		}
@@ -55,6 +65,7 @@ func VerifyTheorem2Exhaustive(ev *database.Evaluator) (err error) {
 	})
 	found := false
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if n.Cost(ev) == best && !n.UsesCartesian(g) {
 			found = true
 			return false
@@ -62,6 +73,7 @@ func VerifyTheorem2Exhaustive(ev *database.Evaluator) (err error) {
 		return true
 	})
 	if !found {
+		rec.Counter("verify.counterexamples").Inc()
 		return fmt.Errorf("theorem 2 violated: no τ-optimum strategy (cost %d) is Cartesian-product-free", best)
 	}
 	return nil
@@ -73,8 +85,12 @@ func VerifyTheorem3Exhaustive(ev *database.Evaluator) (err error) {
 	defer guard.Trap(&err)
 	db := ev.Database()
 	g := db.Graph()
+	rec := ev.Recorder()
+	cEnum := rec.Counter("verify.thm3.strategies")
+	defer rec.Timer("verify.thm3.wall").Start().Stop()
 	best := -1
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if c := n.Cost(ev); best == -1 || c < best {
 			best = c
 		}
@@ -82,6 +98,7 @@ func VerifyTheorem3Exhaustive(ev *database.Evaluator) (err error) {
 	})
 	found := false
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if n.Cost(ev) == best && n.IsLinear() && !n.UsesCartesian(g) {
 			found = true
 			return false
@@ -89,6 +106,7 @@ func VerifyTheorem3Exhaustive(ev *database.Evaluator) (err error) {
 		return true
 	})
 	if !found {
+		rec.Counter("verify.counterexamples").Inc()
 		return fmt.Errorf("theorem 3 violated: no τ-optimum strategy (cost %d) is linear and Cartesian-product-free", best)
 	}
 	return nil

@@ -2,6 +2,7 @@ package database
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -46,21 +47,49 @@ func ReadCSV(name string, r io.Reader) (rel *relation.Relation, err error) {
 		return nil, fmt.Errorf("database: %s has duplicate attributes", name)
 	}
 	rel = relation.New(name, schema)
-	for {
+	for row := 1; ; row++ {
 		record, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("database: reading CSV rows for %s: %w", name, err)
+			// encoding/csv errors carry the file line; prefix the
+			// relation and the 1-based data-row index so multi-file
+			// loads name exactly what failed.
+			return nil, fmt.Errorf("database: relation %s: CSV row %d: %w", name, row, err)
 		}
-		t := make(relation.Tuple, len(attrs))
-		for i, v := range record {
-			t[attrs[i]] = relation.Value(v)
+		if err := insertRow(rel, attrs, record); err != nil {
+			return nil, fmt.Errorf("database: relation %s: CSV row %d: %w", name, row, err)
 		}
-		rel.Insert(t)
 	}
 	return rel, nil
+}
+
+// insertRow builds and inserts one positional tuple, converting any
+// relation-layer invariant panic into an error so loaders can prefix it
+// with the offending row's position.
+func insertRow(rel *relation.Relation, attrs []relation.Attr, record []string) (err error) {
+	defer unwrapRowPanic(&err)
+	defer guard.Protect(&err)
+	if len(record) != len(attrs) {
+		return fmt.Errorf("has %d values, want %d", len(record), len(attrs))
+	}
+	t := make(relation.Tuple, len(attrs))
+	for i, v := range record {
+		t[attrs[i]] = relation.Value(v)
+	}
+	rel.Insert(t)
+	return nil
+}
+
+// unwrapRowPanic rewrites a recovered relation-layer panic as a plain
+// malformed-row error, dropping the stack (the loaders report position
+// themselves).
+func unwrapRowPanic(errp *error) {
+	var pe *guard.PanicError
+	if errors.As(*errp, &pe) {
+		*errp = fmt.Errorf("malformed row: %v", pe.Value)
+	}
 }
 
 // LoadCSVDir builds a database from every .csv file in dir, in

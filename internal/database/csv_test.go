@@ -105,3 +105,18 @@ func TestReadCSVRaggedRowIsError(t *testing.T) {
 		t.Fatal("ragged row should fail")
 	}
 }
+
+// TestReadCSVErrorsCarryPosition is the loader-diagnostics regression:
+// a malformed CSV row must surface with the relation name and the
+// 1-based data-row index, so multi-file loads name exactly what failed.
+func TestReadCSVErrorsCarryPosition(t *testing.T) {
+	_, err := ReadCSV("orders", strings.NewReader("A,B\n1,x\n2\n"))
+	if err == nil {
+		t.Fatal("ragged row should fail")
+	}
+	for _, want := range []string{"orders", "row 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package database
 import (
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
 	"multijoin/internal/relation"
 )
 
@@ -27,6 +28,16 @@ type Evaluator struct {
 	db    *Database
 	memo  map[hypergraph.Set]*relation.Relation
 	guard *guard.Guard
+	rec   *obs.Recorder
+
+	// Metric handles resolved once at attach time so the hot path pays
+	// an atomic add, not a registry lookup; all are the nil no-op
+	// handles when no recorder is attached.
+	cMemoHits   *obs.Counter
+	cMemoMisses *obs.Counter
+	cTuples     *obs.Counter
+	cStates     *obs.Counter
+	cSteps      *obs.Counter
 }
 
 // NewEvaluator creates an evaluator for the database.
@@ -44,6 +55,28 @@ func (e *Evaluator) WithGuard(g *guard.Guard) *Evaluator {
 // Guard returns the evaluator's resource guard (nil when ungoverned).
 func (e *Evaluator) Guard() *guard.Guard { return e.guard }
 
+// WithRecorder attaches an observability recorder and returns the
+// evaluator. Every materialization then counts into `eval.tuples` (the
+// running τ ledger), `eval.states` and `eval.steps` — the same
+// quantities, charged at the same points, as guard.Guard's budgets, so
+// the metrics reconcile exactly with guard.Snapshot() — and memo
+// traffic counts into `eval.memo.hits`/`eval.memo.misses`. A nil
+// recorder detaches instrumentation.
+func (e *Evaluator) WithRecorder(rec *obs.Recorder) *Evaluator {
+	e.rec = rec
+	e.cMemoHits = rec.Counter("eval.memo.hits")
+	e.cMemoMisses = rec.Counter("eval.memo.misses")
+	e.cTuples = rec.Counter("eval.tuples")
+	e.cStates = rec.Counter("eval.states")
+	e.cSteps = rec.Counter("eval.steps")
+	return e
+}
+
+// Recorder returns the evaluator's observability recorder (nil when
+// uninstrumented). The optimizers and tracers read it so one attachment
+// point instruments the whole evaluation stack.
+func (e *Evaluator) Recorder() *obs.Recorder { return e.rec }
+
 // Database returns the underlying database.
 func (e *Evaluator) Database() *Database { return e.db }
 
@@ -59,8 +92,10 @@ func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 		guard.Must(e.guard.Tick())
 	}
 	if r, ok := e.memo[s]; ok {
+		e.cMemoHits.Inc()
 		return r
 	}
+	e.cMemoMisses.Inc()
 	var result *relation.Relation
 	if s.Len() == 1 {
 		result = e.db.Relation(s.First())
@@ -72,8 +107,15 @@ func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 	// Memoize before charging: the work is done either way, and a warm
 	// memo lets a degradation fallback reuse it free of charge.
 	e.memo[s] = result
-	if e.guard != nil && s.Len() > 1 {
-		guard.Must(e.guard.ChargeEval(result.Size()))
+	if s.Len() > 1 {
+		// Count before the charge can abort, mirroring the guard's
+		// ledger semantics: spend reflects work actually performed.
+		e.cTuples.Add(int64(result.Size()))
+		e.cStates.Inc()
+		e.cSteps.Inc()
+		if e.guard != nil {
+			guard.Must(e.guard.ChargeEval(result.Size()))
+		}
 	}
 	return result
 }

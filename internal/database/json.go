@@ -67,6 +67,15 @@ func DecodeJSON(r io.Reader) (db *Database, err error) {
 	defer guard.Protect(&err)
 	var in jsonDatabase
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return nil, fmt.Errorf("database: decoding JSON at byte offset %d: %w", syn.Offset, err)
+		}
+		var typ *json.UnmarshalTypeError
+		if errors.As(err, &typ) {
+			return nil, fmt.Errorf("database: decoding JSON at byte offset %d (field %q): %w",
+				typ.Offset, typ.Field, err)
+		}
 		return nil, fmt.Errorf("database: decoding JSON: %w", err)
 	}
 	if len(in.Relations) == 0 {
@@ -91,19 +100,24 @@ func DecodeJSON(r io.Reader) (db *Database, err error) {
 		}
 		rel := relation.New(jr.Name, schema)
 		for k, row := range jr.Rows {
-			if len(row) != len(attrs) {
-				return nil, fmt.Errorf("database: relation %s row %d has %d values, want %d",
-					jr.Name, k, len(row), len(attrs))
+			if err := insertRow(rel, attrs, row); err != nil {
+				return nil, fmt.Errorf("database: relation %s (index %d): JSON row %d: %w",
+					relName(jr.Name, i), i, k+1, err)
 			}
-			t := make(relation.Tuple, len(attrs))
-			for j, v := range row {
-				t[attrs[j]] = relation.Value(v)
-			}
-			rel.Insert(t)
 		}
 		rels[i] = rel
 	}
 	return New(rels...), nil
+}
+
+// relName returns the relation's declared name, or a positional
+// placeholder for anonymous relations, so loader errors always name the
+// offender.
+func relName(name string, index int) string {
+	if name == "" {
+		return fmt.Sprintf("#%d", index)
+	}
+	return name
 }
 
 // wrapLoadPanic, deferred after guard.Protect in the load paths, gives a

@@ -62,3 +62,34 @@ func TestDecodeJSONErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeJSONErrorsCarryPosition is the loader-diagnostics
+// regression for the JSON format: ragged rows name the relation and the
+// 1-based row, and syntax errors report the byte offset.
+func TestDecodeJSONErrorsCarryPosition(t *testing.T) {
+	_, err := DecodeJSON(strings.NewReader(
+		`{"relations": [{"name": "lineitem", "attrs": ["A", "B"], "rows": [["1", "x"], ["2"]]}]}`))
+	if err == nil {
+		t.Fatal("ragged row should fail")
+	}
+	for _, want := range []string{"lineitem", "row 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	_, err = DecodeJSON(strings.NewReader(`{"relations": [}`))
+	if err == nil {
+		t.Fatal("syntax error should fail")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("syntax error %q missing byte offset", err)
+	}
+
+	// An anonymous relation still gets a positional name.
+	_, err = DecodeJSON(strings.NewReader(
+		`{"relations": [{"attrs": ["A"], "rows": [["1", "2"]]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "#0") {
+		t.Errorf("anonymous relation error %v missing positional name", err)
+	}
+}

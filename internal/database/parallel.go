@@ -2,11 +2,13 @@ package database
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
 	"multijoin/internal/relation"
 )
 
@@ -43,11 +45,29 @@ func PrewarmConnected(db *Database, workers int) *Evaluator {
 //
 // A nil guard makes it equivalent to PrewarmConnected.
 func PrewarmConnectedGuarded(db *Database, workers int, g *guard.Guard) (*Evaluator, error) {
+	return PrewarmConnectedObserved(db, workers, g, nil)
+}
+
+// PrewarmConnectedObserved is PrewarmConnectedGuarded with observability:
+// the recorder (nil-safe) receives per-level begin/end events carrying
+// the subset cardinality and tuples materialized, wall time per level
+// under the `prewarm.level` timer, per-join busy time under
+// `prewarm.worker.busy` (busy/(wall×workers) is worker utilization),
+// and counters for jobs, states and the τ ledger mirroring the guard's
+// charges. The returned evaluator carries both the guard and the
+// recorder.
+func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *obs.Recorder) (*Evaluator, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ev := NewEvaluator(db).WithGuard(g)
+	ev := NewEvaluator(db).WithGuard(g).WithRecorder(rec)
 	graph := db.Graph()
+
+	rec.Gauge("prewarm.workers").Set(int64(workers))
+	cJobs := rec.Counter("prewarm.jobs")
+	cLevels := rec.Counter("prewarm.levels")
+	tLevel := rec.Timer("prewarm.level")
+	tBusy := rec.Timer("prewarm.worker.busy")
 
 	// Group connected subsets by cardinality.
 	levels := make([][]hypergraph.Set, db.Len()+1)
@@ -66,6 +86,11 @@ func PrewarmConnectedGuarded(db *Database, workers int, g *guard.Guard) (*Evalua
 		if len(level) == 0 {
 			continue
 		}
+		cLevels.Inc()
+		rec.Emit(obs.Event{Kind: "begin", Name: "prewarm.level." + strconv.Itoa(k),
+			Subset: k})
+		levelWatch := tLevel.Start()
+		var levelTuples atomic.Int64
 		// Resolve each subset's decomposition against the memo *before*
 		// the workers start: the memo map must not be read concurrently
 		// with the merge writes below.
@@ -111,7 +136,18 @@ func PrewarmConnectedGuarded(db *Database, workers int, g *guard.Guard) (*Evalua
 					if stop.Load() {
 						continue // drain the remaining jobs cheaply
 					}
+					busy := tBusy.Start()
 					rel := relation.Join(j.left, db.Relation(j.extra))
+					busy.Stop()
+					// Mirror the guard's ledger into the evaluator's
+					// metrics before the charge can trip, so spend
+					// reflects work actually performed (counters are
+					// atomic; workers share them safely).
+					cJobs.Inc()
+					ev.cTuples.Add(int64(rel.Size()))
+					ev.cStates.Inc()
+					ev.cSteps.Inc()
+					levelTuples.Add(int64(rel.Size()))
 					if err := g.ChargeEval(rel.Size()); err != nil {
 						stop.Store(true)
 						errs <- err
@@ -129,7 +165,14 @@ func PrewarmConnectedGuarded(db *Database, workers int, g *guard.Guard) (*Evalua
 		for d := range results {
 			ev.memo[d.set] = d.rel
 		}
-		if err := <-errs; err != nil {
+		err := <-errs
+		e := obs.Event{Kind: "end", Name: "prewarm.level." + strconv.Itoa(k),
+			Subset: k, Tuples: levelTuples.Load(), DurNS: levelWatch.Stop().Nanoseconds()}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		rec.Emit(e)
+		if err != nil {
 			return ev, err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
 	"multijoin/internal/relation"
 )
 
@@ -170,5 +171,75 @@ func TestPrewarmUnconnectedScheme(t *testing.T) {
 	warm := PrewarmConnected(db, 2)
 	if got := warm.Size(db.All()); got != 2 {
 		t.Fatalf("on-demand product = %d, want 2", got)
+	}
+}
+
+// TestPrewarmObservedCounters checks the prewarm instrumentation: the
+// recorder's ledger counters must mirror the evaluator's exactly (one
+// job per joined subset, the subset-DP τ spend equal to a cold run),
+// and the per-level events must bracket every level the prewarm ran.
+func TestPrewarmObservedCounters(t *testing.T) {
+	db := randomChain(rand.New(rand.NewSource(134)), 5, 4, 3)
+	rec := obs.NewRecorder()
+	warm, err := PrewarmConnectedObserved(db, 3, nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A 5-chain has 15 connected subsets, 5 of them singletons: 10 joins.
+	snap := rec.Snapshot()
+	if got := snap.Counters["prewarm.jobs"]; got != 10 {
+		t.Errorf("prewarm.jobs = %d, want 10", got)
+	}
+	if got := snap.Counters["eval.states"]; got != 10 {
+		t.Errorf("eval.states = %d, want 10", got)
+	}
+	if got := snap.Counters["prewarm.levels"]; got != 4 {
+		t.Errorf("prewarm.levels = %d, want 4 (cardinalities 2..5)", got)
+	}
+	if snap.Gauges["prewarm.workers"] != 3 {
+		t.Errorf("prewarm.workers = %d, want 3", snap.Gauges["prewarm.workers"])
+	}
+
+	// The observed τ spend equals what a cold evaluator pays for the
+	// same connected subsets.
+	var want int64
+	cold := NewEvaluator(db)
+	db.Graph().ConnectedSubsetsOf(db.All(), func(s hypergraph.Set) bool {
+		if s.Len() > 1 {
+			want += int64(cold.Size(s))
+		}
+		return true
+	})
+	if got := snap.Counters["eval.tuples"]; got != want {
+		t.Errorf("eval.tuples = %d, want %d", got, want)
+	}
+
+	// Begin/end events bracket each level and their tuple totals sum to
+	// the τ spend.
+	var begins, ends int
+	var eventTuples int64
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case "begin":
+			begins++
+		case "end":
+			ends++
+			eventTuples += e.Tuples
+		}
+	}
+	if begins != 4 || ends != 4 {
+		t.Errorf("level events: %d begins, %d ends, want 4/4", begins, ends)
+	}
+	if eventTuples != want {
+		t.Errorf("Σ level event tuples = %d, want %d", eventTuples, want)
+	}
+
+	// The memo is genuinely warm: re-evaluation is a pure hit.
+	before := snap.Counters["eval.memo.misses"]
+	warm.Eval(db.All())
+	after := rec.Snapshot().Counters["eval.memo.misses"]
+	if after != before {
+		t.Errorf("warm evaluation caused %d memo misses", after-before)
 	}
 }

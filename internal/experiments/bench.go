@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"multijoin/internal/core"
+	"multijoin/internal/database"
+	"multijoin/internal/gen"
+	"multijoin/internal/obs"
+	"multijoin/internal/paperex"
+)
+
+// The bench pipeline: a fixed corpus (the paper's five examples plus
+// deterministic generated shapes) is prewarmed and analyzed under a
+// fresh recorder per case, and the timings and engine counters are
+// emitted as schema-versioned JSON (BENCH_joinopt.json). CI runs this on
+// every push and fails if the report does not validate, so performance
+// numbers stay machine-readable and the observability plumbing stays
+// honest.
+
+// BenchCase is one corpus entry's measured result.
+type BenchCase struct {
+	// Name identifies the corpus entry, e.g. "example1" or "chain5".
+	Name string `json:"name"`
+	// Relations is the database's relation count.
+	Relations int `json:"relations"`
+	// Tau maps each searched subspace to its optimum τ.
+	Tau map[string]int `json:"tau"`
+	// PrewarmNS and AnalyzeNS split the case's wall time between the
+	// parallel memo prewarm and the analysis proper.
+	PrewarmNS int64 `json:"prewarmNs"`
+	// AnalyzeNS is the analysis phase's wall time.
+	AnalyzeNS int64 `json:"analyzeNs"`
+	// WallNS is the case's total wall time.
+	WallNS int64 `json:"wallNs"`
+	// Tuples and States are the engine's τ spend and evaluated/DP state
+	// count, from the recorder's counters.
+	Tuples int64 `json:"tuples"`
+	// States is eval.states + dp.states.
+	States int64 `json:"states"`
+	// StatesPerSec is States normalized by WallNS.
+	StatesPerSec float64 `json:"statesPerSec"`
+	// Counters is the case's full counter snapshot.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// BenchTotals aggregates the corpus.
+type BenchTotals struct {
+	// Cases is the number of corpus entries measured.
+	Cases int `json:"cases"`
+	// Tuples and States sum the per-case spends; WallNS sums wall time.
+	Tuples int64 `json:"tuples"`
+	// States sums the per-case state counts.
+	States int64 `json:"states"`
+	// WallNS sums the per-case wall times.
+	WallNS int64 `json:"wallNs"`
+}
+
+// BenchReport is the machine-readable output of the bench pipeline.
+type BenchReport struct {
+	// Schema is obs.BenchSchema.
+	Schema string `json:"schema"`
+	// GoMaxProcs records the parallelism the prewarm ran with.
+	GoMaxProcs int `json:"goMaxProcs"`
+	// Cases lists one measurement per corpus entry, in run order.
+	Cases []BenchCase `json:"cases"`
+	// Totals aggregates the corpus.
+	Totals BenchTotals `json:"totals"`
+}
+
+// benchEntry pairs a corpus name with its database.
+type benchEntry struct {
+	name string
+	db   *database.Database
+}
+
+// benchCorpus returns the fixed, deterministic bench corpus: the paper's
+// five examples plus one generated database per shape at pinned
+// seed/size, so successive runs measure identical work.
+func benchCorpus() []benchEntry {
+	mk := func(shape gen.Shape, name string, n int) benchEntry {
+		rng := rand.New(rand.NewSource(1))
+		return benchEntry{name, gen.Uniform(rng, gen.Schemes(shape, n), 6, 4)}
+	}
+	return []benchEntry{
+		{"example1", paperex.Example1()},
+		{"example2", paperex.Example2()},
+		{"example3", paperex.Example3()},
+		{"example4", paperex.Example4()},
+		{"example5", paperex.Example5()},
+		mk(gen.Chain, "chain5", 5),
+		mk(gen.Star, "star5", 5),
+		mk(gen.Cycle, "cycle5", 5),
+		mk(gen.Clique, "clique4", 4),
+	}
+}
+
+// RunBench measures the whole corpus with workers parallel prewarm
+// goroutines (0 means GOMAXPROCS) and returns the report. Progress lines
+// go to w.
+func RunBench(w io.Writer, workers int) (*BenchReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &BenchReport{Schema: obs.BenchSchema, GoMaxProcs: workers}
+	for _, entry := range benchCorpus() {
+		c, err := benchOne(entry.name, entry.db, workers)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", entry.name, err)
+		}
+		fmt.Fprintf(w, "bench %-10s n=%d  τ(all)=%-6d wall=%-10s states/s=%.0f\n",
+			c.Name, c.Relations, c.Tau["all"],
+			time.Duration(c.WallNS).Round(time.Microsecond), c.StatesPerSec)
+		rep.Cases = append(rep.Cases, c)
+		rep.Totals.Cases++
+		rep.Totals.Tuples += c.Tuples
+		rep.Totals.States += c.States
+		rep.Totals.WallNS += c.WallNS
+	}
+	return rep, nil
+}
+
+// benchOne prewarms and analyzes one database under a fresh recorder and
+// collapses the recorder's counters into the case record.
+func benchOne(name string, db *database.Database, workers int) (BenchCase, error) {
+	rec := obs.NewRecorder()
+	start := time.Now()
+	ev, err := database.PrewarmConnectedObserved(db, workers, nil, rec)
+	if err != nil {
+		return BenchCase{}, err
+	}
+	prewarmed := time.Now()
+	an, err := core.AnalyzeEvaluator(ev)
+	if err != nil {
+		return BenchCase{}, err
+	}
+	done := time.Now()
+
+	snap := rec.Snapshot()
+	c := BenchCase{
+		Name:      name,
+		Relations: db.Len(),
+		Tau:       map[string]int{},
+		PrewarmNS: prewarmed.Sub(start).Nanoseconds(),
+		AnalyzeNS: done.Sub(prewarmed).Nanoseconds(),
+		WallNS:    done.Sub(start).Nanoseconds(),
+		Tuples:    snap.Counters["eval.tuples"],
+		States:    snap.Counters["eval.states"] + snap.Counters["dp.states"],
+		Counters:  snap.Counters,
+	}
+	for _, res := range an.Results {
+		c.Tau[res.Space.String()] = res.Cost
+	}
+	if c.WallNS > 0 {
+		c.StatesPerSec = float64(c.States) / (float64(c.WallNS) / 1e9)
+	}
+	return c, nil
+}
+
+// WriteBench writes the report as indented, schema-versioned JSON.
+func WriteBench(w io.Writer, rep *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// DecodeBench reads a bench report, rejecting unknown fields and wrong
+// schemas.
+func DecodeBench(r io.Reader) (*BenchReport, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep BenchReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: decoding JSON: %w", err)
+	}
+	if rep.Schema != obs.BenchSchema {
+		return nil, fmt.Errorf("bench: schema %q, want %q", rep.Schema, obs.BenchSchema)
+	}
+	return &rep, nil
+}
+
+// ValidateBench checks a report's internal consistency — the contract
+// the CI bench job gates on: at least one case, every case carrying τ
+// optima and positive wall time, and totals that match the sum of the
+// cases.
+func ValidateBench(rep *BenchReport) error {
+	if rep.Schema != obs.BenchSchema {
+		return fmt.Errorf("bench: schema %q, want %q", rep.Schema, obs.BenchSchema)
+	}
+	if len(rep.Cases) == 0 {
+		return fmt.Errorf("bench: no cases")
+	}
+	var tot BenchTotals
+	for _, c := range rep.Cases {
+		if c.Name == "" {
+			return fmt.Errorf("bench: case with empty name")
+		}
+		if len(c.Tau) == 0 {
+			return fmt.Errorf("bench: case %s has no τ optima", c.Name)
+		}
+		if c.WallNS <= 0 {
+			return fmt.Errorf("bench: case %s has non-positive wall time", c.Name)
+		}
+		if c.Tuples < 0 || c.States <= 0 {
+			return fmt.Errorf("bench: case %s has implausible tuple/state counts", c.Name)
+		}
+		tot.Cases++
+		tot.Tuples += c.Tuples
+		tot.States += c.States
+		tot.WallNS += c.WallNS
+	}
+	if tot != rep.Totals {
+		return fmt.Errorf("bench: totals %+v do not match the sum of cases %+v", rep.Totals, tot)
+	}
+	return nil
+}

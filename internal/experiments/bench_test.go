@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"multijoin/internal/obs"
+)
+
+// TestBenchReportValidatesAndPinsTau runs the bench corpus and checks
+// the report against its own validator and the paper's pinned optima:
+// the pipeline's τ numbers must agree with corpus_test.go's regression
+// net, or the bench is measuring a different engine than the tests.
+func TestBenchReportValidatesAndPinsTau(t *testing.T) {
+	rep, err := RunBench(io.Discard, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBench(rep); err != nil {
+		t.Fatal(err)
+	}
+	wantTau := map[string]int{
+		"example1": 546, "example2": 20, "example3": 7, "example4": 11, "example5": 11,
+	}
+	seen := map[string]bool{}
+	for _, c := range rep.Cases {
+		seen[c.Name] = true
+		if want, ok := wantTau[c.Name]; ok && c.Tau["all"] != want {
+			t.Errorf("%s: τ(all) = %d, want %d", c.Name, c.Tau["all"], want)
+		}
+		if c.Counters["eval.tuples"] != c.Tuples {
+			t.Errorf("%s: Tuples field %d diverges from eval.tuples counter %d",
+				c.Name, c.Tuples, c.Counters["eval.tuples"])
+		}
+	}
+	for name := range wantTau {
+		if !seen[name] {
+			t.Errorf("corpus missing %s", name)
+		}
+	}
+}
+
+// TestBenchJSONRoundTrip: the written report must decode and validate —
+// the exact gate the CI bench job applies to the artifact.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	rep, err := RunBench(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBench(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBench(back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Totals != rep.Totals {
+		t.Errorf("totals changed in round trip: %+v vs %+v", back.Totals, rep.Totals)
+	}
+}
+
+// TestBenchDecodeRejectsBadDocuments covers the validator's failure
+// modes: wrong schema, unknown fields, inconsistent totals.
+func TestBenchDecodeRejectsBadDocuments(t *testing.T) {
+	if _, err := DecodeBench(strings.NewReader(`{"schema":"nope"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := DecodeBench(strings.NewReader(
+		`{"schema":"` + obs.BenchSchema + `","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	rep := &BenchReport{Schema: obs.BenchSchema}
+	if err := ValidateBench(rep); err == nil {
+		t.Error("empty report validated")
+	}
+	rep.Cases = []BenchCase{{Name: "x", Tau: map[string]int{"all": 1}, WallNS: 1, States: 1}}
+	rep.Totals = BenchTotals{Cases: 2}
+	if err := ValidateBench(rep); err == nil {
+		t.Error("inconsistent totals validated")
+	}
+}
+
+// TestBenchDeterministicTau: the corpus is seeded, so τ and state
+// counts must be identical across runs (timings of course differ).
+func TestBenchDeterministicTau(t *testing.T) {
+	a, err := RunBench(io.Discard, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		ca, cb := a.Cases[i], b.Cases[i]
+		if ca.Name != cb.Name || ca.Tuples != cb.Tuples || ca.States != cb.States {
+			t.Errorf("case %s not deterministic: %+v vs %+v", ca.Name, ca, cb)
+		}
+		for sp, tau := range ca.Tau {
+			if cb.Tau[sp] != tau {
+				t.Errorf("%s: τ(%s) differs across runs: %d vs %d", ca.Name, sp, tau, cb.Tau[sp])
+			}
+		}
+	}
+}

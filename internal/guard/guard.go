@@ -186,6 +186,47 @@ func (g *Guard) Spent() (tuples, states, steps int64) {
 	return g.tuples, g.states, g.steps
 }
 
+// Usage pairs a resource's spend with its configured limit (0 =
+// unlimited).
+type Usage struct {
+	// Spent is the amount consumed so far.
+	Spent int64 `json:"spent"`
+	// Limit is the configured budget; 0 means unlimited.
+	Limit int64 `json:"limit"`
+}
+
+// Snapshot is an atomic copy of a guard's ledger: the phase label and
+// every spent/limit pair, all read under one lock acquisition. Use it
+// instead of separate Spent()+Phase() calls when workers may still be
+// charging concurrently — the pair can tear (spend from one phase,
+// label from the next), the snapshot cannot.
+type Snapshot struct {
+	// Phase is the phase label current when the snapshot was taken.
+	Phase string `json:"phase"`
+	// Tuples is the intermediate-tuple ledger (the running τ sum).
+	Tuples Usage `json:"tuples"`
+	// States is the evaluator-subset + DP-state ledger.
+	States Usage `json:"states"`
+	// Steps is the join-step ledger.
+	Steps Usage `json:"steps"`
+}
+
+// Snapshot returns an atomic copy of the guard's phase and spend/limit
+// ledger. The nil guard snapshots as all zeros.
+func (g *Guard) Snapshot() Snapshot {
+	if g == nil {
+		return Snapshot{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Snapshot{
+		Phase:  g.phase,
+		Tuples: Usage{Spent: g.tuples, Limit: g.lim.MaxTuples},
+		States: Usage{Spent: g.states, Limit: g.lim.MaxStates},
+		Steps:  Usage{Spent: g.steps, Limit: g.lim.MaxSteps},
+	}
+}
+
 // cancelErrLocked wraps the context error; g.mu must be held.
 func (g *Guard) cancelErrLocked(cause error) error {
 	return &CancelError{Phase: g.phase, Cause: cause}

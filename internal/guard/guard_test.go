@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -219,4 +220,68 @@ func TestProtectConvertsPanics(t *testing.T) {
 
 func TestMustNilIsNoOp(t *testing.T) {
 	Must(nil) // must not panic
+}
+
+// TestSnapshotAtomicity hammers ChargeEval from many goroutines (each
+// charge adds exactly one step, one state and one tuple) while snapshots
+// are taken concurrently. Every snapshot must be internally consistent —
+// equal tuple/state/step spends — which the torn Spent()+Phase() pair
+// cannot guarantee and Snapshot must. Run with -race this also checks
+// the locking.
+func TestSnapshotAtomicity(t *testing.T) {
+	g := New(context.Background(), Limits{})
+	g.SetPhase("prewarm")
+	const workers, perWorker = 8, 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			s := g.Snapshot()
+			if s.Tuples.Spent != s.States.Spent || s.States.Spent != s.Steps.Spent {
+				t.Errorf("torn snapshot: %+v", s)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_ = g.ChargeEval(1)
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	s := g.Snapshot()
+	if s.Phase != "prewarm" {
+		t.Errorf("phase = %q", s.Phase)
+	}
+	want := int64(workers * perWorker)
+	if s.Tuples.Spent != want || s.States.Spent != want || s.Steps.Spent != want {
+		t.Errorf("final snapshot = %+v, want %d each", s, want)
+	}
+}
+
+// TestSnapshotCarriesLimits pins the spent/limit pairing the CLI's
+// tripped-run report prints.
+func TestSnapshotCarriesLimits(t *testing.T) {
+	g := New(context.Background(), Limits{MaxTuples: 10, MaxStates: 20, MaxSteps: 30})
+	_ = g.ChargeEval(4)
+	s := g.Snapshot()
+	if s.Tuples != (Usage{Spent: 4, Limit: 10}) {
+		t.Errorf("tuples = %+v", s.Tuples)
+	}
+	if s.States != (Usage{Spent: 1, Limit: 20}) {
+		t.Errorf("states = %+v", s.States)
+	}
+	if s.Steps != (Usage{Spent: 1, Limit: 30}) {
+		t.Errorf("steps = %+v", s.Steps)
+	}
+	var nilG *Guard
+	if nilG.Snapshot() != (Snapshot{}) {
+		t.Error("nil guard snapshot not zero")
+	}
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar bridge: one process-global "multijoin" expvar whose value
+// is the snapshot of the most recently published recorder. expvar.Publish
+// panics on duplicate names, so publication happens exactly once and the
+// recorder behind it is swappable — tests and long-lived embedders can
+// re-publish freely.
+var (
+	publishOnce   sync.Once
+	publishedRec  atomic.Pointer[Recorder]
+	publishedName = "multijoin"
+)
+
+// PublishExpvar exposes the recorder's metrics snapshot as the
+// process-global "multijoin" expvar (visible at /debug/vars). Calling it
+// again replaces the recorder behind the variable.
+func PublishExpvar(r *Recorder) {
+	publishedRec.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish(publishedName, expvar.Func(func() any {
+			return publishedRec.Load().Snapshot()
+		}))
+	})
+}
+
+// DebugServer serves the standard live-profiling surface for long
+// evaluations: expvar at /debug/vars (including the published recorder
+// snapshot) and net/http/pprof at /debug/pprof/. It listens on addr
+// (":0" picks a free port), serves in a background goroutine, publishes
+// r via PublishExpvar, and returns the bound address so callers can
+// report where to point a browser or `go tool pprof`.
+//
+// The returned server is owned by the caller; Close it to stop serving.
+// A one-shot CLI that exits after its run may simply leave it running.
+func DebugServer(addr string, r *Recorder) (*http.Server, net.Addr, error) {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: debug server listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has
+		// nowhere to go in a background serve loop, so it is dropped —
+		// the debug surface is best-effort by design.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	r.Timer("t").Observe(time.Second)
+	sw := r.Timer("t").Start()
+	if d := sw.Stop(); d != 0 {
+		t.Errorf("nil stopwatch measured %v", d)
+	}
+	r.SetPhase("p")
+	r.Emit(Event{Kind: "point"})
+	r.SetMaxEvents(1)
+	if r.Counter("x").Value() != 0 || r.Gauge("g").Value() != 0 {
+		t.Error("nil metrics should read zero")
+	}
+	if got := r.Events(); got != nil {
+		t.Errorf("nil recorder events = %v", got)
+	}
+	if r.Phase() != "" || r.Dropped() != 0 {
+		t.Error("nil recorder phase/dropped should be zero")
+	}
+	snap := r.Snapshot()
+	if snap.Schema != MetricsSchema || len(snap.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestCountersGaugesTimers(t *testing.T) {
+	r := NewRecorder()
+	r.Counter("c").Add(2)
+	r.Counter("c").Inc()
+	if got := r.Counter("c").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	r.Gauge("g").Set(10)
+	r.Gauge("g").Add(-4)
+	if got := r.Gauge("g").Value(); got != 6 {
+		t.Errorf("gauge = %d, want 6", got)
+	}
+	tm := r.Timer("t")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(5 * time.Millisecond)
+	tm.Observe(3 * time.Millisecond)
+	count, total, min, max := tm.Stats()
+	if count != 3 || total != 10*time.Millisecond || min != 2*time.Millisecond || max != 5*time.Millisecond {
+		t.Errorf("timer stats = %d %v %v %v", count, total, min, max)
+	}
+	// The same name returns the same metric.
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("counter identity not stable")
+	}
+}
+
+// TestConcurrentMetrics is the satellite's obs counter/timer concurrency
+// check: many goroutines hammer shared metrics and the event stream
+// while snapshots are taken; run with -race this doubles as a data-race
+// detector, and the final totals must be exact.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRecorder()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("gauge")
+			tm := r.Timer("timer")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				tm.Observe(time.Microsecond)
+				r.Counter(fmt.Sprintf("worker.%d", id%4)).Inc()
+				if i%100 == 0 {
+					r.Emit(Event{Kind: "point", Name: "tick"})
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	count, total, _, _ := r.Timer("timer").Stats()
+	if count != workers*perWorker || total != workers*perWorker*time.Microsecond {
+		t.Errorf("timer = %d obs, %v total", count, total)
+	}
+	var sum int64
+	for i := 0; i < 4; i++ {
+		sum += r.Counter(fmt.Sprintf("worker.%d", i)).Value()
+	}
+	if sum != workers*perWorker {
+		t.Errorf("per-worker counters sum = %d, want %d", sum, workers*perWorker)
+	}
+}
+
+func TestEventStreamOrderAndPhase(t *testing.T) {
+	r := NewRecorder()
+	r.SetPhase("load")
+	r.Emit(Event{Kind: "begin", Name: "a"})
+	r.SetPhase("optimize")
+	r.Emit(Event{Kind: "end", Name: "a", DurNS: 10})
+	r.Emit(Event{Kind: "step", Phase: "explicit", Tuples: 7})
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != int64(i) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if ev[0].Phase != "load" || ev[1].Phase != "optimize" {
+		t.Errorf("phases = %q, %q", ev[0].Phase, ev[1].Phase)
+	}
+	if ev[2].Phase != "explicit" {
+		t.Errorf("explicit phase overridden: %q", ev[2].Phase)
+	}
+	if ev[1].AtNS < ev[0].AtNS {
+		t.Errorf("timestamps out of order: %d then %d", ev[0].AtNS, ev[1].AtNS)
+	}
+}
+
+func TestEventCapAndDropped(t *testing.T) {
+	r := NewRecorder()
+	r.SetMaxEvents(3)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: "point"})
+	}
+	if got := len(r.Events()); got != 3 {
+		t.Errorf("buffered %d events, want 3", got)
+	}
+	if got := r.Dropped(); got != 7 {
+		t.Errorf("dropped = %d, want 7", got)
+	}
+	snap := r.Snapshot()
+	if snap.Events != 3 || snap.DroppedEvents != 7 {
+		t.Errorf("snapshot events/dropped = %d/%d", snap.Events, snap.DroppedEvents)
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.SetPhase("optimize:all")
+	r.Counter("eval.tuples").Add(42)
+	r.Gauge("guard.spent.states").Set(7)
+	r.Timer("phase.load").Observe(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeMetrics(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != MetricsSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if snap.Phase != "optimize:all" {
+		t.Errorf("phase = %q", snap.Phase)
+	}
+	if snap.Counters["eval.tuples"] != 42 || snap.Gauges["guard.spent.states"] != 7 {
+		t.Errorf("metrics lost: %+v", snap)
+	}
+	if ts := snap.Timers["phase.load"]; ts.Count != 1 || ts.TotalNS != (3*time.Millisecond).Nanoseconds() {
+		t.Errorf("timer lost: %+v", ts)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.SetPhase("trace")
+	r.Emit(Event{Kind: "step", Name: "R1⋈R2", Left: 4, Right: 5, Tuples: 3, Subset: 2, Shrinks: true})
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	e := tr.Events[0]
+	if e.Name != "R1⋈R2" || e.Left != 4 || e.Right != 5 || e.Tuples != 3 || !e.Shrinks || e.Grows {
+		t.Errorf("event lost fields: %+v", e)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	if _, err := DecodeMetrics(strings.NewReader(`{"schema":"other/v9","counters":{},"gauges":{},"timers":{}}`)); err == nil {
+		t.Error("wrong metrics schema accepted")
+	}
+	if _, err := DecodeMetrics(strings.NewReader(`{"schema":"` + MetricsSchema + `","bogus":1}`)); err == nil {
+		t.Error("unknown metrics field accepted")
+	}
+	if _, err := DecodeTrace(strings.NewReader(`{"schema":"other/v9","dropped":0,"events":[]}`)); err == nil {
+		t.Error("wrong trace schema accepted")
+	}
+}
+
+func TestDebugServerServesVarsAndPprof(t *testing.T) {
+	r := NewRecorder()
+	r.Counter("eval.states").Add(9)
+	srv, addr, err := DebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	raw, ok := doc["multijoin"]
+	if !ok {
+		t.Fatalf("/debug/vars missing multijoin var:\n%s", vars)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["eval.states"] != 9 {
+		t.Errorf("published snapshot = %+v", snap)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+
+	// Re-publishing swaps the recorder behind the expvar without panicking.
+	r2 := NewRecorder()
+	r2.Counter("eval.states").Add(123)
+	PublishExpvar(r2)
+	var doc2 map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	var snap2 Snapshot
+	if err := json.Unmarshal(doc2["multijoin"], &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Counters["eval.states"] != 123 {
+		t.Errorf("re-published snapshot = %+v", snap2)
+	}
+}
+
+func TestStopwatchMeasures(t *testing.T) {
+	r := NewRecorder()
+	sw := r.Timer("t").Start()
+	time.Sleep(2 * time.Millisecond)
+	d := sw.Stop()
+	if d < time.Millisecond {
+		t.Errorf("stopwatch measured %v", d)
+	}
+	count, total, _, _ := r.Timer("t").Stats()
+	if count != 1 || total != d {
+		t.Errorf("timer recorded %d/%v, want 1/%v", count, total, d)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema version strings embedded in every machine-readable artifact the
+// engine emits, so downstream tooling can reject shapes it does not
+// understand instead of misreading them.
+const (
+	// MetricsSchema identifies the metrics snapshot JSON shape
+	// (joinopt -metrics-out).
+	MetricsSchema = "multijoin/metrics/v1"
+	// TraceSchema identifies the structured trace JSON shape
+	// (joinopt -trace-out).
+	TraceSchema = "multijoin/trace/v1"
+	// BenchSchema identifies the bench-pipeline JSON shape
+	// (experiments -bench, BENCH_joinopt.json).
+	BenchSchema = "multijoin/bench/v1"
+)
+
+// TimerStats is a timer's aggregate in a snapshot.
+type TimerStats struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// TotalNS, MinNS and MaxNS are the aggregate durations in
+	// nanoseconds.
+	TotalNS int64 `json:"totalNs"`
+	// MinNS is the smallest observation.
+	MinNS int64 `json:"minNs"`
+	// MaxNS is the largest observation.
+	MaxNS int64 `json:"maxNs"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a recorder,
+// serializable as the schema-versioned metrics JSON.
+type Snapshot struct {
+	// Schema is MetricsSchema.
+	Schema string `json:"schema"`
+	// Phase is the engine phase current when the snapshot was taken.
+	Phase string `json:"phase,omitempty"`
+	// UptimeNS is the recorder's age at snapshot time in nanoseconds.
+	UptimeNS int64 `json:"uptimeNs"`
+	// Counters, Gauges and Timers hold every named metric, keys sorted.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges holds the point-in-time gauge values.
+	Gauges map[string]int64 `json:"gauges"`
+	// Timers holds the aggregate timer statistics.
+	Timers map[string]TimerStats `json:"timers"`
+	// Events is the number of events currently buffered; DroppedEvents
+	// counts emissions past the cap.
+	Events int64 `json:"events"`
+	// DroppedEvents counts events discarded past the stream cap.
+	DroppedEvents int64 `json:"droppedEvents"`
+}
+
+// Snapshot copies every metric atomically enough for reconciliation:
+// each counter/gauge/timer is read with its own synchronization, and the
+// registry is locked against concurrent metric creation. On a nil
+// recorder it returns an empty, schema-stamped snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{
+		Schema:   MetricsSchema,
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Timers:   map[string]TimerStats{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	snap.Phase = r.phase
+	snap.Events = int64(len(r.events))
+	snap.DroppedEvents = r.dropped
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, t := range timers {
+		count, total, min, max := t.Stats()
+		snap.Timers[k] = TimerStats{
+			Count: count, TotalNS: total.Nanoseconds(),
+			MinNS: min.Nanoseconds(), MaxNS: max.Nanoseconds(),
+		}
+	}
+	// Uptime last, so it upper-bounds every AtNS in the trace.
+	snap.UptimeNS = timeSince(r.start).Nanoseconds()
+	return snap
+}
+
+// Trace is the serializable form of the structured event stream.
+type Trace struct {
+	// Schema is TraceSchema.
+	Schema string `json:"schema"`
+	// Dropped counts events discarded past the stream cap.
+	Dropped int64 `json:"dropped"`
+	// Events is the buffered stream in emission order.
+	Events []Event `json:"events"`
+}
+
+// TraceSnapshot copies the event stream into its serializable form.
+func (r *Recorder) TraceSnapshot() Trace {
+	return Trace{Schema: TraceSchema, Dropped: r.Dropped(), Events: r.Events()}
+}
+
+// WriteMetrics writes the recorder's metrics snapshot as indented,
+// schema-versioned JSON with deterministic key order.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteTrace writes the structured event stream as indented,
+// schema-versioned JSON.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TraceSnapshot())
+}
+
+// DecodeMetrics reads and validates a metrics snapshot: the document
+// must parse, carry the current MetricsSchema, and contain no unknown
+// fields — the validation the CI bench job gates on.
+func DecodeMetrics(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var snap Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("obs: decoding metrics JSON: %w", err)
+	}
+	if snap.Schema != MetricsSchema {
+		return nil, fmt.Errorf("obs: metrics schema %q, want %q", snap.Schema, MetricsSchema)
+	}
+	if snap.Counters == nil || snap.Gauges == nil || snap.Timers == nil {
+		return nil, fmt.Errorf("obs: metrics JSON missing counters/gauges/timers sections")
+	}
+	return &snap, nil
+}
+
+// DecodeTrace reads and validates a structured trace document.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tr Trace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace JSON: %w", err)
+	}
+	if tr.Schema != TraceSchema {
+		return nil, fmt.Errorf("obs: trace schema %q, want %q", tr.Schema, TraceSchema)
+	}
+	return &tr, nil
+}

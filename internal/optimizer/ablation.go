@@ -41,6 +41,9 @@ func optimizeNoCPNaive(ev *database.Evaluator) (res Result, err error) {
 		return u == x
 	}
 
+	rec := ev.Recorder()
+	cStates := rec.Counter("dp.ablation.states")
+	cStatesAll := rec.Counter("dp.states")
 	cost := make(map[hypergraph.Set]int)
 	pick := make(map[hypergraph.Set][2]hypergraph.Set)
 	var solve func(s hypergraph.Set) int
@@ -51,6 +54,8 @@ func optimizeNoCPNaive(ev *database.Evaluator) (res Result, err error) {
 		if c, ok := cost[s]; ok {
 			return c
 		}
+		cStates.Inc()
+		cStatesAll.Inc() // before the charge, so a trip still reconciles
 		guard.Must(ev.Guard().ChargeStates(1))
 		best := math.MaxInt
 		var bestSplit [2]hypergraph.Set

@@ -25,8 +25,14 @@ func Optima(ev *database.Evaluator, space Space) (out []*strategy.Node, err erro
 	}
 	db := ev.Database()
 	g := db.Graph()
+	rec := ev.Recorder()
+	cEnum := rec.Counter("optima.enumerated")
+	cFound := rec.Counter("optima.found")
+	defer rec.Timer("optima.wall").Start().Stop()
 	collect := func(n *strategy.Node) bool {
+		cEnum.Inc()
 		if n.Cost(ev) == res.Cost {
+			cFound.Inc()
 			out = append(out, n)
 		}
 		return true

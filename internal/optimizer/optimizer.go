@@ -23,6 +23,7 @@ import (
 	"multijoin/internal/database"
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
 	"multijoin/internal/strategy"
 )
 
@@ -87,13 +88,21 @@ func Optimize(ev *database.Evaluator, space Space) (res Result, err error) {
 	if err := db.Validate(); err != nil {
 		return Result{}, err
 	}
+	rec := ev.Recorder()
 	o := &dp{
 		ev:    ev,
 		g:     db.Graph(),
 		space: space,
 		cost:  make(map[hypergraph.Set]int),
 		pick:  make(map[hypergraph.Set][2]hypergraph.Set),
+
+		cStates:      rec.Counter("dp." + space.String() + ".states"),
+		cStatesAll:   rec.Counter("dp.states"),
+		cPruned:      rec.Counter("dp." + space.String() + ".pruned"),
+		cCartesian:   rec.Counter("dp." + space.String() + ".cartesian"),
+		hasCartesian: rec != nil,
 	}
+	defer rec.Timer("dp." + space.String() + ".wall").Start().Stop()
 	o.components = o.g.Components(o.g.All())
 	o.compOf = make([]hypergraph.Set, db.Len())
 	for _, c := range o.components {
@@ -125,6 +134,17 @@ type dp struct {
 	compOf     []hypergraph.Set // relation index -> its component
 	cost       map[hypergraph.Set]int
 	pick       map[hypergraph.Set][2]hypergraph.Set
+
+	// Observability: subsets expanded (per-space and the shared
+	// `dp.states` ledger reconciling with guard.ChargeStates), splits
+	// pruned because a side admits no subtree, and Cartesian-product
+	// steps considered. hasCartesian gates the per-split linkage probe
+	// so uninstrumented searches skip it entirely.
+	cStates      *obs.Counter
+	cStatesAll   *obs.Counter
+	cPruned      *obs.Counter
+	cCartesian   *obs.Counter
+	hasCartesian bool
 }
 
 // solve returns the cheapest subtree cost for the subset s within the
@@ -136,18 +156,28 @@ func (o *dp) solve(s hypergraph.Set) int {
 	if c, ok := o.cost[s]; ok {
 		return c
 	}
+	// Mirror before charging, like the evaluator: a charge that trips
+	// the budget is counted by the guard, so the ledger must count it
+	// too for the two to reconcile on truncated runs.
+	o.cStates.Inc()
+	o.cStatesAll.Inc()
 	guard.Must(o.ev.Guard().ChargeStates(1))
 	o.cost[s] = inf // guard against re-entry; overwritten below
 	best := inf
 	var bestSplit [2]hypergraph.Set
 
 	consider := func(a, b hypergraph.Set) {
+		if o.hasCartesian && !o.g.Linked(a, b) {
+			o.cCartesian.Inc()
+		}
 		ca := o.solve(a)
 		if ca == inf {
+			o.cPruned.Inc()
 			return
 		}
 		cb := o.solve(b)
 		if cb == inf {
+			o.cPruned.Inc()
 			return
 		}
 		total := ca + cb + o.ev.Size(s)
@@ -263,6 +293,10 @@ func (o *dp) build(s hypergraph.Set) *strategy.Node {
 func Greedy(ev *database.Evaluator) Result {
 	db := ev.Database()
 	gd := ev.Guard()
+	rec := ev.Recorder()
+	cStates := rec.Counter("greedy.states")
+	cStatesAll := rec.Counter("dp.states")
+	defer rec.Timer("greedy.wall").Start().Stop()
 	pool := make([]*strategy.Node, db.Len())
 	for i := range pool {
 		pool[i] = strategy.Leaf(i)
@@ -273,6 +307,8 @@ func Greedy(ev *database.Evaluator) Result {
 		for i := 0; i < len(pool); i++ {
 			for j := i + 1; j < len(pool); j++ {
 				states++
+				cStates.Inc()
+				cStatesAll.Inc() // before the charge, so a trip still reconciles
 				guard.Must(gd.ChargeStates(1))
 				sz := ev.Size(pool[i].Set().Union(pool[j].Set()))
 				if sz < bestSize {
@@ -294,11 +330,15 @@ func Greedy(ev *database.Evaluator) Result {
 // It is usable only for small databases ((2n−3)!! strategies).
 func Exhaustive(ev *database.Evaluator) Result {
 	db := ev.Database()
+	rec := ev.Recorder()
+	cEnum := rec.Counter("exhaustive.strategies")
+	defer rec.Timer("exhaustive.wall").Start().Stop()
 	best := inf
 	var bestNode *strategy.Node
 	count := 0
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
 		count++
+		cEnum.Inc()
 		if c := n.Cost(ev); c < best {
 			best, bestNode = c, n
 		}

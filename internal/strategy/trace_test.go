@@ -1,0 +1,224 @@
+package strategy_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/conditions"
+	"multijoin/internal/database"
+	"multijoin/internal/gen"
+	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
+	"multijoin/internal/paperex"
+	"multijoin/internal/strategy"
+)
+
+// TestTraceJSONRoundTrip pins the Trace/StepTrace JSON shape: field
+// names shared with the obs "step" events, τ under "tau", and the
+// boolean classifications omitted when false.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	db := paperex.Example1()
+	ev := database.NewEvaluator(db)
+	s, err := strategy.Parse(db, "(((R1 R2) R3) R4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := strategy.TraceEvaluation(ev, s)
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back strategy.Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Steps) != len(tr.Steps) || back.Total != tr.Total {
+		t.Fatalf("round trip changed the trace: %+v vs %+v", back, tr)
+	}
+	for i := range tr.Steps {
+		if back.Steps[i] != tr.Steps[i] {
+			t.Errorf("step %d round trip: got %+v, want %+v", i, back.Steps[i], tr.Steps[i])
+		}
+	}
+
+	var shape struct {
+		Steps []map[string]any `json:"steps"`
+		Tau   *int             `json:"tau"`
+	}
+	if err := json.Unmarshal(data, &shape); err != nil {
+		t.Fatal(err)
+	}
+	if shape.Tau == nil || *shape.Tau != tr.Total {
+		t.Fatalf("τ not serialized under \"tau\": %s", data)
+	}
+	for _, st := range shape.Steps {
+		for _, key := range []string{"name", "left", "right", "tuples"} {
+			if _, ok := st[key]; !ok {
+				t.Fatalf("step JSON missing %q: %v", key, st)
+			}
+		}
+	}
+}
+
+// TestTraceEmitsObsSteps checks the promoted trace: with a recorder
+// attached, TraceEvaluation emits one "step" event per join whose
+// tuple counts sum to τ(S), plus the closing "strategy.tau" point —
+// the acceptance identity Σ step.Tuples == τ(S).
+func TestTraceEmitsObsSteps(t *testing.T) {
+	db := paperex.Example1()
+	rec := obs.NewRecorder()
+	ev := database.NewEvaluator(db).WithRecorder(rec)
+	s, err := strategy.Parse(db, "((R1 R3) (R2 R4))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := strategy.TraceEvaluation(ev, s)
+
+	var steps []obs.Event
+	var point *obs.Event
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case "step":
+			steps = append(steps, e)
+		case "point":
+			if e.Name == "strategy.tau" {
+				ev := e
+				point = &ev
+			}
+		}
+	}
+	if len(steps) != len(tr.Steps) {
+		t.Fatalf("got %d step events, want %d", len(steps), len(tr.Steps))
+	}
+	var sum int64
+	for i, e := range steps {
+		sum += e.Tuples
+		want := tr.Steps[i]
+		if e.Name != want.Expr || e.Tuples != int64(want.ResultSize) ||
+			e.Left != int64(want.LeftSize) || e.Right != int64(want.RightSize) {
+			t.Errorf("step event %d = %+v does not match trace step %+v", i, e, want)
+		}
+		if e.Cartesian != want.Cartesian || e.Shrinks != want.Shrinks || e.Grows != want.Grows {
+			t.Errorf("step event %d classification differs from trace step %+v", i, want)
+		}
+	}
+	if sum != int64(tr.Total) {
+		t.Fatalf("Σ step event tuples = %d, want τ(S) = %d", sum, tr.Total)
+	}
+	if point == nil || point.Tuples != int64(tr.Total) {
+		t.Fatalf("missing or wrong strategy.tau point event: %+v", point)
+	}
+}
+
+// leftDeepOver builds an arbitrary strategy over the subset (left-deep
+// in index order) — structure does not matter to the tests, only the
+// root set.
+func leftDeepOver(s hypergraph.Set) *strategy.Node {
+	var n *strategy.Node
+	for _, i := range s.Indexes() {
+		if n == nil {
+			n = strategy.Leaf(i)
+		} else {
+			n = strategy.Combine(n, strategy.Leaf(i))
+		}
+	}
+	return n
+}
+
+// TestShrinksMatchesC3Witness: on paper Examples 3–5, C3 fails, and the
+// checker's witness (E1, E2 with τ(E1⋈E2) above an operand) must map to
+// a traced step whose Shrinks flag is false. This ties the per-step
+// classification to the Section 5 condition it mirrors.
+func TestShrinksMatchesC3Witness(t *testing.T) {
+	for i, db := range []*database.Database{paperex.Example3(), paperex.Example4(), paperex.Example5()} {
+		ev := database.NewEvaluator(db)
+		rep := conditions.Check(ev, conditions.C3)
+		if rep.Holds || rep.Witness == nil {
+			t.Fatalf("example %d: expected a C3 violation witness", i+3)
+		}
+		w := rep.Witness
+		root := strategy.Combine(leftDeepOver(w.E1), leftDeepOver(w.E2))
+		tr := strategy.TraceEvaluation(ev, root)
+		last := tr.Steps[len(tr.Steps)-1]
+		if last.Shrinks {
+			t.Errorf("example %d: C3 witness step %s (E1=%v E2=%v) classified Shrinks, want not",
+				i+3, last.Expr, w.E1, w.E2)
+		}
+		if last.Cartesian {
+			t.Errorf("example %d: C3 witness pair must be linked, step marked cartesian", i+3)
+		}
+	}
+}
+
+// TestGrowsMatchesC4Witness is the dual: Examples 3–5 violate C4, and
+// the witness join must trace as a step whose Grows flag is false.
+func TestGrowsMatchesC4Witness(t *testing.T) {
+	for i, db := range []*database.Database{paperex.Example3(), paperex.Example4(), paperex.Example5()} {
+		ev := database.NewEvaluator(db)
+		rep := conditions.Check(ev, conditions.C4)
+		if rep.Holds || rep.Witness == nil {
+			t.Fatalf("example %d: expected a C4 violation witness", i+3)
+		}
+		w := rep.Witness
+		root := strategy.Combine(leftDeepOver(w.E1), leftDeepOver(w.E2))
+		tr := strategy.TraceEvaluation(ev, root)
+		last := tr.Steps[len(tr.Steps)-1]
+		if last.Grows {
+			t.Errorf("example %d: C4 witness step %s (E1=%v E2=%v) classified Grows, want not",
+				i+3, last.Expr, w.E1, w.E2)
+		}
+	}
+}
+
+// TestShrinksPositiveUnderC3: on a database where C3 holds (superkey
+// joins, the -diagonal generator), every Cartesian-free strategy must
+// trace as monotone decreasing — each linked step of connected operands
+// shrinks, the inequality C3 asserts.
+func TestShrinksPositiveUnderC3(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := gen.Diagonal(rng, gen.Schemes(gen.Chain, 4), 8, 0.6)
+	ev := database.NewEvaluator(db)
+	if rep := conditions.Check(ev, conditions.C3); !rep.Holds {
+		t.Fatalf("premise: diagonal data should satisfy C3, got witness %v", rep.Witness)
+	}
+	g := db.Graph()
+	checked := 0
+	strategy.EnumerateAll(db.All(), func(s *strategy.Node) bool {
+		if !s.AvoidsCartesian(g) {
+			return true
+		}
+		checked++
+		if tr := strategy.TraceEvaluation(ev, s); !tr.MonotoneDecreasing() {
+			t.Errorf("C3 holds but %s is not monotone decreasing: %v", s.Render(db), tr)
+		}
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no Cartesian-free strategies enumerated")
+	}
+}
+
+// TestGrowsPositiveUnderC4: Example 1 satisfies C4, so every linked
+// step of connected operands must classify as Grows.
+func TestGrowsPositiveUnderC4(t *testing.T) {
+	db := paperex.Example1()
+	ev := database.NewEvaluator(db)
+	if rep := conditions.Check(ev, conditions.C4); !rep.Holds {
+		t.Fatalf("premise: example 1 should satisfy C4, got witness %v", rep.Witness)
+	}
+	s, err := strategy.Parse(db, "((R1 R3) (R2 R4))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := strategy.TraceEvaluation(ev, s)
+	for _, st := range tr.Steps {
+		if st.Cartesian {
+			continue // C4 says nothing about unlinked pairs
+		}
+		if !st.Grows {
+			t.Errorf("C4 holds but linked step %s does not grow: %+v", st.Expr, st)
+		}
+	}
+}

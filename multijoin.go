@@ -12,6 +12,7 @@ import (
 	"multijoin/internal/gen"
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
 	"multijoin/internal/optimizer"
 	"multijoin/internal/paperex"
 	"multijoin/internal/relation"
@@ -408,4 +409,50 @@ func GreedyGuarded(ev *Evaluator) (OptimizeResult, error) {
 // goroutines.
 func PrewarmConnectedGuarded(db *Database, workers int, g *Guard) (*Evaluator, error) {
 	return database.PrewarmConnectedGuarded(db, workers, g)
+}
+
+// Observability: metrics, structured tracing and profiling hooks.
+type (
+	// Recorder is the engine's nil-safe observability sink: named
+	// counters, gauges and timers plus a bounded structured event
+	// stream. A nil *Recorder is valid and records nothing.
+	Recorder = obs.Recorder
+	// MetricsSnapshot is a point-in-time copy of a recorder's metrics,
+	// serializable as schema-versioned JSON.
+	MetricsSnapshot = obs.Snapshot
+	// EventTrace is the serializable structured event stream.
+	EventTrace = obs.Trace
+	// ObsEvent is one structured trace event (begin/end/point/step).
+	ObsEvent = obs.Event
+	// GuardSnapshot is the guard's atomic phase + spent/limit snapshot.
+	GuardSnapshot = guard.Snapshot
+	// GuardUsage is one spent/limit pair within a GuardSnapshot.
+	GuardUsage = guard.Usage
+)
+
+// NewRecorder creates an observability recorder. Attach it to an
+// evaluator with Evaluator.WithRecorder; every instrumented engine path
+// then feeds it.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// AnalyzeObserved is AnalyzeGuarded with observability: phase begin/end
+// events, per-phase wall timers, and every evaluator and optimizer
+// counter flow into rec. Either g or rec may be nil.
+func AnalyzeObserved(db *Database, g *Guard, rec *Recorder) (*Analysis, error) {
+	return core.AnalyzeObserved(db, g, rec)
+}
+
+// AnalyzeEvaluator runs the full analysis on a caller-supplied
+// evaluator, reusing its memo, guard and recorder — the path that lets
+// a prewarmed evaluator feed the analysis without recomputation.
+func AnalyzeEvaluator(ev *Evaluator) (*Analysis, error) {
+	return core.AnalyzeEvaluator(ev)
+}
+
+// PrewarmConnectedObserved is PrewarmConnectedGuarded with
+// instrumentation: per-level begin/end events and wall times, worker
+// busy time (utilization), and job/state/τ counters mirroring the
+// guard's charges.
+func PrewarmConnectedObserved(db *Database, workers int, g *Guard, rec *Recorder) (*Evaluator, error) {
+	return database.PrewarmConnectedObserved(db, workers, g, rec)
 }
