@@ -1,0 +1,21 @@
+package analysis
+
+// All returns the project's analyzer suite in the order joinlint runs
+// it. Each analyzer protects one engine invariant:
+//
+//	guardmirror    τ-accounting: obs counters reconcile with the guard ledger
+//	determinism    the cost-model core reproduces bit-for-bit for the bench pipeline
+//	nodirectio     library packages stay embeddable (no ambient stdio, no os.Exit)
+//	panicmsg       panic reports name the failing layer without a stack
+//	goroutineguard no goroutine can crash the process past the guard boundaries
+//	jsontags       schema-versioned artifacts cannot drift via untagged fields
+func All() []*Analyzer {
+	return []*Analyzer{
+		GuardMirror,
+		Determinism,
+		NoDirectIO,
+		PanicMsg,
+		GoroutineGuard,
+		JSONTags,
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// determinismAllow lists the packages that may read wall clocks and
+// random sources: the observability layer (timers), the experiment and
+// bench harnesses, the seeded generators, the CLI, and the binaries.
+// Everything else — evaluator, optimizer, strategy, the cost-model core
+// — must stay bit-for-bit reproducible, because the bench pipeline and
+// the paper-theorem tests compare exact τ ledgers across runs.
+var determinismAllow = []string{
+	"internal/obs",
+	"internal/experiments",
+	"internal/gen",
+	"internal/cli",
+}
+
+// determinismAllowPrefixes extends the allowlist to whole trees: the
+// binaries under cmd/ and the runnable demos under examples/.
+var determinismAllowPrefixes = []string{"cmd", "examples"}
+
+// Determinism forbids calls to time.Now, time.Since and any math/rand
+// package-level function outside the allowlist. Method calls on a
+// caller-provided *rand.Rand are permitted everywhere — a seeded source
+// threaded in by the caller is deterministic; it is the ambient clock
+// and the global random source that break reproducibility.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "time.Now/time.Since/math/rand calls are forbidden outside the allowlisted packages",
+	Applies: func(rel string) bool {
+		for _, a := range determinismAllow {
+			if rel == a {
+				return false
+			}
+		}
+		for _, p := range determinismAllowPrefixes {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		imports := importNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := calleePkgFunc(pass.TypesInfo, imports, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && (name == "Now" || name == "Since"):
+				pass.Reportf(call.Pos(),
+					"time.%s makes the cost-model core nondeterministic; only %s and cmd/, examples/ may read the clock",
+					name, strings.Join(determinismAllow, ", "))
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"%s.%s is a nondeterministic source; thread a seeded *rand.Rand from an allowlisted package instead",
+					pkg, name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix is the comment directive that suppresses a diagnostic:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The directive silences diagnostics from the named analyzer (or a
+// comma-separated list of analyzers) on the directive's own line and on
+// the line immediately following — i.e. it is written either at the end
+// of the offending line or on its own line directly above. The reason
+// is mandatory: a directive without one is itself a diagnostic, so
+// every suppression in the tree documents why the invariant may be
+// waived at that site.
+const IgnorePrefix = "//lint:ignore"
+
+// driverName is the analyzer name attached to diagnostics produced by
+// the driver itself (malformed suppression directives).
+const driverName = "lint"
+
+// suppression is one well-formed //lint:ignore directive.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// matches reports whether the suppression covers the diagnostic.
+func (s suppression) matches(d Diagnostic) bool {
+	return d.Pos.Filename == s.file &&
+		(d.Pos.Line == s.line || d.Pos.Line == s.line+1) &&
+		s.analyzers[d.Analyzer]
+}
+
+// collectSuppressions scans a package's comments for //lint:ignore
+// directives, returning the well-formed suppressions and a diagnostic
+// for every malformed one.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: driverName,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\" (the reason is mandatory)",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					if n != "" {
+						names[n] = true
+					}
+				}
+				sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: names})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// RunAnalyzers runs every applicable analyzer over every package,
+// applies //lint:ignore suppressions, and returns the surviving
+// diagnostics sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, runPackage(fset, pkg, analyzers)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// runPackage runs the analyzers over one package and filters the
+// findings through the package's suppression directives.
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, an := range analyzers {
+		if an.Applies != nil && !an.Applies(pkg.RelPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  an,
+			Fset:      fset,
+			Files:     pkg.Files,
+			RelPath:   pkg.RelPath,
+			TypesPkg:  pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		an.Run(pass)
+	}
+	sups, bad := collectSuppressions(fset, pkg.Files)
+	out := bad
+	for _, d := range raw {
+		suppressed := false
+		for _, s := range sups {
+			if s.matches(d) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoroutineGuard requires every `go func` literal in internal/ to carry
+// a panic boundary among the top-level defer statements of its body: a
+// deferred guard.Protect/guard.Trap, or a deferred function literal
+// that calls recover. A panic escaping a goroutine kills the process no
+// matter how carefully the spawning call path traps — the boundary must
+// live inside the goroutine itself. The boundary may sit after other
+// defers (a worker defers wg.Done first so the recover handler can
+// still send on a channel the waiter has not yet closed).
+var GoroutineGuard = &Analyzer{
+	Name: "goroutineguard",
+	Doc:  "every `go func` literal in internal/ must defer a recover/guard.Protect panic boundary",
+	Applies: func(rel string) bool {
+		return strings.HasPrefix(rel, "internal/")
+	},
+	Run: runGoroutineGuard,
+}
+
+func runGoroutineGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		imports := importNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			goStmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := goStmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasPanicBoundary(pass, imports, lit.Body) {
+				pass.Reportf(goStmt.Pos(),
+					"goroutine body has no panic boundary; defer guard.Protect/guard.Trap or a recover handler so a worker panic cannot kill the process")
+			}
+			return true
+		})
+	}
+}
+
+// hasPanicBoundary reports whether any top-level defer of body is a
+// recover boundary.
+func hasPanicBoundary(pass *Pass, imports map[string]string, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		d, ok := st.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if pkg, name, ok := calleePkgFunc(pass.TypesInfo, imports, d.Call); ok {
+			if pkg == guardPkg && (name == "Protect" || name == "Trap") {
+				return true
+			}
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && callsRecover(pass.TypesInfo, lit.Body) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// guardPkg and obsPkg are the import paths of the packages whose
+// pairing guardmirror enforces.
+const (
+	guardPkg = "multijoin/internal/guard"
+	obsPkg   = "multijoin/internal/obs"
+)
+
+// GuardMirror enforces the PR 2 reconciliation invariant: inside the
+// evaluation packages, every guard charge site must mirror its spend
+// into the obs counters in the same function, before or alongside the
+// charge, so `eval.tuples` equals the guard's τ ledger and
+// `eval.states`+`dp.states` equals the guard's state ledger even on
+// truncated runs.
+//
+//   - a ChargeEval call needs counter Add/Inc calls for the tuple,
+//     state and step ledgers (receivers named like cTuples, cStates,
+//     cSteps) in the same function;
+//   - a ChargeStates call needs a state-ledger counter Add/Inc
+//     (cStates, cStatesAll, …) in the same function.
+//
+// Receivers are confirmed against guard.Guard and obs.Counter when type
+// information is available; name matching carries the check through
+// partially typed fixtures.
+var GuardMirror = &Analyzer{
+	Name: "guardmirror",
+	Doc:  "guard.Charge* calls must be mirrored by the matching obs counter adds in the same function",
+	Applies: func(rel string) bool {
+		switch rel {
+		case "internal/database", "internal/optimizer", "internal/core":
+			return true
+		}
+		return false
+	},
+	Run: runGuardMirror,
+}
+
+// chargeMirrors maps each guard charge method to the counter-name
+// fragments whose Add/Inc calls must accompany it.
+var chargeMirrors = map[string][]string{
+	"ChargeEval":   {"tuples", "states", "steps"},
+	"ChargeStates": {"states"},
+}
+
+func runGuardMirror(pass *Pass) {
+	for _, f := range pass.Files {
+		scopes := funcScopes(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			mirrors, isCharge := chargeMirrors[sel.Sel.Name]
+			if !isCharge {
+				return true
+			}
+			if !receiverIsGuard(pass, sel) {
+				return true
+			}
+			body := enclosingFunc(scopes, call.Pos())
+			if body == nil {
+				return true
+			}
+			var missing []string
+			for _, frag := range mirrors {
+				if !hasCounterCall(pass, body, frag) {
+					missing = append(missing, frag)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(call.Pos(),
+					"guard.%s is not mirrored by obs counter adds for %s in the same function; the guard ledger and eval metrics must reconcile (τ-accounting)",
+					sel.Sel.Name, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// receiverIsGuard reports whether the method call's receiver is a
+// *guard.Guard. With type information the receiver type decides; when
+// the selection is untyped the method-name match stands, since only the
+// guard exposes Charge* in this codebase.
+func receiverIsGuard(pass *Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		match, typed := namedTypeIs(s.Recv(), guardPkg, "Guard")
+		if typed {
+			return match
+		}
+	}
+	return true
+}
+
+// hasCounterCall reports whether body (excluding nested function
+// literals) contains an Add or Inc call on an obs counter whose
+// receiver name contains frag.
+func hasCounterCall(pass *Pass, body *ast.BlockStmt, frag string) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Add" && sel.Sel.Name != "Inc" {
+			return true
+		}
+		if !receiverNamed(sel, frag) {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok {
+			if match, typed := namedTypeIs(s.Recv(), obsPkg, "Counter"); typed && !match {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

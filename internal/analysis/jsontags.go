@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// JSONTags guards the schema-versioned artifact shapes (obs metrics and
+// trace snapshots, strategy traces, guard ledger snapshots, bench
+// reports): once a struct opts into JSON serialization by tagging any
+// field, every exported field must carry an explicit json tag. An
+// untagged exported field silently serializes under its Go name,
+// changing the artifact shape without touching the schema constant —
+// exactly the drift the strict decoders (DisallowUnknownFields plus
+// schema strings) exist to reject.
+var JSONTags = &Analyzer{
+	Name: "jsontags",
+	Doc:  "structs with any json-tagged field must tag every exported field explicitly",
+	Applies: func(rel string) bool {
+		return rel == "" || strings.HasPrefix(rel, "internal/")
+	},
+	Run: runJSONTags,
+}
+
+func runJSONTags(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			if !anyFieldHasJSONTag(st) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if hasJSONTag(field) {
+					continue
+				}
+				for _, name := range exportedFieldNames(field) {
+					pass.Reportf(field.Pos(),
+						"exported field %s.%s has no json tag in a JSON-serialized struct; untagged fields drift the schema silently",
+						spec.Name.Name, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// anyFieldHasJSONTag reports whether the struct opts into JSON
+// serialization via at least one json-tagged field.
+func anyFieldHasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if hasJSONTag(field) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasJSONTag reports whether the field carries an explicit json struct
+// tag.
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	_, ok := reflect.StructTag(raw).Lookup("json")
+	return ok
+}
+
+// exportedFieldNames lists the field's exported names; an embedded
+// field counts under its type's base name.
+func exportedFieldNames(field *ast.Field) []string {
+	if len(field.Names) == 0 {
+		// Embedded field: its JSON behavior (promotion) depends on its
+		// name, which is the type's base identifier.
+		name := embeddedName(field.Type)
+		if name != "" && ast.IsExported(name) {
+			return []string{name}
+		}
+		return nil
+	}
+	var out []string
+	for _, n := range field.Names {
+		if n.IsExported() {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// embeddedName extracts the identifier an embedded field is promoted
+// under.
+func embeddedName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// ImportPath is the full import path (module path + relative dir).
+	ImportPath string
+	// RelPath is the module-relative slash path: "" for the module
+	// root, "internal/obs", "cmd/joinlint", ….
+	RelPath string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test source files, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete on type
+	// errors; never nil).
+	Types *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+	// TypeErrors collects type-checking problems. The driver tolerates
+	// them — `go build` is the authority on compilability; the linter
+	// only degrades to syntactic matching where types are missing.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module. Imports inside
+// the module are loaded recursively from source; standard-library
+// imports go through go/importer's source importer; anything that still
+// fails resolves to an empty placeholder package so analysis can
+// proceed on partial information.
+type Loader struct {
+	// Fset positions every file the loader touches.
+	Fset *token.FileSet
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's declared path ("multijoin").
+	ModulePath string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	stdMemo map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at moduleRoot with
+// the given module path.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	// The source importer type-checks standard-library dependencies
+	// from GOROOT source; with cgo disabled it selects the pure-Go
+	// variants (netgo and friends), which is all go/types needs.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		stdMemo:    make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and declared module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	return l.ImportFrom(importPath, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom, chaining module-internal
+// source loading, the standard-library source importer, and the
+// placeholder fallback.
+func (l *Loader) ImportFrom(importPath, dir string, mode types.ImportMode) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if importPath == l.ModulePath || strings.HasPrefix(importPath, l.ModulePath+"/") {
+		pkg, err := l.loadModulePackage(importPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := l.stdMemo[importPath]; ok {
+		return p, nil
+	}
+	if l.std != nil {
+		if p, err := l.std.ImportFrom(importPath, dir, mode); err == nil {
+			l.stdMemo[importPath] = p
+			return p, nil
+		}
+	}
+	// Unresolvable import (no GOROOT source, cgo-only package, …): an
+	// empty complete package keeps type-checking going; the analyzers
+	// fall back to import-name matching for selectors into it.
+	p := types.NewPackage(importPath, path.Base(importPath))
+	p.MarkComplete()
+	l.stdMemo[importPath] = p
+	return p, nil
+}
+
+// relOf converts a module import path to its module-relative form.
+func (l *Loader) relOf(importPath string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+}
+
+// loadModulePackage parses and type-checks the module package with the
+// given import path, memoized.
+func (l *Loader) loadModulePackage(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := l.relOf(importPath)
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	pkg, err := l.loadDir(dir, importPath, rel)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as a package
+// with the given import path and module-relative path. Tests use it to
+// load fixture packages that live under testdata (which the pattern
+// walker deliberately skips).
+func (l *Loader) LoadDir(dir, importPath, relPath string) (*Package, error) {
+	return l.loadDir(dir, importPath, relPath)
+}
+
+func (l *Loader) loadDir(dir, importPath, relPath string) (*Package, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		RelPath:    relPath,
+		Dir:        dir,
+		Files:      files,
+		Info: &types.Info{
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+		},
+	}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns a usable (if incomplete) package even on errors.
+	tpkg, _ := conf.Check(importPath, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// goFilesIn lists the non-test Go files of dir in lexical order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Load expands the patterns ("./...", "internal/...", "cmd/joinlint",
+// ".") against the module tree and returns the matched packages in
+// import-path order. Directories named testdata, hidden directories and
+// directories without non-test Go files are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	rels := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = path.Clean(strings.TrimPrefix(pat, "./"))
+		switch {
+		case pat == "..." || pat == ".":
+			root := pat == "."
+			if err := l.walk("", rels, !root); err != nil {
+				return nil, err
+			}
+			if root {
+				rels[""] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			if err := l.walk(strings.TrimSuffix(pat, "/..."), rels, true); err != nil {
+				return nil, err
+			}
+		default:
+			rels[pat] = true
+		}
+	}
+	var sorted []string
+	for rel := range rels {
+		sorted = append(sorted, rel)
+	}
+	sort.Strings(sorted)
+	pkgs := make([]*Package, 0, len(sorted))
+	for _, rel := range sorted {
+		importPath := l.ModulePath
+		if rel != "" {
+			importPath += "/" + rel
+		}
+		pkg, err := l.loadModulePackage(importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walk collects every package directory under rel (module-relative)
+// into out; recursive includes subdirectories.
+func (l *Loader) walk(rel string, out map[string]bool, recursive bool) error {
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	return filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !recursive && p != dir {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(p)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			sub, err := filepath.Rel(l.ModuleRoot, p)
+			if err != nil {
+				return err
+			}
+			if sub == "." {
+				sub = ""
+			}
+			out[filepath.ToSlash(sub)] = true
+		}
+		return nil
+	})
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoDirectIO keeps the library packages silent: only cmd/ binaries and
+// internal/cli may talk to the process's stdio or terminate it. A
+// library that prints cannot be embedded, and an os.Exit deep in the
+// engine skips every deferred guard boundary — the graceful-degradation
+// ladder depends on errors travelling up, not the process dying in
+// place. Writer-parameterized output (fmt.Fprintf to a caller's
+// io.Writer) is always fine; it is the ambient fmt.Print*, log.* and
+// os.Exit that are forbidden.
+var NoDirectIO = &Analyzer{
+	Name: "nodirectio",
+	Doc:  "no fmt.Print*, log.* or os.Exit in library packages (only cmd/ and internal/cli)",
+	Applies: func(rel string) bool {
+		return strings.HasPrefix(rel, "internal/") && rel != "internal/cli"
+	},
+	Run: runNoDirectIO,
+}
+
+func runNoDirectIO(pass *Pass) {
+	for _, f := range pass.Files {
+		imports := importNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := calleePkgFunc(pass.TypesInfo, imports, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "fmt" && (name == "Print" || name == "Println" || name == "Printf"):
+				pass.Reportf(call.Pos(),
+					"fmt.%s writes to ambient stdout from a library package; accept an io.Writer or return the value", name)
+			case pkg == "log":
+				pass.Reportf(call.Pos(),
+					"log.%s writes to ambient stderr from a library package; return an error or thread an obs.Recorder", name)
+			case pkg == "os" && name == "Exit":
+				pass.Reportf(call.Pos(),
+					"os.Exit in a library package skips every deferred guard boundary; return an error and let cmd/ decide the exit code")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// PanicMsg enforces the engine's panic-message convention: every panic
+// in internal/ carries a message prefixed with its package name
+// ("database: …", "relation %s: …"), so a stack-free panic report still
+// names the layer whose invariant broke. The internal/guard package is
+// exempt — it is the panic machinery itself (Abort's distinguished
+// value, Trap's re-raise).
+//
+// Accepted argument shapes:
+//
+//   - a string literal with the "<pkg>: " or "<pkg> " prefix;
+//   - a concatenation whose leftmost operand is such a literal;
+//   - fmt.Sprintf / fmt.Errorf whose format literal has the prefix;
+//   - the re-raise of a value just recovered in the same function.
+//
+// Everything else — panic(err), panic(v) of arbitrary values — is a
+// diagnostic; a site whose error is provably pre-prefixed may carry a
+// //lint:ignore with the reason.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  "every panic in internal/ must carry a \"<pkg>: …\"-prefixed message",
+	Applies: func(rel string) bool {
+		return strings.HasPrefix(rel, "internal/") && rel != "internal/guard"
+	},
+	Run: runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	for _, f := range pass.Files {
+		pkgName := f.Name.Name
+		imports := importNames(f)
+		scopes := funcScopes(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !isBuiltin(pass.TypesInfo, id, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			if !panicArgOK(pass, imports, scopes, call, pkgName) {
+				pass.Reportf(call.Pos(),
+					"panic message must be a string prefixed %q so the failing layer is identifiable without a stack", pkgName+": ")
+			}
+			return true
+		})
+	}
+}
+
+// panicArgOK reports whether the panic call's argument satisfies the
+// message convention for package pkgName.
+func panicArgOK(pass *Pass, imports map[string]string, scopes []funcScope, call *ast.CallExpr, pkgName string) bool {
+	arg := call.Args[0]
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		return litHasPrefix(a, pkgName)
+	case *ast.BinaryExpr:
+		if a.Op != token.ADD {
+			return false
+		}
+		if lit, ok := leftmostLit(a); ok {
+			return litHasPrefix(lit, pkgName)
+		}
+		return false
+	case *ast.CallExpr:
+		pkg, name, ok := calleePkgFunc(pass.TypesInfo, imports, a)
+		if ok && pkg == "fmt" && (name == "Sprintf" || name == "Errorf") && len(a.Args) > 0 {
+			if lit, ok := a.Args[0].(*ast.BasicLit); ok {
+				return litHasPrefix(lit, pkgName)
+			}
+		}
+		return false
+	case *ast.Ident:
+		// Re-raising a recovered value (the Trap/Protect pattern in
+		// open code) is not this panic's message to own.
+		return assignedFromRecover(pass, scopes, call.Pos(), a.Name)
+	}
+	return false
+}
+
+// litHasPrefix reports whether the string literal starts with
+// "<pkg>: " or "<pkg> " (the latter covers "relation %s: …"-style
+// formats that interpolate an instance name after the package).
+func litHasPrefix(lit *ast.BasicLit, pkgName string) bool {
+	if lit.Kind != token.STRING {
+		return false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	return strings.HasPrefix(s, pkgName+":") || strings.HasPrefix(s, pkgName+" ")
+}
+
+// leftmostLit descends a left-associated concatenation chain to its
+// leftmost operand.
+func leftmostLit(b *ast.BinaryExpr) (*ast.BasicLit, bool) {
+	left := b.X
+	for {
+		switch l := left.(type) {
+		case *ast.BinaryExpr:
+			left = l.X
+		case *ast.BasicLit:
+			return l, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// assignedFromRecover reports whether the named identifier is assigned
+// from a recover() call in the function enclosing pos.
+func assignedFromRecover(pass *Pass, scopes []funcScope, pos token.Pos, name string) bool {
+	body := enclosingFunc(scopes, pos)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return !found
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name != name {
+			return !found
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(pass.TypesInfo, id, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,32 @@
+// Package fixture seeds determinism violations: ambient clock reads and
+// global random sources next to their permitted seeded counterparts.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocky() time.Duration {
+	start := time.Now()      // want "time.Now"
+	return time.Since(start) // want "time.Since"
+}
+
+func randy() int {
+	return rand.Int() // want "math/rand.Int"
+}
+
+func freshSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "math/rand.New is" "math/rand.NewSource is"
+}
+
+func seeded(rng *rand.Rand) int {
+	// A caller-threaded seeded source is deterministic; method calls on
+	// it are allowed everywhere.
+	return rng.Intn(10)
+}
+
+func arithmetic(t time.Time) time.Time {
+	// time arithmetic on a caller-provided instant is deterministic.
+	return t.Add(time.Second)
+}

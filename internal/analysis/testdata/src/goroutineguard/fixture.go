@@ -1,0 +1,76 @@
+// Package fixture seeds goroutineguard cases: goroutine literals with
+// and without panic boundaries.
+package fixture
+
+import (
+	"sync"
+
+	"multijoin/internal/guard"
+)
+
+func protectedRecover(errs chan<- error) {
+	go func() {
+		defer func() {
+			if err := guard.Recovered(recover()); err != nil {
+				errs <- err
+			}
+		}()
+		work()
+	}()
+}
+
+func protectedAfterDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+func protectedTrap() {
+	go func() {
+		var err error
+		defer guard.Trap(&err)
+		work()
+	}()
+}
+
+func protectedProtect() {
+	go func() {
+		var err error
+		defer guard.Protect(&err)
+		work()
+	}()
+}
+
+func unprotected() {
+	go func() { // want "no panic boundary"
+		work()
+	}()
+}
+
+func doneOnly(wg *sync.WaitGroup) {
+	go func() { // want "no panic boundary"
+		defer wg.Done()
+		work()
+	}()
+}
+
+func recoverTooDeep() {
+	go func() { // want "no panic boundary"
+		if true {
+			// A recover handler behind a conditional is not a boundary:
+			// it is not among the body's top-level defers.
+			defer func() { _ = recover() }()
+		}
+		work()
+	}()
+}
+
+func namedFunc() {
+	// Only `go func` literals are checked; a named function is expected
+	// to carry its own boundary.
+	go work()
+}
+
+func work() {}

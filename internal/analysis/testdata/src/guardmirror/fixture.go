@@ -1,0 +1,61 @@
+// Package fixture seeds guardmirror violations: guard charges with and
+// without their obs counter mirrors.
+package fixture
+
+import (
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+)
+
+type engine struct {
+	g       *guard.Guard
+	cTuples *obs.Counter
+	cStates *obs.Counter
+	cSteps  *obs.Counter
+}
+
+func (e *engine) mirrored(n int) {
+	e.cTuples.Add(int64(n))
+	e.cStates.Inc()
+	e.cSteps.Inc()
+	guard.Must(e.g.ChargeEval(n))
+}
+
+func (e *engine) unmirrored(n int) {
+	guard.Must(e.g.ChargeEval(n)) // want "not mirrored by obs counter adds for tuples, states, steps"
+}
+
+func (e *engine) partial(n int) {
+	e.cTuples.Add(int64(n))
+	guard.Must(e.g.ChargeEval(n)) // want "not mirrored by obs counter adds for states, steps"
+}
+
+func (e *engine) statesMirrored(rec *obs.Recorder) {
+	cStatesAll := rec.Counter("dp.states")
+	cStatesAll.Inc()
+	guard.Must(e.g.ChargeStates(1))
+}
+
+func (e *engine) statesUnmirrored() {
+	guard.Must(e.g.ChargeStates(1)) // want "not mirrored by obs counter adds for states"
+}
+
+func (e *engine) mirrorInNestedLiteralDoesNotCount(n int) {
+	add := func() {
+		e.cTuples.Add(int64(n))
+		e.cStates.Inc()
+		e.cSteps.Inc()
+	}
+	_ = add
+	guard.Must(e.g.ChargeEval(n)) // want "not mirrored by obs counter adds for tuples, states, steps"
+}
+
+func (e *engine) chargeInsideLiteralNeedsMirrorThere(n int) {
+	e.cTuples.Add(int64(n)) // outer mirrors do not reach the literal
+	e.cStates.Inc()
+	e.cSteps.Inc()
+	run := func() {
+		guard.Must(e.g.ChargeEval(n)) // want "not mirrored by obs counter adds for tuples, states, steps"
+	}
+	run()
+}

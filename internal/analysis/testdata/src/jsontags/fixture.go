@@ -1,0 +1,40 @@
+// Package fixture seeds jsontags cases: schema structs with complete,
+// partial and absent json tagging.
+package fixture
+
+// Report is fully tagged: no diagnostics.
+type Report struct {
+	Schema string `json:"schema"`
+	Count  int    `json:"count"`
+	hidden int    // unexported fields are exempt
+}
+
+// Drifty opted into JSON serialization but left exported fields
+// untagged.
+type Drifty struct {
+	Schema     string `json:"schema"`
+	Count      int    // want "Drifty.Count has no json tag"
+	Name, Kind string // want "Drifty.Name has no json tag" "Drifty.Kind has no json tag"
+	internal   int
+}
+
+// Embedding promotes Report's fields into the document: the embedded
+// field needs a tag too.
+type Embedding struct {
+	Schema string `json:"schema"`
+	Report        // want "Embedding.Report has no json tag"
+}
+
+// Plain never opted in: Go-native structs stay untagged freely.
+type Plain struct {
+	X int
+	Y int
+}
+
+var _ = Plain{}
+
+var _ = Drifty{}
+
+var _ = Embedding{}
+
+var _ = Report{}

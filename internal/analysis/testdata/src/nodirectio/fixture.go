@@ -1,0 +1,38 @@
+// Package fixture seeds nodirectio violations: ambient stdio and
+// process termination from what stands in for a library package.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func noisy(v int) {
+	fmt.Println("result:", v) // want "fmt.Println"
+	fmt.Printf("%d\n", v)     // want "fmt.Printf"
+	fmt.Print(v)              // want "fmt.Print "
+	log.Printf("v=%d", v)     // want "log.Printf"
+	log.Println("done")       // want "log.Println"
+}
+
+func fatal() {
+	os.Exit(1) // want "os.Exit"
+}
+
+func quiet(w io.Writer, v int) error {
+	// Writer-parameterized output is the sanctioned form.
+	_, err := fmt.Fprintf(w, "%d\n", v)
+	return err
+}
+
+func errors() error {
+	// fmt.Errorf and friends are not stdio.
+	return fmt.Errorf("fixture: %d", 1)
+}
+
+func env() string {
+	// Only os.Exit is forbidden, not the rest of package os.
+	return os.Getenv("HOME")
+}

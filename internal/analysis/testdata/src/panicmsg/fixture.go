@@ -1,0 +1,51 @@
+// Package fixture seeds panicmsg cases: prefixed and unprefixed panic
+// messages in every accepted argument shape.
+package fixture
+
+import "fmt"
+
+func good() {
+	panic("fixture: invariant broken")
+}
+
+func goodSprintf(n int) {
+	panic(fmt.Sprintf("fixture: bad count %d", n))
+}
+
+func goodInstanceName(name string) {
+	panic(fmt.Sprintf("fixture %s: tuple lost", name))
+}
+
+func goodConcat(id string) {
+	panic("fixture: duplicate id " + id)
+}
+
+func goodReraise() {
+	defer func() {
+		if r := recover(); r != nil {
+			// Re-raising a recovered value is the Trap pattern in open
+			// code; the message belongs to the original panic.
+			panic(r)
+		}
+	}()
+}
+
+func badLiteral() {
+	panic("invariant broken") // want "panic message must be a string prefixed"
+}
+
+func badWrongPrefix() {
+	panic("other: invariant broken") // want "panic message must be a string prefixed"
+}
+
+func badValue(err error) {
+	panic(err) // want "panic message must be a string prefixed"
+}
+
+func badSprintf(n int) {
+	panic(fmt.Sprintf("bad count %d", n)) // want "panic message must be a string prefixed"
+}
+
+func badConcat(id string) {
+	panic(id + ": fixture") // want "panic message must be a string prefixed"
+}

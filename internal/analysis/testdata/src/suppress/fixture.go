@@ -1,0 +1,28 @@
+// Package fixture seeds suppression-directive cases for the driver:
+// well-formed ignores (above and inline), a wrong-analyzer ignore that
+// silences nothing, and a reason-less directive that is itself a
+// diagnostic.
+package fixture
+
+func suppressed() {
+	//lint:ignore panicmsg the message is assembled upstream with the prefix
+	panic("missing prefix one")
+}
+
+func suppressedInline() {
+	panic("missing prefix two") //lint:ignore panicmsg prefix added by the caller's wrapper
+}
+
+func unsuppressed() {
+	panic("missing prefix three") // want "panic message must be a string prefixed"
+}
+
+func wrongAnalyzer() {
+	//lint:ignore determinism a directive for another analyzer silences nothing here
+	panic("missing prefix four") // want "panic message must be a string prefixed"
+}
+
+func missingReason() {
+	/* want "malformed" */       //lint:ignore panicmsg
+	panic("missing prefix five") // want "panic message must be a string prefixed"
+}

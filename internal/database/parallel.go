@@ -132,6 +132,18 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Panic boundary: a worker panic (a relation invariant
+				// violation reached by malformed input) must stop the
+				// level and surface on errs, not kill the process. The
+				// handler is registered after wg.Done so it runs before
+				// it on unwind — the send completes while the waiter
+				// still holds the channel open.
+				defer func() {
+					if err := guard.Recovered(recover()); err != nil {
+						stop.Store(true)
+						errs <- err
+					}
+				}()
 				for j := range jobs {
 					if stop.Load() {
 						continue // drain the remaining jobs cheaply

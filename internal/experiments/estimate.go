@@ -164,5 +164,5 @@ func estimatedConditionHolds(db *database.Database, cond conditions.Condition) b
 		}
 		return true
 	}
-	panic("estimatedConditionHolds: unsupported condition")
+	panic("experiments: estimatedConditionHolds: unsupported condition")
 }

@@ -45,6 +45,7 @@ func Parse(s string) (FD, error) {
 func MustParse(s string) FD {
 	f, err := Parse(s)
 	if err != nil {
+		//lint:ignore panicmsg Parse errors already carry the "fd: " prefix.
 		panic(err)
 	}
 	return f

@@ -374,3 +374,30 @@ func Protect(errp *error) {
 		*errp = &PanicError{Value: r, Stack: debug.Stack()}
 	}
 }
+
+// Recovered converts a recover() result into the error a panic boundary
+// should surface: nil when there was no panic, the aborted error for a
+// guard.Abort, and a *PanicError (with the stack at recovery time) for
+// anything else. It is the goroutine-shaped counterpart of Protect —
+// a worker cannot use a deferred Protect(&err) because each goroutine
+// must route its error through a channel rather than a shared named
+// return:
+//
+//	go func() {
+//		defer wg.Done()
+//		defer func() {
+//			if err := guard.Recovered(recover()); err != nil {
+//				errs <- err
+//			}
+//		}()
+//		…
+//	}()
+func Recovered(r any) error {
+	if r == nil {
+		return nil
+	}
+	if a, ok := r.(abortPanic); ok {
+		return a.err
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}

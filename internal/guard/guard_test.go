@@ -285,3 +285,37 @@ func TestSnapshotCarriesLimits(t *testing.T) {
 		t.Error("nil guard snapshot not zero")
 	}
 }
+
+func TestRecoveredConvertsPanicValues(t *testing.T) {
+	if err := Recovered(nil); err != nil {
+		t.Errorf("Recovered(nil) = %v, want nil", err)
+	}
+
+	// An Abort unwinds into its original error, matching Trap/Protect.
+	want := &BudgetError{Resource: "tuples", Spent: 2, Limit: 1}
+	var got error
+	func() {
+		defer func() { got = Recovered(recover()) }()
+		Abort(want)
+	}()
+	if got != want {
+		t.Errorf("Recovered(Abort(err)) = %v, want the aborted error", got)
+	}
+	if !errors.Is(got, ErrBudgetExceeded) {
+		t.Error("recovered abort lost its errors.Is identity")
+	}
+
+	// Any other panic becomes a *PanicError carrying value and stack —
+	// the goroutine-boundary contract the prewarm workers rely on.
+	func() {
+		defer func() { got = Recovered(recover()) }()
+		panic("worker invariant broken")
+	}()
+	var pe *PanicError
+	if !errors.As(got, &pe) {
+		t.Fatalf("Recovered(panic) = %T, want *PanicError", got)
+	}
+	if pe.Value != "worker invariant broken" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError lost value or stack: %+v", pe)
+	}
+}

@@ -57,6 +57,11 @@ func DebugServer(addr string, r *Recorder) (*http.Server, net.Addr, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go func() {
+		// Panic boundary: the debug surface is best-effort — a panic in
+		// the serve loop must not take down the evaluation it observes.
+		defer func() {
+			_ = recover()
+		}()
 		// ErrServerClosed is the normal shutdown path; anything else has
 		// nowhere to go in a background serve loop, so it is dropped —
 		// the debug surface is best-effort by design.

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeMetrics feeds arbitrary bytes to the strict metrics
+// decoder. Invariant: DecodeMetrics either rejects the input with an
+// error or returns a snapshot that survives an encode/decode round trip
+// unchanged in schema and metric counts — the validation the CI bench
+// job gates on must be a fixpoint.
+func FuzzDecodeMetrics(f *testing.F) {
+	seed, err := os.ReadFile("testdata/metrics.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	for _, s := range []string{
+		`{"schema": "multijoin/metrics/v1", "uptimeNs": 1, "counters": {}, "gauges": {}, "timers": {}, "events": 0, "droppedEvents": 0}`,
+		`{"schema": "multijoin/metrics/v0", "counters": {}, "gauges": {}, "timers": {}}`,
+		`{"schema": "multijoin/metrics/v1", "unknown": 1}`,
+		`{}`,
+		`not json`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeMetrics(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if snap.Schema != MetricsSchema {
+			t.Fatalf("accepted snapshot carries schema %q, want %q", snap.Schema, MetricsSchema)
+		}
+		out, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot fails to re-encode: %v", err)
+		}
+		back, err := DecodeMetrics(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		if back.Schema != snap.Schema ||
+			len(back.Counters) != len(snap.Counters) ||
+			len(back.Gauges) != len(snap.Gauges) ||
+			len(back.Timers) != len(snap.Timers) {
+			t.Fatal("metrics snapshot changed across an encode/decode round trip")
+		}
+	})
+}
+
+// FuzzDecodeTrace is the trace-document counterpart of
+// FuzzDecodeMetrics: the strict trace decoder either errors or accepts
+// a document that round-trips with its event count intact.
+func FuzzDecodeTrace(f *testing.F) {
+	var buf bytes.Buffer
+	rec := NewRecorder()
+	rec.SetPhase("fuzz")
+	rec.Emit(Event{Kind: "begin", Name: "span"})
+	rec.Emit(Event{Kind: "step", Name: "R0 R1", Subset: 2, Tuples: 5, Left: 3, Right: 4})
+	rec.Emit(Event{Kind: "end", Name: "span", DurNS: 10})
+	if err := rec.WriteTrace(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	for _, s := range []string{
+		`{"schema": "multijoin/trace/v1", "dropped": 0, "events": []}`,
+		`{"schema": "multijoin/trace/v2", "events": []}`,
+		`{"schema": "multijoin/trace/v1", "events": [{"kind": "step", "bogus": true}]}`,
+		`{}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.Schema != TraceSchema {
+			t.Fatalf("accepted trace carries schema %q, want %q", tr.Schema, TraceSchema)
+		}
+		out, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("accepted trace fails to re-encode: %v", err)
+		}
+		back, err := DecodeTrace(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v", err)
+		}
+		if len(back.Events) != len(tr.Events) || back.Dropped != tr.Dropped {
+			t.Fatal("trace changed across an encode/decode round trip")
+		}
+	})
+}

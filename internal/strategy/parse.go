@@ -36,6 +36,7 @@ func Parse(db *database.Database, src string) (*Node, error) {
 func MustParse(db *database.Database, src string) *Node {
 	n, err := Parse(db, src)
 	if err != nil {
+		//lint:ignore panicmsg Parse errors already carry the "strategy: " prefix.
 		panic(err)
 	}
 	return n
