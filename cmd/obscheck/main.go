@@ -1,8 +1,10 @@
 // Command obscheck validates the machine-readable observability
-// artifacts joinopt emits: metrics snapshots (-metrics-out) and
-// structured traces (-trace-out). Each argument is sniffed by schema and
-// must decode cleanly with no unknown fields; CI runs it to keep the
-// JSON contracts honest.
+// artifacts the engine emits: metrics snapshots (joinopt -metrics-out),
+// structured traces (joinopt -trace-out) and bench reports (experiments
+// -bench, BENCH_joinopt.json). Each argument is sniffed by schema and
+// must decode cleanly with no unknown fields; bench reports must also
+// pass the bench validator. CI runs it to keep the JSON contracts
+// honest.
 //
 // Usage:
 //
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"multijoin/internal/experiments"
 	"multijoin/internal/obs"
 )
 
@@ -55,6 +58,12 @@ func checkFile(path string) error {
 		_, err = obs.DecodeMetrics(bytes.NewReader(data))
 	case obs.TraceSchema:
 		_, err = obs.DecodeTrace(bytes.NewReader(data))
+	case obs.BenchSchema:
+		var rep *experiments.BenchReport
+		rep, err = experiments.DecodeBench(bytes.NewReader(data))
+		if err == nil {
+			err = experiments.ValidateBench(rep)
+		}
 	default:
 		return fmt.Errorf("unknown schema %q", head.Schema)
 	}

@@ -9,6 +9,7 @@ package analysis
 //	panicmsg       panic reports name the failing layer without a stack
 //	goroutineguard no goroutine can crash the process past the guard boundaries
 //	jsontags       schema-versioned artifacts cannot drift via untagged fields
+//	hotpath        //joinlint:hotpath kernel files stay allocation-disciplined
 func All() []*Analyzer {
 	return []*Analyzer{
 		GuardMirror,
@@ -17,5 +18,6 @@ func All() []*Analyzer {
 		PanicMsg,
 		GoroutineGuard,
 		JSONTags,
+		HotPath,
 	}
 }

@@ -141,6 +141,24 @@ func TestJSONTagsGolden(t *testing.T) {
 	runFixture(t, JSONTags, "jsontags", "internal/obs")
 }
 
+func TestHotPathGolden(t *testing.T) {
+	runFixture(t, HotPath, "hotpath", "internal/relation")
+}
+
+// TestHotPathIgnoresUntaggedFiles pins the opt-in boundary: a package
+// full of would-be violations produces nothing without the directive.
+func TestHotPathIgnoresUntaggedFiles(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg, err := l.LoadDir("testdata/src/nodirectio", l.ModulePath+"/lintfixture/nodirectio2", "internal/relation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(l.Fset, []*Package{pkg}, []*Analyzer{HotPath})
+	if len(diags) != 0 {
+		t.Errorf("hotpath reported %d diagnostics on an untagged package: %v", len(diags), diags)
+	}
+}
+
 // TestSuppression drives the //lint:ignore machinery end to end: a
 // directive with a reason silences exactly the diagnostic on its line
 // (or the line below), a directive naming another analyzer silences
@@ -216,6 +234,9 @@ func TestAnalyzerAppliesScoping(t *testing.T) {
 		{JSONTags, "", true},
 		{JSONTags, "cmd/joinopt", false},
 	}
+	if HotPath.Applies != nil {
+		t.Error("hotpath must apply everywhere: the //joinlint:hotpath directive is its only gate")
+	}
 	for _, c := range cases {
 		if got := c.an.Applies(c.rel); got != c.want {
 			t.Errorf("%s.Applies(%q) = %v, want %v", c.an.Name, c.rel, got, c.want)
@@ -235,7 +256,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[an.Name] = true
 	}
-	for _, wantName := range []string{"guardmirror", "determinism", "nodirectio", "panicmsg", "goroutineguard", "jsontags"} {
+	for _, wantName := range []string{"guardmirror", "determinism", "nodirectio", "panicmsg", "goroutineguard", "jsontags", "hotpath"} {
 		if !names[wantName] {
 			t.Errorf("registry is missing analyzer %q", wantName)
 		}

@@ -1,0 +1,13 @@
+package fixture
+
+import "fmt"
+
+// An untagged file of the same package is never checked: the cold path
+// may format freely, even inside loops.
+func coldFormat(vs []int) string {
+	out := ""
+	for _, v := range vs {
+		out += fmt.Sprintf("%d,", v)
+	}
+	return out
+}

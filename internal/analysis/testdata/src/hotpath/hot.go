@@ -1,0 +1,72 @@
+// Package fixture seeds hotpath violations in a tagged file: fmt
+// calls, in-loop string concatenation, and in-loop map allocation.
+package fixture
+
+//joinlint:hotpath
+
+import "fmt"
+
+func formatInHotFile(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf"
+}
+
+func concatInLoop(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + p // want "string concatenation inside a loop"
+	}
+	return out
+}
+
+func plusAssignInLoop(parts []string) string {
+	var out string
+	for i := 0; i < len(parts); i++ {
+		out += parts[i] // want "+= inside a loop"
+	}
+	return out
+}
+
+func mapPerRow(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		seen := make(map[int]bool) // want "map allocation inside a loop"
+		for _, v := range row {
+			seen[v] = true
+		}
+		total += len(seen)
+	}
+	return total
+}
+
+func mapLiteralPerRow(rows []int) int {
+	total := 0
+	for range rows {
+		m := map[string]int{"a": 1} // want "map literal inside a loop"
+		total += len(m)
+	}
+	return total
+}
+
+// Sanctioned forms: ID arithmetic in loops, maps hoisted above them,
+// concatenation outside any loop.
+func hoisted(rows [][]int) int {
+	seen := make(map[int]bool)
+	for _, row := range rows {
+		for _, v := range row {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}
+
+func concatOutsideLoop(a, b string) string {
+	return "(" + a + "⋈" + b + ")"
+}
+
+func intSumInLoop(ids []uint32) uint64 {
+	var h uint64
+	for _, id := range ids {
+		h += uint64(id)
+	}
+	return h
+}

@@ -24,8 +24,16 @@ import (
 // ReadCSV reads one relation from headered CSV input. The input is
 // untrusted: malformed headers and ragged rows come back as errors, and
 // any residual invariant panic in the relation layer is converted to an
-// error rather than crashing the caller.
-func ReadCSV(name string, r io.Reader) (rel *relation.Relation, err error) {
+// error rather than crashing the caller. The relation interns through
+// the process-wide dictionary; LoadCSVDir gives each loaded database a
+// dictionary of its own.
+func ReadCSV(name string, r io.Reader) (*relation.Relation, error) {
+	return readCSVIn(nil, name, r)
+}
+
+// readCSVIn is ReadCSV interning through the given dictionary (nil
+// selects the shared one).
+func readCSVIn(dict *relation.Dict, name string, r io.Reader) (rel *relation.Relation, err error) {
 	defer wrapLoadPanic("CSV", &err)
 	defer guard.Protect(&err)
 	cr := csv.NewReader(r)
@@ -46,7 +54,7 @@ func ReadCSV(name string, r io.Reader) (rel *relation.Relation, err error) {
 	if schema.Len() != len(attrs) {
 		return nil, fmt.Errorf("database: %s has duplicate attributes", name)
 	}
-	rel = relation.New(name, schema)
+	rel = relation.NewIn(dict, name, schema)
 	for row := 1; ; row++ {
 		record, err := cr.Read()
 		if err == io.EOF {
@@ -113,13 +121,17 @@ func LoadCSVDir(dir string) (*Database, error) {
 			dir, len(names), hypergraph.MaxRelations)
 	}
 	sort.Strings(names)
+	// One dictionary per loaded database: its relations share an ID
+	// space (joins never translate) and dropping the database releases
+	// every string it interned.
+	dict := relation.NewDict()
 	rels := make([]*relation.Relation, 0, len(names))
 	for _, name := range names {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
 			return nil, err
 		}
-		rel, err := ReadCSV(strings.TrimSuffix(name, ".csv"), f)
+		rel, err := readCSVIn(dict, strings.TrimSuffix(name, ".csv"), f)
 		f.Close()
 		if err != nil {
 			return nil, err

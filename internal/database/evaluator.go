@@ -38,6 +38,8 @@ type Evaluator struct {
 	cTuples     *obs.Counter
 	cStates     *obs.Counter
 	cSteps      *obs.Counter
+	cJoinParts  *obs.Counter
+	gIntern     *obs.Gauge
 }
 
 // NewEvaluator creates an evaluator for the database.
@@ -60,8 +62,14 @@ func (e *Evaluator) Guard() *guard.Guard { return e.guard }
 // running τ ledger), `eval.states` and `eval.steps` — the same
 // quantities, charged at the same points, as guard.Guard's budgets, so
 // the metrics reconcile exactly with guard.Snapshot() — and memo
-// traffic counts into `eval.memo.hits`/`eval.memo.misses`. A nil
-// recorder detaches instrumentation.
+// traffic counts into `eval.memo.hits`/`eval.memo.misses`. The
+// dictionary-encoded kernel reports through two further handles:
+// `join.partitions` accumulates the hash-partition count of every join
+// that took the parallel path (sequential joins contribute 0, so the
+// counter divided by the fixed partition count is the number of
+// parallel joins), and
+// the `eval.intern.values` gauge tracks how many distinct values the
+// result dictionary holds. A nil recorder detaches instrumentation.
 func (e *Evaluator) WithRecorder(rec *obs.Recorder) *Evaluator {
 	e.rec = rec
 	e.cMemoHits = rec.Counter("eval.memo.hits")
@@ -69,6 +77,8 @@ func (e *Evaluator) WithRecorder(rec *obs.Recorder) *Evaluator {
 	e.cTuples = rec.Counter("eval.tuples")
 	e.cStates = rec.Counter("eval.states")
 	e.cSteps = rec.Counter("eval.steps")
+	e.cJoinParts = rec.Counter("join.partitions")
+	e.gIntern = rec.Gauge("eval.intern.values")
 	return e
 }
 
@@ -113,6 +123,8 @@ func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 		e.cTuples.Add(int64(result.Size()))
 		e.cStates.Inc()
 		e.cSteps.Inc()
+		e.cJoinParts.Add(int64(result.JoinPartitions()))
+		e.gIntern.Set(int64(result.Dict().Len()))
 		if e.guard != nil {
 			guard.Must(e.guard.ChargeEval(result.Size()))
 		}

@@ -86,6 +86,8 @@ func DecodeJSON(r io.Reader) (db *Database, err error) {
 			len(in.Relations), hypergraph.MaxRelations)
 	}
 	rels := make([]*relation.Relation, len(in.Relations))
+	// One dictionary per decoded database; see LoadCSVDir.
+	dict := relation.NewDict()
 	for i, jr := range in.Relations {
 		if len(jr.Attrs) == 0 {
 			return nil, fmt.Errorf("database: relation %d (%s) has no attributes", i, jr.Name)
@@ -98,7 +100,7 @@ func DecodeJSON(r io.Reader) (db *Database, err error) {
 		if schema.Len() != len(attrs) {
 			return nil, fmt.Errorf("database: relation %d (%s) has duplicate attributes", i, jr.Name)
 		}
-		rel := relation.New(jr.Name, schema)
+		rel := relation.NewIn(dict, jr.Name, schema)
 		for k, row := range jr.Rows {
 			if err := insertRow(rel, attrs, row); err != nil {
 				return nil, fmt.Errorf("database: relation %s (index %d): JSON row %d: %w",

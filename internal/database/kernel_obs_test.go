@@ -1,0 +1,89 @@
+package database
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"multijoin/internal/obs"
+	"multijoin/internal/relation"
+)
+
+// Tests for the dictionary-encoded kernel's observability surface:
+// the eval.intern.values gauge, the join.partitions counter, and the
+// per-database dictionary the loaders install.
+
+func bigRel(name, schema string, rows, domain int) *relation.Relation {
+	r := relation.New(name, relation.SchemaFromString(schema))
+	w := r.Schema().Len()
+	for i := 0; i < rows; i++ {
+		row := make([]relation.Value, w)
+		row[0] = relation.Value(fmt.Sprintf("%s%d", name, i))
+		for j := 1; j < w; j++ {
+			row[j] = relation.Value(fmt.Sprintf("k%d", i%domain))
+		}
+		r.InsertRow(row)
+	}
+	return r
+}
+
+func TestEvaluatorKernelMetricsSequential(t *testing.T) {
+	db := New(
+		relation.FromStrings("R", "AB", "p 0", "q 0"),
+		relation.FromStrings("S", "BC", "0 w", "0 x"),
+	)
+	rec := obs.NewRecorder()
+	ev := NewEvaluator(db).WithRecorder(rec)
+	ev.Result()
+	snap := rec.Snapshot()
+	if snap.Gauges["eval.intern.values"] == 0 {
+		t.Error("eval.intern.values gauge not set; the kernel metrics are detached")
+	}
+	if got := snap.Counters["join.partitions"]; got != 0 {
+		t.Errorf("join.partitions = %d for a tiny join, want 0 (sequential path)", got)
+	}
+}
+
+func TestEvaluatorKernelMetricsParallel(t *testing.T) {
+	// 5000+5000 input rows crosses the kernel's parallel threshold, so
+	// the single join of this database must report its partition count.
+	db := New(bigRel("R", "AB", 5000, 50), bigRel("S", "BC", 5000, 50))
+	rec := obs.NewRecorder()
+	ev := NewEvaluator(db).WithRecorder(rec)
+	result := ev.Result()
+	if result.JoinPartitions() == 0 {
+		t.Fatal("large join unexpectedly took the sequential path")
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["join.partitions"]; got != int64(result.JoinPartitions()) {
+		t.Errorf("join.partitions = %d, want %d", got, result.JoinPartitions())
+	}
+	if snap.Gauges["eval.intern.values"] < int64(db.Relation(0).Size()) {
+		t.Errorf("eval.intern.values = %d, want at least the %d distinct A-values",
+			snap.Gauges["eval.intern.values"], db.Relation(0).Size())
+	}
+}
+
+func TestLoadersInstallPerDatabaseDict(t *testing.T) {
+	in := `{"relations":[
+		{"name":"R","attrs":["A","B"],"rows":[["p","0"],["q","0"]]},
+		{"name":"S","attrs":["B","C"],"rows":[["0","w"]]}
+	]}`
+	db, err := DecodeJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation(0).Dict() != db.Relation(1).Dict() {
+		t.Error("JSON-decoded relations do not share one dictionary")
+	}
+	if db.Relation(0).Dict() == relation.New("", relation.SchemaFromString("A")).Dict() {
+		t.Error("JSON-decoded database shares the process-wide dictionary")
+	}
+	// Cross-dictionary algebra still works: join a loaded relation with
+	// an independently built one.
+	other := relation.FromStrings("T", "CD", "w 9")
+	joined := relation.Join(db.Relation(1), other)
+	if joined.Size() != 1 {
+		t.Errorf("cross-dictionary join size = %d, want 1", joined.Size())
+	}
+}

@@ -159,6 +159,8 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 					ev.cTuples.Add(int64(rel.Size()))
 					ev.cStates.Inc()
 					ev.cSteps.Inc()
+					ev.cJoinParts.Add(int64(rel.JoinPartitions()))
+					ev.gIntern.Set(int64(rel.Dict().Len()))
 					levelTuples.Add(int64(rel.Size()))
 					if err := g.ChargeEval(rel.Size()); err != nil {
 						stop.Store(true)

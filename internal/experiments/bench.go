@@ -13,6 +13,7 @@ import (
 	"multijoin/internal/gen"
 	"multijoin/internal/obs"
 	"multijoin/internal/paperex"
+	"multijoin/internal/relation"
 )
 
 // The bench pipeline: a fixed corpus (the paper's five examples plus
@@ -49,6 +50,27 @@ type BenchCase struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
+// KernelBench is one join-kernel micro-measurement: a fixed operation
+// on fixed inputs, timed over a fixed iteration count with allocation
+// deltas from the runtime's monotone malloc counters. The section pins
+// the dictionary-encoded kernel's constant factors the same way the τ
+// cases pin the optimizer's outputs.
+type KernelBench struct {
+	// Name identifies the measured operation, e.g. "join-seq".
+	Name string `json:"name"`
+	// Iters is the number of timed iterations.
+	Iters int `json:"iters"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are per-iteration averages.
+	NsPerOp int64 `json:"nsPerOp"`
+	// BytesPerOp is heap bytes allocated per iteration.
+	BytesPerOp int64 `json:"bytesPerOp"`
+	// AllocsPerOp is heap allocations per iteration.
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	// Partitions is the hash-partition count of the measured join's
+	// result (0: sequential path, or not a join).
+	Partitions int `json:"partitions"`
+}
+
 // BenchTotals aggregates the corpus.
 type BenchTotals struct {
 	// Cases is the number of corpus entries measured.
@@ -69,6 +91,8 @@ type BenchReport struct {
 	GoMaxProcs int `json:"goMaxProcs"`
 	// Cases lists one measurement per corpus entry, in run order.
 	Cases []BenchCase `json:"cases"`
+	// Kernel lists the join-kernel micro-benchmarks.
+	Kernel []KernelBench `json:"kernel"`
 	// Totals aggregates the corpus.
 	Totals BenchTotals `json:"totals"`
 }
@@ -122,7 +146,88 @@ func RunBench(w io.Writer, workers int) (*BenchReport, error) {
 		rep.Totals.States += c.States
 		rep.Totals.WallNS += c.WallNS
 	}
+	rep.Kernel = benchKernel()
+	for _, k := range rep.Kernel {
+		fmt.Fprintf(w, "kernel %-12s %8d ns/op %8d B/op %6d allocs/op  partitions=%d\n",
+			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp, k.Partitions)
+	}
 	return rep, nil
+}
+
+// kernelRel builds a deterministic relation for the kernel section.
+func kernelRel(name, schema string, rows, domain int) *relation.Relation {
+	r := relation.New(name, relation.SchemaFromString(schema))
+	w := r.Schema().Len()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < rows; i++ {
+		row := make([]relation.Value, w)
+		for j := range row {
+			row[j] = relation.Value(fmt.Sprintf("v%d", rng.Intn(domain)))
+		}
+		r.InsertRow(row)
+	}
+	return r
+}
+
+// measureKernel times op over iters iterations, reading the runtime's
+// monotone malloc counters for per-op allocation averages. The warm-up
+// call keeps one-time costs (dictionary interning, map growth to
+// steady-state sizes) out of the measurement, matching how the
+// testing-package benchmarks in internal/relation report the kernel.
+func measureKernel(name string, iters int, op func() *relation.Relation) KernelBench {
+	last := op() // warm up
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		last = op()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	k := KernelBench{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}
+	if last != nil {
+		k.Partitions = last.JoinPartitions()
+	}
+	return k
+}
+
+// benchKernel measures the relation kernel's hot operations on fixed
+// inputs: the sequential and the parallel partitioned join, the
+// semijoin, and deduplicating insertion.
+func benchKernel() []KernelBench {
+	seqR := kernelRel("R", "AB", 1000, 100)
+	seqS := kernelRel("S", "BC", 1000, 100)
+	// 2×4200 input rows crosses the kernel's parallel threshold; the
+	// wide domain keeps the output small so the measurement weighs the
+	// partition/build/probe machinery, not output copying.
+	parR := kernelRel("R", "AB", 4200, 4000)
+	parS := kernelRel("S", "BC", 4200, 4000)
+	insertRows := kernelRel("I", "AB", 2000, 300).Rows()
+	insertSchema := relation.SchemaFromString("AB")
+	return []KernelBench{
+		measureKernel("join-seq", 20, func() *relation.Relation {
+			return relation.Join(seqR, seqS)
+		}),
+		measureKernel("join-par", 20, func() *relation.Relation {
+			return relation.Join(parR, parS)
+		}),
+		measureKernel("semijoin", 20, func() *relation.Relation {
+			return relation.Semijoin(seqR, seqS)
+		}),
+		measureKernel("insert-dedup", 20, func() *relation.Relation {
+			r := relation.New("I", insertSchema)
+			for _, row := range insertRows {
+				r.InsertRow(row)
+			}
+			return r
+		}),
+	}
 }
 
 // benchOne prewarms and analyzes one database under a fresh recorder and
@@ -216,6 +321,27 @@ func ValidateBench(rep *BenchReport) error {
 	}
 	if tot != rep.Totals {
 		return fmt.Errorf("bench: totals %+v do not match the sum of cases %+v", rep.Totals, tot)
+	}
+	if len(rep.Kernel) == 0 {
+		return fmt.Errorf("bench: no kernel micro-benchmarks")
+	}
+	seenPartitioned := false
+	for _, k := range rep.Kernel {
+		if k.Name == "" {
+			return fmt.Errorf("bench: kernel entry with empty name")
+		}
+		if k.Iters <= 0 || k.NsPerOp <= 0 {
+			return fmt.Errorf("bench: kernel %s has non-positive iteration count or timing", k.Name)
+		}
+		if k.BytesPerOp < 0 || k.AllocsPerOp < 0 || k.Partitions < 0 {
+			return fmt.Errorf("bench: kernel %s has negative allocation or partition counts", k.Name)
+		}
+		if k.Partitions > 0 {
+			seenPartitioned = true
+		}
+	}
+	if !seenPartitioned {
+		return fmt.Errorf("bench: no kernel case exercised the partitioned parallel join")
 	}
 	return nil
 }

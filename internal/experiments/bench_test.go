@@ -112,3 +112,39 @@ func TestBenchDeterministicTau(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchKernelSection pins the v2 kernel micro-benchmark section:
+// present, validated, and actually exercising both join paths.
+func TestBenchKernelSection(t *testing.T) {
+	rep, err := RunBench(io.Discard, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]KernelBench{}
+	for _, k := range rep.Kernel {
+		names[k.Name] = k
+	}
+	for _, want := range []string{"join-seq", "join-par", "semijoin", "insert-dedup"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("kernel section missing %s", want)
+		}
+	}
+	if k := names["join-seq"]; k.Partitions != 0 {
+		t.Errorf("join-seq reports %d partitions, want 0", k.Partitions)
+	}
+	if k := names["join-par"]; k.Partitions == 0 {
+		t.Error("join-par did not take the partitioned path")
+	}
+
+	// The validator gates on the section: stripping it must fail.
+	stripped := *rep
+	stripped.Kernel = nil
+	if err := ValidateBench(&stripped); err == nil {
+		t.Error("report without kernel section validated")
+	}
+	seqOnly := *rep
+	seqOnly.Kernel = []KernelBench{{Name: "x", Iters: 1, NsPerOp: 1}}
+	if err := ValidateBench(&seqOnly); err == nil {
+		t.Error("report with no partitioned kernel case validated")
+	}
+}

@@ -17,8 +17,9 @@ const (
 	// (joinopt -trace-out).
 	TraceSchema = "multijoin/trace/v1"
 	// BenchSchema identifies the bench-pipeline JSON shape
-	// (experiments -bench, BENCH_joinopt.json).
-	BenchSchema = "multijoin/bench/v1"
+	// (experiments -bench, BENCH_joinopt.json). v2 added the kernel
+	// micro-benchmark section (ns/op, B/op, allocs/op, partitions).
+	BenchSchema = "multijoin/bench/v2"
 )
 
 // TimerStats is a timer's aggregate in a snapshot.

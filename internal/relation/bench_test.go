@@ -36,6 +36,37 @@ func BenchmarkJoinBySelectivity(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinShape pins the build/probe side assignment: the kernel
+// always builds on the smaller input, so probe-heavy (small build) and
+// build-heavy (both sides large) stress different phases.
+func BenchmarkJoinShape(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	shapes := []struct {
+		name         string
+		rRows, sRows int
+		domain       int
+	}{
+		{"probe-heavy", 50, 5000, 100},
+		{"build-heavy", 5000, 5000, 5000},
+		{"product", 60, 60, 1000}, // unlinked handled by the same kernel
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			r := benchRel(rng, "R", "AB", sh.rRows, sh.domain)
+			sSchema := "BC"
+			if sh.name == "product" {
+				sSchema = "CD"
+			}
+			s := benchRel(rng, "S", sSchema, sh.sRows, sh.domain)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Join(r, s)
+			}
+		})
+	}
+}
+
 func BenchmarkSemijoin(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	r := benchRel(rng, "R", "AB", 5000, 2000)
@@ -43,6 +74,22 @@ func BenchmarkSemijoin(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Semijoin(r, s)
+	}
+}
+
+// BenchmarkSemijoinBySelectivity varies how much of r survives.
+func BenchmarkSemijoinBySelectivity(b *testing.B) {
+	for _, domain := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("domain%d", domain), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			r := benchRel(rng, "R", "AB", 2000, domain)
+			s := benchRel(rng, "S", "BC", 2000, domain)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Semijoin(r, s)
+			}
+		})
 	}
 }
 
@@ -95,4 +142,37 @@ func BenchmarkInsertDedup(b *testing.B) {
 			r.InsertRow(row)
 		}
 	}
+}
+
+// BenchmarkInsert pins the two insert regimes separately: all-fresh
+// rows (every insert lands) and all-duplicate rows (every insert is
+// rejected by the index — the zero-allocation path).
+func BenchmarkInsert(b *testing.B) {
+	sch := SchemaFromString("AB")
+	fresh := make([][]Value, 5000)
+	for i := range fresh {
+		fresh[i] = []Value{Value(fmt.Sprintf("v%d", i)), Value(fmt.Sprintf("w%d", i))}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := New("R", sch)
+			for _, row := range fresh {
+				r.InsertRow(row)
+			}
+		}
+	})
+	b.Run("duplicate", func(b *testing.B) {
+		r := New("R", sch)
+		for _, row := range fresh {
+			r.InsertRow(row)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, row := range fresh {
+				r.InsertRow(row)
+			}
+		}
+	})
 }

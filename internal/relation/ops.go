@@ -1,12 +1,14 @@
 package relation
 
 import (
-	"encoding/binary"
 	"fmt"
 )
 
 // positions returns, for each attribute of sub, its index in the sorted
-// attribute list of super. Every attribute of sub must occur in super.
+// attribute list of super: a linear merge over the two sorted schemas,
+// the same resolution the join kernel's planJoin performs for both
+// sides at once. Every attribute of sub must occur in super; a missing
+// attribute panics.
 func positions(super, sub Schema) []int {
 	out := make([]int, sub.Len())
 	superAttrs := super.Attrs()
@@ -21,97 +23,6 @@ func positions(super, sub Schema) []int {
 		out[i] = j
 	}
 	return out
-}
-
-// keyOn encodes a row's values at the given positions as a hash key,
-// length-prefixing each value so the encoding is injective.
-func keyOn(row []Value, pos []int) string {
-	if len(pos) == 0 {
-		return ""
-	}
-	n := 0
-	for _, p := range pos {
-		n += len(row[p]) + binary.MaxVarintLen64
-	}
-	b := make([]byte, 0, n)
-	var buf [binary.MaxVarintLen64]byte
-	for _, p := range pos {
-		k := binary.PutUvarint(buf[:], uint64(len(row[p])))
-		b = append(b, buf[:k]...)
-		b = append(b, row[p]...)
-	}
-	return string(b)
-}
-
-// Join computes the natural join r ⋈ s:
-//
-//	{t over R ∪ S : t[R] ∈ r, t[S] ∈ s}
-//
-// When the schemes are disjoint this degenerates to the Cartesian
-// product, exactly as in the paper's model (a "step that uses a Cartesian
-// product" is simply a join of unlinked schemes).
-func Join(r, s *Relation) *Relation {
-	// Hash-join on the shared attributes. Build on the smaller input.
-	if r.Size() > s.Size() {
-		r, s = s, r
-	}
-	outSchema := r.schema.Union(s.schema)
-	shared := r.schema.Intersect(s.schema)
-	out := New(joinName(r, s), outSchema)
-
-	rShared := positions(r.schema, shared)
-	sShared := positions(s.schema, shared)
-
-	// Map each output column to (source, position in source row).
-	type src struct {
-		fromS bool
-		pos   int
-	}
-	srcs := make([]src, outSchema.Len())
-	rPos := map[Attr]int{}
-	for i, a := range r.schema.Attrs() {
-		rPos[a] = i
-	}
-	sPos := map[Attr]int{}
-	for i, a := range s.schema.Attrs() {
-		sPos[a] = i
-	}
-	for i, a := range outSchema.Attrs() {
-		if p, ok := rPos[a]; ok {
-			srcs[i] = src{fromS: false, pos: p}
-		} else {
-			srcs[i] = src{fromS: true, pos: sPos[a]}
-		}
-	}
-
-	build := make(map[string][]int, r.Size())
-	for i, row := range r.rows {
-		k := keyOn(row, rShared)
-		build[k] = append(build[k], i)
-	}
-	for _, sRow := range s.rows {
-		k := keyOn(sRow, sShared)
-		for _, ri := range build[k] {
-			rRow := r.rows[ri]
-			merged := make([]Value, len(srcs))
-			for i, sc := range srcs {
-				if sc.fromS {
-					merged[i] = sRow[sc.pos]
-				} else {
-					merged[i] = rRow[sc.pos]
-				}
-			}
-			out.InsertRow(merged)
-		}
-	}
-	return out
-}
-
-func joinName(r, s *Relation) string {
-	if r.name == "" || s.name == "" {
-		return ""
-	}
-	return "(" + r.name + "⋈" + s.name + ")"
 }
 
 // JoinAll joins all the given relation states. An empty input yields nil;
@@ -139,61 +50,41 @@ func Product(r, s *Relation) *Relation {
 	return Join(r, s)
 }
 
-// Semijoin computes r ⋉ s: the tuples of r that join with at least one
-// tuple of s. This is the primitive of the Bernstein–Chiu reducer used in
-// the Section 5 experiments.
-func Semijoin(r, s *Relation) *Relation {
-	shared := r.schema.Intersect(s.schema)
-	out := New(r.name, r.schema)
-	if shared.Empty() {
-		// Unlinked: r ⋉ s is r itself unless s is empty.
-		if s.Empty() {
-			return out
-		}
-		return r.Clone().WithName(r.name)
-	}
-	sShared := positions(s.schema, shared)
-	seen := make(map[string]struct{}, s.Size())
-	for _, row := range s.rows {
-		seen[keyOn(row, sShared)] = struct{}{}
-	}
-	rShared := positions(r.schema, shared)
-	for _, row := range r.rows {
-		if _, ok := seen[keyOn(row, rShared)]; ok {
-			out.InsertRow(row)
-		}
-	}
-	return out
-}
-
 // Project computes π_X(r) for X a subset of r's scheme.
 func Project(r *Relation, x Schema) *Relation {
 	if !x.SubsetOf(r.schema) {
 		panic(fmt.Sprintf("relation: projection %s not a subset of %s", x, r.schema))
 	}
 	pos := positions(r.schema, x)
-	out := New("", x)
-	for _, row := range r.rows {
-		proj := make([]Value, len(pos))
-		for i, p := range pos {
-			proj[i] = row[p]
+	out := NewIn(r.dict, "", x)
+	var scratch [scratchWidth]uint32
+	buf := scratch[:]
+	if len(pos) > scratchWidth {
+		buf = make([]uint32, len(pos))
+	}
+	for i := 0; i < r.n; i++ {
+		row := r.rowIDs(i)
+		for j, p := range pos {
+			buf[j] = row[p]
 		}
-		out.InsertRow(proj)
+		out.insertIDs(buf[:len(pos)])
 	}
 	return out
 }
 
 // Select returns the tuples of r satisfying pred.
 func Select(r *Relation, pred func(Tuple) bool) *Relation {
-	out := New(r.name, r.schema)
+	out := NewIn(r.dict, r.name, r.schema)
 	attrs := r.schema.Attrs()
-	for _, row := range r.rows {
+	vals := r.dict.snapshot()
+	for i := 0; i < r.n; i++ {
+		row := r.rowIDs(i)
 		t := make(Tuple, len(attrs))
-		for i, a := range attrs {
-			t[a] = row[i]
+		for j, a := range attrs {
+			t[a] = vals[row[j]]
 		}
 		if pred(t) {
-			out.InsertRow(row)
+			out.appendIDs(row)
 		}
 	}
 	return out
@@ -202,12 +93,13 @@ func Select(r *Relation, pred func(Tuple) bool) *Relation {
 // Union computes r ∪ s for relations over equal schemes.
 func Union(r, s *Relation) *Relation {
 	requireSameSchema("Union", r, s)
-	out := New("", r.schema)
-	for _, row := range r.rows {
-		out.InsertRow(row)
-	}
-	for _, row := range s.rows {
-		out.InsertRow(row)
+	out := NewIn(r.dict, "", r.schema)
+	out.data = append(out.data, r.data...)
+	out.n = r.n
+	sData := alignedData(s, r.dict)
+	w := r.schema.Len()
+	for j := 0; j < s.n; j++ {
+		out.insertIDs(sData[j*w : j*w+w])
 	}
 	return out
 }
@@ -215,10 +107,26 @@ func Union(r, s *Relation) *Relation {
 // Intersect computes r ∩ s for relations over equal schemes.
 func Intersect(r, s *Relation) *Relation {
 	requireSameSchema("Intersect", r, s)
-	out := New("", r.schema)
-	for k, i := range r.index {
-		if _, ok := s.index[k]; ok {
-			out.InsertRow(r.rows[i])
+	out := NewIn(r.dict, "", r.schema)
+	if r.n == 0 || s.n == 0 {
+		return out
+	}
+	s.ensureIndex()
+	if r.dict == s.dict {
+		for i := 0; i < r.n; i++ {
+			row := r.rowIDs(i)
+			if s.lookupIDs(row) >= 0 {
+				out.appendIDs(row)
+			}
+		}
+		return out
+	}
+	tr := newTranslator(r.dict, s.dict, false)
+	buf := make([]uint32, r.schema.Len())
+	for i := 0; i < r.n; i++ {
+		row := r.rowIDs(i)
+		if ids, ok := tr.row(row, buf); ok && s.lookupIDs(ids) >= 0 {
+			out.appendIDs(row)
 		}
 	}
 	return out
@@ -227,10 +135,32 @@ func Intersect(r, s *Relation) *Relation {
 // Difference computes r − s for relations over equal schemes.
 func Difference(r, s *Relation) *Relation {
 	requireSameSchema("Difference", r, s)
-	out := New("", r.schema)
-	for k, i := range r.index {
-		if _, ok := s.index[k]; !ok {
-			out.InsertRow(r.rows[i])
+	out := NewIn(r.dict, "", r.schema)
+	if r.n == 0 {
+		return out
+	}
+	if s.n == 0 {
+		out.data = append(out.data, r.data...)
+		out.n = r.n
+		return out
+	}
+	s.ensureIndex()
+	if r.dict == s.dict {
+		for i := 0; i < r.n; i++ {
+			row := r.rowIDs(i)
+			if s.lookupIDs(row) < 0 {
+				out.appendIDs(row)
+			}
+		}
+		return out
+	}
+	tr := newTranslator(r.dict, s.dict, false)
+	buf := make([]uint32, r.schema.Len())
+	for i := 0; i < r.n; i++ {
+		row := r.rowIDs(i)
+		ids, ok := tr.row(row, buf)
+		if !ok || s.lookupIDs(ids) < 0 {
+			out.appendIDs(row)
 		}
 	}
 	return out
@@ -243,7 +173,9 @@ func requireSameSchema(op string, r, s *Relation) {
 }
 
 // Rename returns a copy of r with attribute from renamed to to. The new
-// attribute must not already occur in the scheme.
+// attribute must not already occur in the scheme. Renaming permutes
+// columns but never merges rows, so the output is duplicate-free by
+// construction.
 func Rename(r *Relation, from, to Attr) *Relation {
 	if !r.schema.Contains(from) {
 		panic(fmt.Sprintf("relation: rename source %s not in schema %s", from, r.schema))
@@ -260,17 +192,36 @@ func Rename(r *Relation, from, to Attr) *Relation {
 		}
 	}
 	newSchema := NewSchema(attrs...)
-	out := New(r.name, newSchema)
-	for _, t := range r.Tuples() {
-		nt := make(Tuple, len(t))
-		for a, v := range t {
-			if a == from {
-				nt[to] = v
-			} else {
-				nt[a] = v
+	out := NewIn(r.dict, r.name, newSchema)
+	// Column permutation: output column k sources the old position of
+	// the attribute it renames (or carries over).
+	oldAttrs := r.schema.Attrs()
+	perm := make([]int, newSchema.Len())
+	for k, a := range newSchema.Attrs() {
+		orig := a
+		if a == to {
+			orig = from
+		}
+		for p, oa := range oldAttrs {
+			if oa == orig {
+				perm[k] = p
+				break
 			}
 		}
-		out.Insert(nt)
+	}
+	w := newSchema.Len()
+	out.data = make([]uint32, 0, r.n*w)
+	var scratch [scratchWidth]uint32
+	buf := scratch[:]
+	if w > scratchWidth {
+		buf = make([]uint32, w)
+	}
+	for i := 0; i < r.n; i++ {
+		row := r.rowIDs(i)
+		for k := 0; k < w; k++ {
+			buf[k] = row[perm[k]]
+		}
+		out.appendIDs(buf[:w])
 	}
 	return out
 }

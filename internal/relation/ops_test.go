@@ -272,3 +272,24 @@ func TestQuickUnionIntersectDuality(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPositionsPanicsOnMissingAttribute(t *testing.T) {
+	// positions resolves sub's attributes against super by a linear
+	// merge over the sorted lists; an attribute of sub that super lacks
+	// must panic rather than silently misalign columns.
+	cases := []struct{ super, sub string }{
+		{"ABC", "AD"}, // missing attr sorts after super's tail
+		{"BCD", "AB"}, // missing attr sorts before super's head
+		{"AC", "ABC"}, // sub wider than super
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("positions(%s, %s): expected panic", c.super, c.sub)
+				}
+			}()
+			positions(SchemaFromString(c.super), SchemaFromString(c.sub))
+		}()
+	}
+}

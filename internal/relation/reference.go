@@ -1,0 +1,38 @@
+package relation
+
+// ReferenceJoin is the semantics oracle for the join kernel: a naive
+// nested-loop natural join computed entirely in the Tuple (value-map)
+// domain, with none of the kernel's machinery — no dictionary IDs, no
+// hashing, no partitioning. It exists so the differential tests and the
+// fuzz target can assert, input by input, that the optimized kernel
+// computes exactly
+//
+//	{t over R ∪ S : t[R] ∈ r, t[S] ∈ s}
+//
+// and nothing else. Keep it slow and obviously correct; it must never
+// share code with the kernel it checks.
+func ReferenceJoin(r, s *Relation) *Relation {
+	out := New(joinName(r, s), r.Schema().Union(s.Schema()))
+	for _, rt := range r.Tuples() {
+		for _, st := range s.Tuples() {
+			if merged, ok := rt.Merge(st); ok {
+				out.Insert(merged)
+			}
+		}
+	}
+	return out
+}
+
+// ReferenceSemijoin is the nested-loop oracle for r ⋉ s.
+func ReferenceSemijoin(r, s *Relation) *Relation {
+	out := New(r.Name(), r.Schema())
+	for _, rt := range r.Tuples() {
+		for _, st := range s.Tuples() {
+			if _, ok := rt.Merge(st); ok {
+				out.Insert(rt)
+				break
+			}
+		}
+	}
+	return out
+}

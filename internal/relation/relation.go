@@ -1,7 +1,6 @@
 package relation
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,23 +11,43 @@ import (
 // stored positionally in the schema's sorted attribute order and are
 // deduplicated on insert, preserving the set semantics of the model.
 //
+// Physically the state is dictionary-encoded: every Value is interned
+// through a Dict to a dense uint32 ID, and the rows live in one flat
+// row-major ID slab. Dedup and membership go through a lazy 64-bit hash
+// index over the IDs with a collision-confirming equality check, so no
+// operation on the hot path allocates or hashes strings (see rows.go
+// and DESIGN §10).
+//
 // A Relation may carry a Name for presentation (e.g. "GS" for the
 // game/student relation of Example 3); the name plays no role in the
 // algebra, which is driven purely by schemes, exactly as in the paper.
 type Relation struct {
 	name   string
 	schema Schema
-	rows   [][]Value
-	index  map[string]int // canonical row key -> row position
+	dict   *Dict
+	data   []uint32 // row-major ID slab, width = schema.Len()
+	n      int      // row count (the slab width may be zero)
+	index  *groupMap
+	// partitions records how many hash partitions the parallel join
+	// used to build this state (0: built sequentially).
+	partitions int
 }
 
-// New creates an empty relation state over the given scheme.
+// New creates an empty relation state over the given scheme, interning
+// through the process-wide shared dictionary.
 func New(name string, schema Schema) *Relation {
-	return &Relation{
-		name:   name,
-		schema: schema,
-		index:  make(map[string]int),
+	return NewIn(nil, name, schema)
+}
+
+// NewIn creates an empty relation state interning through the given
+// dictionary; nil selects the process-wide shared dictionary. Loaders
+// that build a whole database pass one Dict so the database's relations
+// share an ID space and can be dropped together.
+func NewIn(dict *Dict, name string, schema Schema) *Relation {
+	if dict == nil {
+		dict = sharedDict
 	}
+	return &Relation{name: name, schema: schema, dict: dict}
 }
 
 // FromTuples creates a relation state containing the given tuples. Each
@@ -90,103 +109,120 @@ func (r *Relation) WithName(name string) *Relation {
 // Schema returns the relation's scheme.
 func (r *Relation) Schema() Schema { return r.schema }
 
+// Dict returns the dictionary the relation's rows are encoded against.
+func (r *Relation) Dict() *Dict { return r.dict }
+
+// JoinPartitions reports how many hash partitions the parallel
+// partitioned join used to build this state; 0 means it was built
+// sequentially (small inputs, or not a join result at all).
+func (r *Relation) JoinPartitions() int { return r.partitions }
+
 // Size is the paper's τ(R): the number of tuples in the state.
-func (r *Relation) Size() int { return len(r.rows) }
+func (r *Relation) Size() int { return r.n }
 
 // Empty reports whether the state has no tuples.
-func (r *Relation) Empty() bool { return len(r.rows) == 0 }
-
-// rowKey canonically encodes a positional row. Each value is
-// length-prefixed (uvarint), so the encoding is injective even for
-// values containing separator-like bytes.
-func rowKey(row []Value) string {
-	var b strings.Builder
-	var buf [binary.MaxVarintLen64]byte
-	for _, v := range row {
-		n := binary.PutUvarint(buf[:], uint64(len(v)))
-		b.Write(buf[:n])
-		b.WriteString(string(v))
-	}
-	return b.String()
-}
+func (r *Relation) Empty() bool { return r.n == 0 }
 
 // Insert adds a tuple to the state (a no-op if an equal tuple is already
 // present). The tuple must be defined on at least the schema's
 // attributes; extra attributes are ignored, so inserting a projection
 // source tuple works naturally.
 func (r *Relation) Insert(t Tuple) {
-	row := make([]Value, r.schema.Len())
+	var scratch [scratchWidth]uint32
+	buf := scratch[:]
+	if r.schema.Len() > scratchWidth {
+		buf = make([]uint32, r.schema.Len())
+	}
 	for i, a := range r.schema.Attrs() {
 		v, ok := t[a]
 		if !ok {
 			panic(fmt.Sprintf("relation %s: tuple %v missing attribute %s", r.name, t, a))
 		}
-		row[i] = v
+		buf[i] = r.dict.ID(v)
 	}
-	r.InsertRow(row)
+	r.insertIDs(buf[:r.schema.Len()])
 }
 
 // InsertRow adds a positional row (values in sorted attribute order).
+// The argument is not retained: the values are interned and the IDs
+// copied into the slab.
 func (r *Relation) InsertRow(row []Value) {
 	if len(row) != r.schema.Len() {
 		panic(fmt.Sprintf("relation %s: row width %d, schema width %d", r.name, len(row), r.schema.Len()))
 	}
-	k := rowKey(row)
-	if _, dup := r.index[k]; dup {
-		return
+	var scratch [scratchWidth]uint32
+	buf := scratch[:]
+	if len(row) > scratchWidth {
+		buf = make([]uint32, len(row))
 	}
-	cp := make([]Value, len(row))
-	copy(cp, row)
-	r.index[k] = len(r.rows)
-	r.rows = append(r.rows, cp)
+	r.internRow(row, buf)
 }
 
 // Contains reports whether the state contains a tuple equal to t on the
 // relation's schema.
 func (r *Relation) Contains(t Tuple) bool {
-	row := make([]Value, r.schema.Len())
+	var scratch [scratchWidth]uint32
+	buf := scratch[:]
+	if r.schema.Len() > scratchWidth {
+		buf = make([]uint32, r.schema.Len())
+	}
 	for i, a := range r.schema.Attrs() {
 		v, ok := t[a]
 		if !ok {
 			return false
 		}
-		row[i] = v
+		id, ok := r.dict.Lookup(v)
+		if !ok {
+			return false
+		}
+		buf[i] = id
 	}
-	_, ok := r.index[rowKey(row)]
-	return ok
+	r.ensureIndex()
+	return r.lookupIDs(buf[:r.schema.Len()]) >= 0
 }
 
 // Tuples returns the state's tuples as maps, in insertion order. The
 // returned tuples are fresh copies.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, len(r.rows))
+	out := make([]Tuple, r.n)
 	attrs := r.schema.Attrs()
-	for i, row := range r.rows {
+	vals := r.dict.snapshot()
+	for i := 0; i < r.n; i++ {
+		row := r.rowIDs(i)
 		t := make(Tuple, len(attrs))
 		for j, a := range attrs {
-			t[a] = row[j]
+			t[a] = vals[row[j]]
 		}
 		out[i] = t
 	}
 	return out
 }
 
-// Rows returns the positional rows in insertion order. The caller must
-// not modify the returned slices.
-func (r *Relation) Rows() [][]Value { return r.rows }
+// Rows returns the positional rows in insertion order, decoded from the
+// ID slab. The rows are fresh copies; mutating them does not affect the
+// relation.
+func (r *Relation) Rows() [][]Value {
+	out := make([][]Value, r.n)
+	vals := r.dict.snapshot()
+	w := r.schema.Len()
+	flat := make([]Value, r.n*w)
+	for i := 0; i < r.n; i++ {
+		row := flat[i*w : i*w+w]
+		for j, id := range r.rowIDs(i) {
+			row[j] = vals[id]
+		}
+		out[i] = row
+	}
+	return out
+}
 
 // Equal reports whether two relations have the same scheme and the same
 // set of tuples (names are ignored).
 func (r *Relation) Equal(s *Relation) bool {
-	if !r.schema.Equal(s.schema) || len(r.rows) != len(s.rows) {
+	if !r.schema.Equal(s.schema) || r.n != s.n {
 		return false
 	}
-	for k := range r.index {
-		if _, ok := s.index[k]; !ok {
-			return false
-		}
-	}
-	return true
+	return r.subset(s)
 }
 
 // SubsetOf reports whether every tuple of r appears in s. The schemes
@@ -196,28 +232,48 @@ func (r *Relation) SubsetOf(s *Relation) bool {
 	if !r.schema.Equal(s.schema) {
 		return false
 	}
-	for k := range r.index {
-		if _, ok := s.index[k]; !ok {
+	return r.subset(s)
+}
+
+// subset reports row containment over equal schemes, translating
+// between dictionaries when the relations do not share one.
+func (r *Relation) subset(s *Relation) bool {
+	if r.n == 0 {
+		return true
+	}
+	s.ensureIndex()
+	if r.dict == s.dict {
+		for i := 0; i < r.n; i++ {
+			if s.lookupIDs(r.rowIDs(i)) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	tr := newTranslator(r.dict, s.dict, false)
+	buf := make([]uint32, r.schema.Len())
+	for i := 0; i < r.n; i++ {
+		ids, ok := tr.row(r.rowIDs(i), buf)
+		if !ok || s.lookupIDs(ids) < 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns a deep copy of the relation (sharing the dictionary,
+// which is append-only).
 func (r *Relation) Clone() *Relation {
-	cp := New(r.name, r.schema)
-	for _, row := range r.rows {
-		cp.InsertRow(row)
-	}
+	cp := NewIn(r.dict, r.name, r.schema)
+	cp.data = append([]uint32(nil), r.data...)
+	cp.n = r.n
 	return cp
 }
 
 // sortedRows returns the rows in canonical (lexicographic) order, for
 // deterministic printing.
 func (r *Relation) sortedRows() [][]Value {
-	out := make([][]Value, len(r.rows))
-	copy(out, r.rows)
+	out := r.Rows()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
