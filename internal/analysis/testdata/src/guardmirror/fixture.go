@@ -59,3 +59,40 @@ func (e *engine) chargeInsideLiteralNeedsMirrorThere(n int) {
 	}
 	run()
 }
+
+// Concurrent charge sites: the parallel probe loops charge from worker
+// goroutines, so the mirror must live inside the same `go func` literal
+// as the charge — that is the only scope that runs with it.
+
+func (e *engine) concurrentChargeMirrored(n int) {
+	go func() {
+		e.cTuples.Add(int64(n))
+		e.cStates.Inc()
+		e.cSteps.Inc()
+		guard.Must(e.g.ChargeEval(n))
+	}()
+}
+
+func (e *engine) concurrentChargeMirrorOutsideLiteral(n int) {
+	e.cTuples.Add(int64(n)) // parent-scope mirrors do not cover the worker
+	e.cStates.Inc()
+	e.cSteps.Inc()
+	go func() {
+		guard.Must(e.g.ChargeEval(n)) // want "not mirrored by obs counter adds for tuples, states, steps"
+	}()
+}
+
+func (e *engine) concurrentStatesChargeMirrored(rec *obs.Recorder) {
+	cStatesAll := rec.Counter("dp.states")
+	go func() {
+		cStatesAll.Inc()
+		guard.Must(e.g.ChargeStates(1))
+	}()
+}
+
+func (e *engine) concurrentStatesChargeUnmirrored() {
+	e.cStates.Inc() // outside the literal: does not count
+	go func() {
+		guard.Must(e.g.ChargeStates(1)) // want "not mirrored by obs counter adds for states"
+	}()
+}

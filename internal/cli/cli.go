@@ -65,6 +65,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 500ms (0 = none)")
 	maxTuples := fs.Int64("max-tuples", 0, "budget on materialized intermediate tuples, the paper's τ (0 = unlimited)")
 	maxStates := fs.Int64("max-states", 0, "budget on evaluator memo + optimizer DP states examined (0 = unlimited)")
+	parallelSpaces := fs.Bool("parallel-spaces", true, "run the four subspace optimizations concurrently (false: one at a time, for strictly ordered traces)")
 	metricsOut := fs.String("metrics-out", "", "write the run's counter/gauge/timer snapshot as JSON to this file")
 	traceOut := fs.String("trace-out", "", "write the run's structured event trace as JSON to this file")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and net/http/pprof on this address, e.g. :6060")
@@ -142,7 +143,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		case *optima:
 			return listOptima(stdout, db, g, rec)
 		case *format == "json":
-			an, err := core.AnalyzeObserved(db, g, rec)
+			an, err := runAnalysis(db, g, rec, *parallelSpaces)
 			if err != nil {
 				return err
 			}
@@ -156,7 +157,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		case *format != "text":
 			return fmt.Errorf("unknown format %q", *format)
 		default:
-			return analyze(stdout, db, g, rec, *listStrategies)
+			return analyze(stdout, db, g, rec, *parallelSpaces, *listStrategies)
 		}
 	}()
 	// Metrics and trace are written even for failed runs — a tripped or
@@ -422,12 +423,23 @@ func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cau
 	return cause
 }
 
-func analyze(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder, listStrategies bool) error {
+// runAnalysis runs the full analysis over a fresh governed, observed
+// evaluator, in parallel-subspace or sequential mode per the
+// -parallel-spaces flag.
+func runAnalysis(db *database.Database, g *guard.Guard, rec *obs.Recorder, parallel bool) (*core.Analysis, error) {
+	ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
+	if parallel {
+		return core.AnalyzeEvaluator(ev)
+	}
+	return core.AnalyzeEvaluatorSequential(ev)
+}
+
+func analyze(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder, parallel, listStrategies bool) error {
 	fmt.Fprintln(w, "database:")
 	fmt.Fprintln(w, db)
 	fmt.Fprintln(w)
 
-	an, err := core.AnalyzeObserved(db, g, rec)
+	an, err := runAnalysis(db, g, rec, parallel)
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"multijoin/internal/conditions"
 	"multijoin/internal/database"
@@ -143,7 +144,30 @@ func AnalyzeObserved(db *database.Database, g *guard.Guard, rec *obs.Recorder) (
 // it — so a prewarmed memo (PrewarmConnectedObserved) is reused instead
 // of being recomputed. This is the entry point the bench pipeline
 // times.
+//
+// The four subspace dynamic programs run concurrently over the shared
+// evaluator (which is safe for concurrent use; racing DPs that miss on
+// the same subset materialize it once via the memo's in-flight latch).
+// The results are identical to a sequential run — each DP is
+// deterministic and evaluator memoization never changes sizes, only who
+// pays the wall-clock — and they are reported in the canonical order
+// whatever order the goroutines finish in. Callers that need the
+// strictly ordered per-phase event stream (one subspace at a time) use
+// AnalyzeEvaluatorSequential.
 func AnalyzeEvaluator(ev *database.Evaluator) (*Analysis, error) {
+	return analyzeEvaluator(ev, true)
+}
+
+// AnalyzeEvaluatorSequential is AnalyzeEvaluator with the four subspace
+// optimizations run one at a time on the calling goroutine — the
+// baseline the bench pipeline's analysis section compares the parallel
+// pipeline against, and the mode the CLI's -parallel-spaces=false
+// selects for strictly ordered traces.
+func AnalyzeEvaluatorSequential(ev *database.Evaluator) (*Analysis, error) {
+	return analyzeEvaluator(ev, false)
+}
+
+func analyzeEvaluator(ev *database.Evaluator, parallel bool) (*Analysis, error) {
 	db := ev.Database()
 	if err := db.Validate(); err != nil {
 		return nil, err
@@ -177,19 +201,27 @@ func AnalyzeEvaluator(ev *database.Evaluator) (*Analysis, error) {
 	an.Profile = profile
 	an.Certificates = Certify(profile)
 
-	for _, sp := range []optimizer.Space{
-		optimizer.SpaceAll, optimizer.SpaceNoCP,
-		optimizer.SpaceLinear, optimizer.SpaceLinearNoCP,
-	} {
-		phase := "optimize:" + sp.String()
-		endPhase = beginPhase(g, rec, phase)
-		res, err := optimizer.Optimize(ev, sp)
-		endPhase(err)
+	spaces := optimizer.DPSpaces()
+	outcomes := make([]spaceOutcome, len(spaces))
+	if parallel {
+		optimizeSpacesParallel(ev, spaces, outcomes)
+	} else {
+		for i, sp := range spaces {
+			phase := "optimize:" + sp.String()
+			endPhase = beginPhase(g, rec, phase)
+			res, err := optimizer.Optimize(ev, sp)
+			endPhase(err)
+			outcomes[i] = spaceOutcome{res: res, err: err}
+		}
+	}
+	for i, sp := range spaces {
+		res, err := outcomes[i].res, outcomes[i].err
 		if err == optimizer.ErrEmptySpace {
 			continue
 		}
 		if guard.Tripped(err) {
-			an.Truncated = append(an.Truncated, Truncation{Phase: phase, Err: err})
+			an.Truncated = append(an.Truncated,
+				Truncation{Phase: "optimize:" + sp.String(), Err: err})
 			continue
 		}
 		if err != nil {
@@ -198,6 +230,64 @@ func AnalyzeEvaluator(ev *database.Evaluator) (*Analysis, error) {
 		an.Results = append(an.Results, res)
 	}
 	return an, nil
+}
+
+// spaceOutcome is one subspace optimization's result as collected from
+// its goroutine (or from the sequential loop).
+type spaceOutcome struct {
+	res optimizer.Result
+	err error
+}
+
+// optimizeSpacesParallel runs one Optimize goroutine per subspace
+// against the shared evaluator, filling outcomes by index. The guard
+// and recorder phase is the single "optimize:parallel" for the whole
+// fan-out — per-goroutine SetPhase would interleave arbitrarily — and
+// each subspace emits its own begin/end event pair with an explicit
+// Phase so traces still delimit every DP. Wall time for the fan-out
+// lands in the `analyze.parallel.wall` timer; the per-space
+// `dp.<space>.wall` timers (ticking inside Optimize) keep measuring
+// each DP individually.
+func optimizeSpacesParallel(ev *database.Evaluator, spaces []optimizer.Space, outcomes []spaceOutcome) {
+	g, rec := ev.Guard(), ev.Recorder()
+	endPhase := beginPhase(g, rec, "optimize:parallel")
+	watch := rec.Timer("analyze.parallel.wall").Start()
+	var wg sync.WaitGroup
+	for i, sp := range spaces {
+		wg.Add(1)
+		go func(i int, sp optimizer.Space) {
+			defer wg.Done()
+			// Panic boundary: Optimize traps guard aborts itself, so this
+			// catches only unexpected panics, which must surface as errors
+			// on the collecting goroutine instead of killing the process.
+			defer func() {
+				if err := guard.Recovered(recover()); err != nil {
+					outcomes[i].err = err
+				}
+			}()
+			name := "optimize:" + sp.String()
+			rec.Emit(obs.Event{Kind: "begin", Name: name, Phase: "optimize:parallel"})
+			res, err := optimizer.Optimize(ev, sp)
+			e := obs.Event{Kind: "end", Name: name, Phase: "optimize:parallel"}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			rec.Emit(e)
+			outcomes[i] = spaceOutcome{res: res, err: err}
+		}(i, sp)
+	}
+	wg.Wait()
+	watch.Stop()
+	// The phase ends with the first governance trip, if any, so the
+	// guard.trips counter and the end event's Err reflect the fan-out.
+	var tripped error
+	for i := range outcomes {
+		if guard.Tripped(outcomes[i].err) {
+			tripped = outcomes[i].err
+			break
+		}
+	}
+	endPhase(tripped)
 }
 
 // beginPhase labels the guard and recorder with the phase, emits the

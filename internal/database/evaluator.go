@@ -1,6 +1,8 @@
 package database
 
 import (
+	"sync"
+
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/obs"
@@ -17,7 +19,15 @@ import (
 // the memoized result for the rest, so computing all 2^n subsets costs
 // 2^n joins in total.
 //
-// An Evaluator is not safe for concurrent use.
+// An Evaluator is safe for concurrent use. The memo is striped across
+// memoShardCount RWMutex-guarded shards keyed on a hash of the subset
+// bitmask, so readers of distinct subsets rarely contend, and each
+// shard carries a per-subset in-flight latch: when two goroutines miss
+// on the same subset simultaneously, one computes the join while the
+// others block on the latch and then read the memoized result, so every
+// subset is materialized (and charged) exactly once however many
+// searchers race on it. The parallel subspace DPs of core.Analyze* and
+// the parallel prewarmer both lean on this.
 //
 // An Evaluator may carry a guard.Guard (WithGuard), in which case every
 // materialization charges the guard's tuple/state/step budgets and every
@@ -25,26 +35,54 @@ import (
 // unwinds via guard.Abort; the public entry points of the optimizer,
 // core and cli packages trap the abort and surface it as a typed error.
 type Evaluator struct {
-	db    *Database
-	memo  map[hypergraph.Set]*relation.Relation
-	guard *guard.Guard
-	rec   *obs.Recorder
+	db     *Database
+	shards [memoShardCount]memoShard
+	guard  *guard.Guard
+	rec    *obs.Recorder
 
 	// Metric handles resolved once at attach time so the hot path pays
 	// an atomic add, not a registry lookup; all are the nil no-op
 	// handles when no recorder is attached.
-	cMemoHits   *obs.Counter
-	cMemoMisses *obs.Counter
-	cTuples     *obs.Counter
-	cStates     *obs.Counter
-	cSteps      *obs.Counter
-	cJoinParts  *obs.Counter
-	gIntern     *obs.Gauge
+	cMemoHits      *obs.Counter
+	cMemoMisses    *obs.Counter
+	cInflightWaits *obs.Counter
+	cTuples        *obs.Counter
+	cStates        *obs.Counter
+	cSteps         *obs.Counter
+	cJoinParts     *obs.Counter
+	gIntern        *obs.Gauge
+}
+
+// memoShardCount is the number of memo stripes. A power of two well
+// above typical core counts keeps both lock contention and the latch
+// maps' per-shard footprint small.
+const memoShardCount = 64
+
+// memoShard is one stripe of the evaluator's memo: the materialized
+// subsets hashing to this stripe plus the in-flight latches for subsets
+// currently being computed.
+type memoShard struct {
+	mu       sync.RWMutex
+	rels     map[hypergraph.Set]*relation.Relation
+	inflight map[hypergraph.Set]chan struct{}
+}
+
+// shard returns the stripe responsible for subset s. The bitmask is
+// mixed with a Fibonacci-hashing constant so that the dense low-bit
+// subsets the DPs enumerate spread over all stripes.
+func (e *Evaluator) shard(s hypergraph.Set) *memoShard {
+	h := uint64(s) * 0x9E3779B97F4A7C15
+	return &e.shards[h>>(64-6)] // top 6 bits index 64 shards
 }
 
 // NewEvaluator creates an evaluator for the database.
 func NewEvaluator(db *Database) *Evaluator {
-	return &Evaluator{db: db, memo: make(map[hypergraph.Set]*relation.Relation)}
+	e := &Evaluator{db: db}
+	for i := range e.shards {
+		e.shards[i].rels = make(map[hypergraph.Set]*relation.Relation)
+		e.shards[i].inflight = make(map[hypergraph.Set]chan struct{})
+	}
+	return e
 }
 
 // WithGuard attaches a resource guard to the evaluator and returns it.
@@ -62,8 +100,11 @@ func (e *Evaluator) Guard() *guard.Guard { return e.guard }
 // running τ ledger), `eval.states` and `eval.steps` — the same
 // quantities, charged at the same points, as guard.Guard's budgets, so
 // the metrics reconcile exactly with guard.Snapshot() — and memo
-// traffic counts into `eval.memo.hits`/`eval.memo.misses`. The
-// dictionary-encoded kernel reports through two further handles:
+// traffic counts into `eval.memo.hits`/`eval.memo.misses`, with
+// `eval.inflight.waits` counting the evaluations that blocked on
+// another goroutine's in-flight computation of the same subset instead
+// of duplicating it. The dictionary-encoded kernel reports through two
+// further handles:
 // `join.partitions` accumulates the hash-partition count of every join
 // that took the parallel path (sequential joins contribute 0, so the
 // counter divided by the fixed partition count is the number of
@@ -74,6 +115,7 @@ func (e *Evaluator) WithRecorder(rec *obs.Recorder) *Evaluator {
 	e.rec = rec
 	e.cMemoHits = rec.Counter("eval.memo.hits")
 	e.cMemoMisses = rec.Counter("eval.memo.misses")
+	e.cInflightWaits = rec.Counter("eval.inflight.waits")
 	e.cTuples = rec.Counter("eval.tuples")
 	e.cStates = rec.Counter("eval.states")
 	e.cSteps = rec.Counter("eval.steps")
@@ -92,19 +134,65 @@ func (e *Evaluator) Database() *Database { return e.db }
 
 // Eval returns R_D′ for the subset s. It panics on the empty set, for
 // which R_D′ is undefined in the model.
+//
+// Concurrent calls on the same subset compute the join once: the first
+// caller to miss installs an in-flight latch and materializes, later
+// callers block on the latch and then take the memo hit. If the
+// computing goroutine aborts (guard trip) after memoizing, waiters
+// still get the result free of charge — exactly what a sequential
+// re-Eval after a trip would see.
 func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 	if s.Empty() {
 		panic("database: Eval of empty subset")
 	}
-	if e.guard != nil {
-		// Cheap cancellation poll: memo hits dominate the enumeration
-		// and DP hot loops, and this is what keeps them interruptible.
-		guard.Must(e.guard.Tick())
+	sh := e.shard(s)
+	for {
+		if e.guard != nil {
+			// Cheap cancellation poll: memo hits dominate the enumeration
+			// and DP hot loops, and this is what keeps them interruptible.
+			guard.Must(e.guard.Tick())
+		}
+		sh.mu.RLock()
+		r, ok := sh.rels[s]
+		sh.mu.RUnlock()
+		if ok {
+			e.cMemoHits.Inc()
+			return r
+		}
+		sh.mu.Lock()
+		if r, ok := sh.rels[s]; ok {
+			sh.mu.Unlock()
+			e.cMemoHits.Inc()
+			return r
+		}
+		if latch, ok := sh.inflight[s]; ok {
+			sh.mu.Unlock()
+			e.cInflightWaits.Inc()
+			// The computer releases the latch on every path — success,
+			// guard abort, even a join panic — so this cannot block
+			// forever. Loop back: the memo usually holds the result now;
+			// if the computer died before memoizing, this caller takes
+			// over the computation.
+			<-latch
+			continue
+		}
+		latch := make(chan struct{})
+		sh.inflight[s] = latch
+		sh.mu.Unlock()
+		return e.compute(sh, s, latch)
 	}
-	if r, ok := e.memo[s]; ok {
-		e.cMemoHits.Inc()
-		return r
-	}
+}
+
+// compute materializes the subset s, holding its in-flight latch. The
+// latch is released on every exit path, including a guard abort
+// unwinding through the charge, so waiters never deadlock.
+func (e *Evaluator) compute(sh *memoShard, s hypergraph.Set, latch chan struct{}) *relation.Relation {
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.inflight, s)
+		sh.mu.Unlock()
+		close(latch)
+	}()
 	e.cMemoMisses.Inc()
 	var result *relation.Relation
 	if s.Len() == 1 {
@@ -116,7 +204,9 @@ func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 	}
 	// Memoize before charging: the work is done either way, and a warm
 	// memo lets a degradation fallback reuse it free of charge.
-	e.memo[s] = result
+	sh.mu.Lock()
+	sh.rels[s] = result
+	sh.mu.Unlock()
 	if s.Len() > 1 {
 		// Count before the charge can abort, mirroring the guard's
 		// ledger semantics: spend reflects work actually performed.
@@ -130,6 +220,43 @@ func (e *Evaluator) Eval(s hypergraph.Set) *relation.Relation {
 		}
 	}
 	return result
+}
+
+// memoGet returns the memoized relation for s, if present, without
+// counting memo traffic — the prewarmer's read path.
+func (e *Evaluator) memoGet(s hypergraph.Set) (*relation.Relation, bool) {
+	sh := e.shard(s)
+	sh.mu.RLock()
+	r, ok := sh.rels[s]
+	sh.mu.RUnlock()
+	return r, ok
+}
+
+// memoPut stores a fully materialized (and, when governed, fully
+// charged) relation for s — the prewarmer's write path. Concurrent
+// writers of distinct subsets land on distinct shard locks.
+func (e *Evaluator) memoPut(s hypergraph.Set, r *relation.Relation) {
+	sh := e.shard(s)
+	sh.mu.Lock()
+	sh.rels[s] = r
+	sh.mu.Unlock()
+}
+
+// memoRange calls fn for every memoized subset until fn returns false.
+// It visits shard by shard under the read locks; tests and diagnostics
+// use it, the hot paths never do.
+func (e *Evaluator) memoRange(fn func(hypergraph.Set, *relation.Relation) bool) {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for s, r := range sh.rels {
+			if !fn(s, r) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // Size returns τ(R_D′) for the subset s: the number of tuples in the
@@ -153,4 +280,13 @@ func (e *Evaluator) ResultNonEmpty() bool { return !e.Result().Empty() }
 
 // MemoLen reports how many subsets have been materialized, for tests and
 // instrumentation.
-func (e *Evaluator) MemoLen() int { return len(e.memo) }
+func (e *Evaluator) MemoLen() int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		n += len(sh.rels)
+		sh.mu.RUnlock()
+	}
+	return n
+}

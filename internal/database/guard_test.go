@@ -10,6 +10,7 @@ import (
 
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/relation"
 )
 
 // evalTrapped runs fn and converts a guard abort into its error, the
@@ -61,11 +62,12 @@ func TestEvaluatorTupleBudgetAborts(t *testing.T) {
 	}
 	// The memo keeps what was materialized; evaluating those subsets
 	// again succeeds without new charges.
-	for s := range ev.memo {
+	ev.memoRange(func(s hypergraph.Set, _ *relation.Relation) bool {
 		if err := evalTrapped(func() { ev.Eval(s) }); err != nil {
 			t.Fatalf("memo hit re-tripped: %v", err)
 		}
-	}
+		return true
+	})
 }
 
 func TestEvaluatorCancellationAborts(t *testing.T) {

@@ -29,7 +29,8 @@ import (
 // unchanged, only wall-clock materialization time drops.
 //
 // workers ≤ 0 selects GOMAXPROCS. The returned evaluator is, like any
-// Evaluator, not safe for concurrent use after this call.
+// Evaluator, safe for concurrent use: its warm memo shards serve the
+// parallel subspace DPs of core.Analyze* directly.
 func PrewarmConnected(db *Database, workers int) *Evaluator {
 	ev, _ := PrewarmConnectedGuarded(db, workers, nil)
 	return ev
@@ -78,7 +79,7 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 
 	// Seed level 1 (base relations are free).
 	for _, s := range levels[1] {
-		ev.memo[s] = db.Relation(s.First())
+		ev.memoPut(s, db.Relation(s.First()))
 	}
 
 	for k := 2; k <= db.Len(); k++ {
@@ -91,17 +92,14 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 			Subset: k})
 		levelWatch := tLevel.Start()
 		var levelTuples atomic.Int64
-		// Resolve each subset's decomposition against the memo *before*
-		// the workers start: the memo map must not be read concurrently
-		// with the merge writes below.
+		// Resolve each subset's decomposition against the previous
+		// level before the workers start: every size-k subset joins one
+		// relation onto a size-(k−1) state, all of which are already
+		// memoized, so the lookups cannot miss.
 		type job struct {
 			set   hypergraph.Set
 			left  *relation.Relation
 			extra int
-		}
-		type done struct {
-			set hypergraph.Set
-			rel *relation.Relation
 		}
 		prepared := make([]job, 0, len(level))
 		for _, s := range level {
@@ -111,20 +109,22 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 			for _, i := range s.Indexes() {
 				rest := s.Remove(i)
 				if graph.Connected(rest) {
-					prepared = append(prepared, job{set: s, left: ev.memo[rest], extra: i})
+					left, _ := ev.memoGet(rest)
+					prepared = append(prepared, job{set: s, left: left, extra: i})
 					break
 				}
 			}
 		}
-		// Buffered channels sized to the level: the feeder cannot block,
-		// workers cannot block, so no goroutine can outlive the level
-		// whatever order the abort arrives in.
+		// A buffered job channel sized to the level: the feeder cannot
+		// block, workers cannot block, so no goroutine can outlive the
+		// level whatever order the abort arrives in. Completed joins go
+		// straight into the evaluator's sharded memo — the same shards
+		// the parallel subspace DPs later read.
 		jobs := make(chan job, len(prepared))
 		for _, j := range prepared {
 			jobs <- j
 		}
 		close(jobs)
-		results := make(chan done, len(prepared))
 		errs := make(chan error, workers)
 		var stop atomic.Bool
 		var wg sync.WaitGroup
@@ -167,18 +167,14 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 						errs <- err
 						continue
 					}
-					results <- done{j.set, rel}
+					// Only fully-charged joins enter the memo, so it
+					// stays consistent even when the level is cut short.
+					ev.memoPut(j.set, rel)
 				}
 			}()
 		}
 		wg.Wait()
-		close(results)
 		close(errs)
-		// Only fully-charged joins enter the memo, so it stays
-		// consistent even when the level was cut short.
-		for d := range results {
-			ev.memo[d.set] = d.rel
-		}
 		err := <-errs
 		e := obs.Event{Kind: "end", Name: "prewarm.level." + strconv.Itoa(k),
 			Subset: k, Tuples: levelTuples.Load(), DurNS: levelWatch.Stop().Nanoseconds()}

@@ -86,11 +86,12 @@ func assertNoGoroutineLeak(t *testing.T, baseline int) {
 func checkMemoConsistent(t *testing.T, db *Database, warm *Evaluator) {
 	t.Helper()
 	cold := NewEvaluator(db)
-	for s, rel := range warm.memo {
+	warm.memoRange(func(s hypergraph.Set, rel *relation.Relation) bool {
 		if !rel.Equal(cold.Eval(s)) {
 			t.Fatalf("memo entry %v inconsistent after abort", s)
 		}
-	}
+		return true
+	})
 }
 
 func TestPrewarmGuardedCancellationMidLevelNoLeak(t *testing.T) {

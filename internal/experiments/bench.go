@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"strings"
 	"time"
 
 	"multijoin/internal/core"
@@ -71,6 +72,30 @@ type KernelBench struct {
 	Partitions int `json:"partitions"`
 }
 
+// AnalysisBench is one sequential-versus-parallel analyze measurement:
+// the same prewarmed evaluator runs the four subspace DPs one at a time
+// and fanned out, and the section records both walls. The corpus uses
+// cliques, where the full-space and no-CP DPs enumerate identical split
+// sets and so dominate equally — the shape on which the fan-out's
+// benefit is largest and most stable.
+type AnalysisBench struct {
+	// Name identifies the corpus entry, e.g. "clique10".
+	Name string `json:"name"`
+	// Relations is the database's relation count.
+	Relations int `json:"relations"`
+	// SeqNS is the summed wall of the four `phase.optimize:<space>`
+	// spans of a sequential analyze (best of the measurement rounds).
+	SeqNS int64 `json:"seqNs"`
+	// ParNS is the `analyze.parallel.wall` span of a parallel analyze
+	// over the same warm memo (best of the measurement rounds).
+	ParNS int64 `json:"parNs"`
+	// Speedup is SeqNS / ParNS.
+	Speedup float64 `json:"speedup"`
+	// Match records that both modes returned identical per-space τ
+	// optima — the determinism contract of the parallel pipeline.
+	Match bool `json:"match"`
+}
+
 // BenchTotals aggregates the corpus.
 type BenchTotals struct {
 	// Cases is the number of corpus entries measured.
@@ -93,6 +118,9 @@ type BenchReport struct {
 	Cases []BenchCase `json:"cases"`
 	// Kernel lists the join-kernel micro-benchmarks.
 	Kernel []KernelBench `json:"kernel"`
+	// Analysis compares sequential against parallel four-subspace
+	// analyze wall time on prewarmed databases.
+	Analysis []AnalysisBench `json:"analysis"`
 	// Totals aggregates the corpus.
 	Totals BenchTotals `json:"totals"`
 }
@@ -151,7 +179,100 @@ func RunBench(w io.Writer, workers int) (*BenchReport, error) {
 		fmt.Fprintf(w, "kernel %-12s %8d ns/op %8d B/op %6d allocs/op  partitions=%d\n",
 			k.Name, k.NsPerOp, k.BytesPerOp, k.AllocsPerOp, k.Partitions)
 	}
+	var err error
+	if rep.Analysis, err = benchAnalysis(w); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// analysisCorpus returns the databases the analysis section measures:
+// cliques large enough that the subset DPs, not the (excluded) prewarm,
+// dominate wall time.
+func analysisCorpus() []benchEntry {
+	mk := func(name string, n int) benchEntry {
+		rng := rand.New(rand.NewSource(2))
+		return benchEntry{name, gen.Uniform(rng, gen.Schemes(gen.Clique, n), 6, 4)}
+	}
+	return []benchEntry{mk("clique9", 9), mk("clique10", 10)}
+}
+
+// analysisRounds is how many times each mode is measured; the section
+// reports the best round, damping scheduler noise the way testing.B's
+// -benchtime repetitions do.
+const analysisRounds = 3
+
+// benchAnalysis measures the sequential-versus-parallel analyze walls
+// over the analysis corpus.
+func benchAnalysis(w io.Writer) ([]AnalysisBench, error) {
+	out := make([]AnalysisBench, 0, len(analysisCorpus()))
+	for _, entry := range analysisCorpus() {
+		a, err := benchAnalysisOne(entry.name, entry.db)
+		if err != nil {
+			return nil, fmt.Errorf("bench analysis %s: %w", entry.name, err)
+		}
+		fmt.Fprintf(w, "analysis %-10s seq=%-10s par=%-10s speedup=%.2f match=%v\n",
+			a.Name, time.Duration(a.SeqNS).Round(time.Microsecond),
+			time.Duration(a.ParNS).Round(time.Microsecond), a.Speedup, a.Match)
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// benchAnalysisOne prewarms one database, then repeatedly analyzes it
+// sequentially and in parallel over the same warm memo, reading each
+// mode's optimize wall from the recorder's timers so the shared
+// materialize/conditions phases do not dilute the comparison. It
+// returns the best wall per mode and whether every round's per-space
+// optima matched.
+func benchAnalysisOne(name string, db *database.Database) (AnalysisBench, error) {
+	warm := database.PrewarmConnected(db, 0)
+	a := AnalysisBench{Name: name, Relations: db.Len(), Match: true}
+	for round := 0; round < analysisRounds; round++ {
+		recSeq := obs.NewRecorder()
+		anSeq, err := core.AnalyzeEvaluatorSequential(warm.WithRecorder(recSeq))
+		if err != nil {
+			return AnalysisBench{}, err
+		}
+		var seq int64
+		for nm, ts := range recSeq.Snapshot().Timers {
+			if strings.HasPrefix(nm, "phase.optimize:") {
+				seq += ts.TotalNS
+			}
+		}
+		recPar := obs.NewRecorder()
+		anPar, err := core.AnalyzeEvaluator(warm.WithRecorder(recPar))
+		if err != nil {
+			return AnalysisBench{}, err
+		}
+		par := recPar.Snapshot().Timers["analyze.parallel.wall"].TotalNS
+		if a.SeqNS == 0 || seq < a.SeqNS {
+			a.SeqNS = seq
+		}
+		if a.ParNS == 0 || par < a.ParNS {
+			a.ParNS = par
+		}
+		a.Match = a.Match && analysesAgree(anSeq, anPar)
+	}
+	if a.ParNS > 0 {
+		a.Speedup = float64(a.SeqNS) / float64(a.ParNS)
+	}
+	return a, nil
+}
+
+// analysesAgree reports whether two analyses carry identical per-space
+// optimization outcomes.
+func analysesAgree(a, b *core.Analysis) bool {
+	if len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Space != rb.Space || ra.Cost != rb.Cost || !ra.Strategy.Equal(rb.Strategy) {
+			return false
+		}
+	}
+	return true
 }
 
 // kernelRel builds a deterministic relation for the kernel section.
@@ -342,6 +463,31 @@ func ValidateBench(rep *BenchReport) error {
 	}
 	if !seenPartitioned {
 		return fmt.Errorf("bench: no kernel case exercised the partitioned parallel join")
+	}
+	if len(rep.Analysis) == 0 {
+		return fmt.Errorf("bench: no analysis section")
+	}
+	best := 0.0
+	for _, a := range rep.Analysis {
+		if a.Name == "" {
+			return fmt.Errorf("bench: analysis entry with empty name")
+		}
+		if a.SeqNS <= 0 || a.ParNS <= 0 {
+			return fmt.Errorf("bench: analysis %s has non-positive wall times", a.Name)
+		}
+		if !a.Match {
+			return fmt.Errorf("bench: analysis %s: parallel and sequential optima diverge", a.Name)
+		}
+		if a.Speedup > best {
+			best = a.Speedup
+		}
+	}
+	// The fan-out contract only binds on machines with real parallelism:
+	// with 4+ processors the parallel four-space analyze must take at
+	// most 0.6× the sequential wall on the best-scaling corpus entry.
+	if rep.GoMaxProcs >= 4 && best < 1/0.6 {
+		return fmt.Errorf("bench: parallel analyze speedup %.2f× on %d procs, want ≥ %.2f×",
+			best, rep.GoMaxProcs, 1/0.6)
 	}
 	return nil
 }

@@ -18,8 +18,10 @@ const (
 	TraceSchema = "multijoin/trace/v1"
 	// BenchSchema identifies the bench-pipeline JSON shape
 	// (experiments -bench, BENCH_joinopt.json). v2 added the kernel
-	// micro-benchmark section (ns/op, B/op, allocs/op, partitions).
-	BenchSchema = "multijoin/bench/v2"
+	// micro-benchmark section (ns/op, B/op, allocs/op, partitions); v3
+	// added the analysis section comparing sequential against parallel
+	// four-subspace analyze wall time.
+	BenchSchema = "multijoin/bench/v3"
 )
 
 // TimerStats is a timer's aggregate in a snapshot.

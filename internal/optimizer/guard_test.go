@@ -81,6 +81,44 @@ func TestGreedyGuardedSucceedsUngoverned(t *testing.T) {
 	}
 }
 
+// TestExhaustiveGuardedStateBudgetTrips is the regression test for the
+// ungoverned enumeration: Exhaustive must charge one state per strategy.
+// The memo is fully warmed first, so the governed re-run pays nothing
+// for materializations — every state charge it makes is a per-strategy
+// charge. Before the fix that run charged zero states and sailed past
+// any -max-states budget; now a budget below the (2n−3)!! strategy
+// count must trip.
+func TestExhaustiveGuardedStateBudgetTrips(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(179)), 4)
+	ev := database.NewEvaluator(db)
+	Exhaustive(ev) // warm the memo ungoverned: 15 strategies for n=4
+	g := guard.New(context.Background(), guard.Limits{MaxStates: 5})
+	_, err := ExhaustiveGuarded(ev.WithGuard(g))
+	var be *guard.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states budget error from the enumeration, got %v", err)
+	}
+}
+
+// TestExhaustiveChargesOnePerStrategy pins the charge rate: on a warm
+// memo the guard's state spend equals the strategy count exactly.
+func TestExhaustiveChargesOnePerStrategy(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(181)), 4)
+	ev := database.NewEvaluator(db)
+	Exhaustive(ev)
+	g := guard.New(context.Background(), guard.Limits{})
+	res, err := ExhaustiveGuarded(ev.WithGuard(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 15 {
+		t.Fatalf("n=4 has (2·4−3)!! = 15 strategies, enumerated %d", res.States)
+	}
+	if _, states, _ := g.Spent(); states != int64(res.States) {
+		t.Fatalf("guard saw %d state charges for %d strategies", states, res.States)
+	}
+}
+
 func TestExhaustiveGuardedFaultInjection(t *testing.T) {
 	ev, _ := guardedEvaluator(rand.New(rand.NewSource(176)), 5, guard.Limits{FaultStep: 3})
 	_, err := ExhaustiveGuarded(ev)

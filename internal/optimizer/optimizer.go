@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"multijoin/internal/database"
 	"multijoin/internal/guard"
@@ -44,6 +46,15 @@ const (
 	// multi-relation components cannot both appear as prefixes of one
 	// linear tree); Optimize then returns ErrEmptySpace.
 	SpaceLinearNoCP
+	// SpaceGreedy labels results of the Greedy heuristic. It is not a
+	// searched subspace — Greedy walks the full space heuristically — so
+	// Optimize rejects it; the label exists so traces and reports never
+	// present a heuristic result as a DP optimum.
+	SpaceGreedy
+	// SpaceExhaustive labels results of the Exhaustive reference
+	// enumeration. Like SpaceGreedy it is a method label, not a
+	// searchable subspace, and Optimize rejects it.
+	SpaceExhaustive
 )
 
 // String names the space.
@@ -57,8 +68,19 @@ func (s Space) String() string {
 		return "no-cartesian"
 	case SpaceLinearNoCP:
 		return "linear-no-cartesian"
+	case SpaceGreedy:
+		return "greedy"
+	case SpaceExhaustive:
+		return "exhaustive"
 	}
 	return fmt.Sprintf("Space(%d)", int(s))
+}
+
+// DPSpaces lists the four subspaces Optimize's dynamic program can
+// search, in the canonical analysis order. The method labels
+// SpaceGreedy and SpaceExhaustive are deliberately absent.
+func DPSpaces() []Space {
+	return []Space{SpaceAll, SpaceNoCP, SpaceLinear, SpaceLinearNoCP}
 }
 
 // ErrEmptySpace is returned when the requested subspace contains no
@@ -84,6 +106,13 @@ type Result struct {
 // guard's typed error (guard.Tripped reports it) instead of running on.
 func Optimize(ev *database.Evaluator, space Space) (res Result, err error) {
 	defer guard.Trap(&err)
+	switch space {
+	case SpaceAll, SpaceLinear, SpaceNoCP, SpaceLinearNoCP:
+	default:
+		// SpaceGreedy/SpaceExhaustive label how a result was obtained;
+		// they are not subspaces the DP can search.
+		return Result{}, fmt.Errorf("optimizer: %v is not a searchable subspace", space)
+	}
 	db := ev.Database()
 	if err := db.Validate(); err != nil {
 		return Result{}, err
@@ -285,11 +314,53 @@ func (o *dp) build(s hypergraph.Set) *strategy.Node {
 	return strategy.Combine(o.build(split[0]), o.build(split[1]))
 }
 
+// greedyCand is one candidate pair of the greedy probe loop, carrying
+// everything the tie-break needs. The zero value (ok=false) loses to
+// every real candidate.
+type greedyCand struct {
+	i, j   int
+	size   int
+	linked bool
+	ok     bool
+}
+
+// better reports whether c beats o under the documented tie-break
+// order: smaller join first, then linked pairs over unlinked, then the
+// lexicographically lowest (i, j). The order is total, so a parallel
+// reduction over any partition of the pair space picks the same winner
+// as the sequential scan.
+func (c greedyCand) better(o greedyCand) bool {
+	if !c.ok || !o.ok {
+		return c.ok
+	}
+	if c.size != o.size {
+		return c.size < o.size
+	}
+	if c.linked != o.linked {
+		return c.linked
+	}
+	if c.i != o.i {
+		return c.i < o.i
+	}
+	return c.j < o.j
+}
+
+// greedyParallelMinPairs is the pair-space size below which the probe
+// loop stays sequential: spawning workers for a handful of memoized
+// size lookups costs more than it saves.
+const greedyParallelMinPairs = 32
+
 // Greedy returns the strategy produced by the classic smallest-result
 // heuristic: repeatedly replace the pair of current results whose join is
-// smallest (ties broken toward linked pairs and lower indexes). It is the
-// cheap baseline the paper's optimizers compete with; it inspects
+// smallest (ties broken toward linked pairs, then lower indexes). It is
+// the cheap baseline the paper's optimizers compete with; it inspects
 // O(n³) joins and offers no optimality guarantee.
+//
+// On pools large enough to matter the O(n²) probe loop of each round
+// fans out over row-chunks of the pair space — the evaluator is safe
+// for concurrent use, so workers probe sizes in parallel — and the
+// per-worker minima are reduced under the same total order the
+// sequential scan uses, so the chosen strategy is identical either way.
 func Greedy(ev *database.Evaluator) Result {
 	db := ev.Database()
 	gd := ev.Guard()
@@ -297,41 +368,103 @@ func Greedy(ev *database.Evaluator) Result {
 	cStates := rec.Counter("greedy.states")
 	cStatesAll := rec.Counter("dp.states")
 	defer rec.Timer("greedy.wall").Start().Stop()
+	g := db.Graph()
 	pool := make([]*strategy.Node, db.Len())
 	for i := range pool {
 		pool[i] = strategy.Leaf(i)
 	}
+	// probe charges and inspects the pair (i, j) of the current pool.
+	// Counters and the guard are concurrency-safe, so workers share it.
+	probe := func(i, j int) greedyCand {
+		cStates.Inc()
+		cStatesAll.Inc() // before the charge, so a trip still reconciles
+		guard.Must(gd.ChargeStates(1))
+		a, b := pool[i].Set(), pool[j].Set()
+		return greedyCand{
+			i: i, j: j,
+			size:   ev.Size(a.Union(b)),
+			linked: g.Linked(a, b),
+			ok:     true,
+		}
+	}
 	states := 0
 	for len(pool) > 1 {
-		bi, bj, bestSize := -1, -1, inf
-		for i := 0; i < len(pool); i++ {
-			for j := i + 1; j < len(pool); j++ {
-				states++
-				cStates.Inc()
-				cStatesAll.Inc() // before the charge, so a trip still reconciles
-				guard.Must(gd.ChargeStates(1))
-				sz := ev.Size(pool[i].Set().Union(pool[j].Set()))
-				if sz < bestSize {
-					bi, bj, bestSize = i, j, sz
+		pairs := len(pool) * (len(pool) - 1) / 2
+		states += pairs
+		var best greedyCand
+		workers := runtime.GOMAXPROCS(0)
+		if pairs < greedyParallelMinPairs || workers == 1 {
+			for i := 0; i < len(pool); i++ {
+				for j := i + 1; j < len(pool); j++ {
+					if c := probe(i, j); c.better(best) {
+						best = c
+					}
+				}
+			}
+		} else {
+			if workers > len(pool) {
+				workers = len(pool)
+			}
+			cands := make([]greedyCand, workers)
+			errs := make([]error, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Panic boundary: a guard abort raised inside probe
+					// must not kill the process from a worker; it is
+					// re-raised on the caller's goroutine below.
+					defer func() {
+						if err := guard.Recovered(recover()); err != nil {
+							errs[w] = err
+						}
+					}()
+					var local greedyCand
+					// Interleaved rows balance the triangular pair
+					// space: row i holds len(pool)−i−1 pairs.
+					for i := w; i < len(pool); i += workers {
+						for j := i + 1; j < len(pool); j++ {
+							if c := probe(i, j); c.better(local) {
+								local = c
+							}
+						}
+					}
+					cands[w] = local
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				guard.Must(err)
+			}
+			for _, c := range cands {
+				if c.better(best) {
+					best = c
 				}
 			}
 		}
-		joined := strategy.Combine(pool[bi], pool[bj])
-		pool[bj] = pool[len(pool)-1]
+		joined := strategy.Combine(pool[best.i], pool[best.j])
+		pool[best.j] = pool[len(pool)-1]
 		pool = pool[:len(pool)-1]
-		pool[bi] = joined
+		pool[best.i] = joined
 	}
 	root := pool[0]
-	return Result{Space: SpaceAll, Strategy: root, Cost: root.Cost(ev), States: states}
+	return Result{Space: SpaceGreedy, Strategy: root, Cost: root.Cost(ev), States: states}
 }
 
 // Exhaustive finds a τ-optimum strategy by enumerating the entire space —
 // the reference implementation the DPs are validated against in tests.
 // It is usable only for small databases ((2n−3)!! strategies).
+//
+// Every enumerated strategy charges one state against the evaluator's
+// guard, so a -max-states budget bounds the (2n−3)!! enumeration itself
+// rather than only the tuple spend of the costings inside it.
 func Exhaustive(ev *database.Evaluator) Result {
 	db := ev.Database()
+	gd := ev.Guard()
 	rec := ev.Recorder()
 	cEnum := rec.Counter("exhaustive.strategies")
+	cStatesAll := rec.Counter("dp.states")
 	defer rec.Timer("exhaustive.wall").Start().Stop()
 	best := inf
 	var bestNode *strategy.Node
@@ -339,12 +472,14 @@ func Exhaustive(ev *database.Evaluator) Result {
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
 		count++
 		cEnum.Inc()
+		cStatesAll.Inc() // before the charge, so a trip still reconciles
+		guard.Must(gd.ChargeStates(1))
 		if c := n.Cost(ev); c < best {
 			best, bestNode = c, n
 		}
 		return true
 	})
-	return Result{Space: SpaceAll, Strategy: bestNode, Cost: best, States: count}
+	return Result{Space: SpaceExhaustive, Strategy: bestNode, Cost: best, States: count}
 }
 
 // GreedyGuarded is Greedy with the evaluator's resource guard trapped:

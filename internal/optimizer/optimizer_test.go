@@ -3,6 +3,7 @@ package optimizer
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"multijoin/internal/database"
@@ -251,6 +252,9 @@ func TestGreedy(t *testing.T) {
 	db := paperex.Example1()
 	ev := database.NewEvaluator(db)
 	res := Greedy(ev)
+	if res.Space != SpaceGreedy {
+		t.Fatalf("greedy labeled its result %v, want %v", res.Space, SpaceGreedy)
+	}
 	if err := res.Strategy.Validate(db.All()); err != nil {
 		t.Fatalf("greedy produced invalid strategy: %v", err)
 	}
@@ -263,12 +267,93 @@ func TestGreedy(t *testing.T) {
 	}
 }
 
+// TestGreedyLinkedTieBreak is the regression test for the documented
+// tie-break: on equal join size a linked pair must beat an unlinked one.
+// The fixture makes the first round a genuine tie — |R0 × R1| =
+// |R0 ⋈ R2| = 4 — where (R0, R1) share no attribute and (R0, R2) share
+// A. The lower-index-only rule picked the Cartesian product (R0 R1);
+// the documented rule must pick (R0 R2) first.
+func TestGreedyLinkedTieBreak(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("R0", "A", "1", "2"),
+		relation.FromStrings("R1", "B", "x", "y"),
+		relation.FromStrings("R2", "AC", "1 p", "1 q", "2 r", "2 s"),
+	)
+	ev := database.NewEvaluator(db)
+	s01 := ev.Size(hypergraph.Set(0b011))
+	s02 := ev.Size(hypergraph.Set(0b101))
+	if s01 != s02 {
+		t.Fatalf("fixture broken: |R0⋈R1| = %d, |R0⋈R2| = %d, need a tie", s01, s02)
+	}
+	g := db.Graph()
+	if g.Linked(hypergraph.Singleton(0), hypergraph.Singleton(1)) ||
+		!g.Linked(hypergraph.Singleton(0), hypergraph.Singleton(2)) {
+		t.Fatal("fixture broken: (R0,R1) must be unlinked and (R0,R2) linked")
+	}
+	res := Greedy(ev)
+	want := strategy.Combine(strategy.Combine(strategy.Leaf(0), strategy.Leaf(2)), strategy.Leaf(1))
+	if !res.Strategy.Equal(want) {
+		t.Fatalf("greedy chose %s, want the linked pair first: %s",
+			res.Strategy.Render(db), want.Render(db))
+	}
+}
+
+// TestGreedyParallelMatchesSequential pins the determinism contract of
+// the parallel probe loop: with enough pairs to cross the fan-out
+// threshold, the strategy, cost and state count must be bit-identical
+// to a GOMAXPROCS=1 run, whatever the worker interleaving.
+func TestGreedyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 10; trial++ {
+		// 9 relations → 36 first-round pairs, above the parallel threshold.
+		db := randomDB(rng, 9)
+		par := Greedy(database.NewEvaluator(db))
+		old := runtime.GOMAXPROCS(1)
+		seq := Greedy(database.NewEvaluator(db))
+		runtime.GOMAXPROCS(old)
+		if !par.Strategy.Equal(seq.Strategy) {
+			t.Fatalf("trial %d: parallel chose %s, sequential %s",
+				trial, par.Strategy.Render(db), seq.Strategy.Render(db))
+		}
+		if par.Cost != seq.Cost || par.States != seq.States {
+			t.Fatalf("trial %d: parallel (τ=%d states=%d) != sequential (τ=%d states=%d)",
+				trial, par.Cost, par.States, seq.Cost, seq.States)
+		}
+	}
+}
+
+func TestOptimizeRejectsMethodLabels(t *testing.T) {
+	ev := database.NewEvaluator(paperex.Example1())
+	for _, sp := range []Space{SpaceGreedy, SpaceExhaustive} {
+		_, err := Optimize(ev, sp)
+		if err == nil || errors.Is(err, ErrEmptySpace) {
+			t.Fatalf("Optimize(%v) = %v, want a not-searchable error", sp, err)
+		}
+	}
+}
+
+func TestDPSpaces(t *testing.T) {
+	want := []Space{SpaceAll, SpaceNoCP, SpaceLinear, SpaceLinearNoCP}
+	got := DPSpaces()
+	if len(got) != len(want) {
+		t.Fatalf("DPSpaces = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DPSpaces[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestExhaustiveMatchesDP(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	for trial := 0; trial < 20; trial++ {
 		db := randomDB(rng, 4)
 		ev := database.NewEvaluator(db)
 		ex := Exhaustive(ev)
+		if ex.Space != SpaceExhaustive {
+			t.Fatalf("exhaustive labeled its result %v, want %v", ex.Space, SpaceExhaustive)
+		}
 		dp, err := Optimize(ev, SpaceAll)
 		if err != nil {
 			t.Fatal(err)
@@ -305,6 +390,7 @@ func TestSpaceString(t *testing.T) {
 	for sp, want := range map[Space]string{
 		SpaceAll: "all", SpaceLinear: "linear",
 		SpaceNoCP: "no-cartesian", SpaceLinearNoCP: "linear-no-cartesian",
+		SpaceGreedy: "greedy", SpaceExhaustive: "exhaustive",
 	} {
 		if sp.String() != want {
 			t.Errorf("String(%d) = %q", int(sp), sp.String())

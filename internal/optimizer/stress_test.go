@@ -1,0 +1,97 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+)
+
+// TestConcurrentSearchStress races all four subspace DPs plus the
+// greedy heuristic against one shared evaluator and checks the
+// tentpole's contract end to end:
+//
+//   - every racer's result is identical to a sequential run on a cold
+//     evaluator (memoization shares wall-clock, never changes answers);
+//   - `eval.memo.misses` never exceeds the number of distinct subsets
+//     materialized — the in-flight latch collapsed every duplicate
+//     computation however the five searchers interleaved.
+//
+// The CI -race job runs this with -count=2, so both the cold-memo and
+// the warm-memo interleavings are exercised under the race detector.
+func TestConcurrentSearchStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	for trial := 0; trial < 6; trial++ {
+		db := randomDB(rng, 6)
+
+		// Sequential reference, each space on the same cold evaluator.
+		ref := database.NewEvaluator(db)
+		wantDP := make([]Result, len(DPSpaces()))
+		wantErr := make([]error, len(DPSpaces()))
+		for i, sp := range DPSpaces() {
+			wantDP[i], wantErr[i] = Optimize(ref, sp)
+		}
+		wantGreedy := Greedy(ref)
+
+		rec := obs.NewRecorder()
+		ev := database.NewEvaluator(db).WithRecorder(rec)
+		gotDP := make([]Result, len(DPSpaces()))
+		gotErr := make([]error, len(DPSpaces()))
+		var gotGreedy Result
+		var greedyPanic error
+		var wg sync.WaitGroup
+		for i, sp := range DPSpaces() {
+			wg.Add(1)
+			go func(i int, sp Space) {
+				defer wg.Done()
+				defer func() {
+					if err := guard.Recovered(recover()); err != nil {
+						gotErr[i] = err
+					}
+				}()
+				gotDP[i], gotErr[i] = Optimize(ev, sp)
+			}(i, sp)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				greedyPanic = guard.Recovered(recover())
+			}()
+			gotGreedy = Greedy(ev)
+		}()
+		wg.Wait()
+
+		for i, sp := range DPSpaces() {
+			if (gotErr[i] == nil) != (wantErr[i] == nil) {
+				t.Fatalf("trial %d %s: concurrent err %v, sequential err %v",
+					trial, sp, gotErr[i], wantErr[i])
+			}
+			if gotErr[i] != nil {
+				continue
+			}
+			if gotDP[i].Cost != wantDP[i].Cost || !gotDP[i].Strategy.Equal(wantDP[i].Strategy) {
+				t.Fatalf("trial %d %s: concurrent (τ=%d %s) != sequential (τ=%d %s)",
+					trial, sp, gotDP[i].Cost, gotDP[i].Strategy.Render(db),
+					wantDP[i].Cost, wantDP[i].Strategy.Render(db))
+			}
+		}
+		if greedyPanic != nil {
+			t.Fatalf("trial %d: greedy panicked: %v", trial, greedyPanic)
+		}
+		if gotGreedy.Cost != wantGreedy.Cost || !gotGreedy.Strategy.Equal(wantGreedy.Strategy) {
+			t.Fatalf("trial %d greedy: concurrent (τ=%d %s) != sequential (τ=%d %s)",
+				trial, gotGreedy.Cost, gotGreedy.Strategy.Render(db),
+				wantGreedy.Cost, wantGreedy.Strategy.Render(db))
+		}
+
+		snap := rec.Snapshot()
+		if misses, distinct := snap.Counters["eval.memo.misses"], int64(ev.MemoLen()); misses > distinct {
+			t.Fatalf("trial %d: eval.memo.misses = %d > %d distinct subsets — a subset was materialized twice",
+				trial, misses, distinct)
+		}
+	}
+}

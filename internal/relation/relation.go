@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Relation is a named relation state over a scheme: the paper's ordered
@@ -27,7 +28,10 @@ type Relation struct {
 	dict   *Dict
 	data   []uint32 // row-major ID slab, width = schema.Len()
 	n      int      // row count (the slab width may be zero)
-	index  *groupMap
+	// index is the lazy membership index, published atomically because
+	// shared (memoized) relations answer membership questions from
+	// concurrent searchers; see ensureIndex.
+	index atomic.Pointer[groupMap]
 	// partitions records how many hash partitions the parallel join
 	// used to build this state (0: built sequentially).
 	partitions int
@@ -99,11 +103,13 @@ func (r *Relation) Name() string { return r.name }
 
 // WithName returns a shallow copy of the relation carrying a new name.
 // The row storage is shared; relations are treated as immutable once
-// handed out, so sharing is safe.
+// handed out, so sharing is safe. (Field-by-field rather than a struct
+// copy: the atomic index pointer must not be copied by value.)
 func (r *Relation) WithName(name string) *Relation {
-	cp := *r
-	cp.name = name
-	return &cp
+	cp := &Relation{name: name, schema: r.schema, dict: r.dict,
+		data: r.data, n: r.n, partitions: r.partitions}
+	cp.index.Store(r.index.Load())
+	return cp
 }
 
 // Schema returns the relation's scheme.

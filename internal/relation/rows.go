@@ -113,22 +113,28 @@ func (r *Relation) rowIDs(i int) []uint32 {
 
 // ensureIndex builds the hash index over the current slab if it is not
 // already present. Relations produced by the duplicate-free operators
-// carry no index until a membership question is first asked.
+// carry no index until a membership question is first asked — which may
+// now happen from several goroutines at once, since memoized relations
+// are shared across the parallel subspace searches. The index pointer
+// is therefore published with a compare-and-swap: concurrent builders
+// race benignly (each builds an equivalent index over the same
+// immutable rows; the first store wins) and readers always observe
+// either nil or a fully built index.
 func (r *Relation) ensureIndex() {
-	if r.index != nil {
+	if r.index.Load() != nil {
 		return
 	}
 	idx := newGroupMap(r.n)
 	for i := 0; i < r.n; i++ {
 		idx.add(hashIDs(r.rowIDs(i)), int32(i))
 	}
-	r.index = &idx
+	r.index.CompareAndSwap(nil, &idx)
 }
 
 // lookupIDs returns the ordinal of the row equal to ids, or −1. The
 // index must already exist.
 func (r *Relation) lookupIDs(ids []uint32) int {
-	first, chain, ok := r.index.lookup(hashIDs(ids))
+	first, chain, ok := r.index.Load().lookup(hashIDs(ids))
 	if !ok {
 		return -1
 	}
@@ -147,11 +153,13 @@ func (r *Relation) lookupIDs(ids []uint32) int {
 }
 
 // appendIDs appends a row known not to duplicate any existing row,
-// keeping the index (if built) in step.
+// keeping the index (if built) in step. Construction is single-owner:
+// only the relation's builder appends, so the incremental index update
+// needs no synchronization beyond the atomic pointer read.
 func (r *Relation) appendIDs(ids []uint32) {
 	r.data = append(r.data, ids...)
-	if r.index != nil {
-		r.index.add(hashIDs(ids), int32(r.n))
+	if idx := r.index.Load(); idx != nil {
+		idx.add(hashIDs(ids), int32(r.n))
 	}
 	r.n++
 }

@@ -444,9 +444,18 @@ func AnalyzeObserved(db *Database, g *Guard, rec *Recorder) (*Analysis, error) {
 
 // AnalyzeEvaluator runs the full analysis on a caller-supplied
 // evaluator, reusing its memo, guard and recorder — the path that lets
-// a prewarmed evaluator feed the analysis without recomputation.
+// a prewarmed evaluator feed the analysis without recomputation. The
+// four subspace optimizations run concurrently over the shared
+// evaluator; the results are identical to a sequential run.
 func AnalyzeEvaluator(ev *Evaluator) (*Analysis, error) {
 	return core.AnalyzeEvaluator(ev)
+}
+
+// AnalyzeEvaluatorSequential is AnalyzeEvaluator with the subspace
+// optimizations run one at a time, for callers that need a strictly
+// ordered per-phase event stream.
+func AnalyzeEvaluatorSequential(ev *Evaluator) (*Analysis, error) {
+	return core.AnalyzeEvaluatorSequential(ev)
 }
 
 // PrewarmConnectedObserved is PrewarmConnectedGuarded with
