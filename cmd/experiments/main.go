@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"multijoin/internal/exitcode"
 	"multijoin/internal/experiments"
 )
 
@@ -44,7 +45,9 @@ func main() {
 	if *checkBench != "" {
 		if err := checkBenchFile(*checkBench); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			// A report that fails validation is bad input, not an
+			// internal failure — exit 3 per the project's code contract.
+			os.Exit(exitcode.BadInput)
 		}
 		fmt.Printf("%s validates against the bench schema\n", *checkBench)
 		return

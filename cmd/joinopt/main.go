@@ -11,8 +11,8 @@
 //	joinopt -example 1 -cost '(R1 R3) (R2 R4)'   # trace one strategy
 //	joinopt -gen chain -n 4 -seed 3 -reduce      # full reducer report
 //
-// Runs are budgetable (-timeout, -max-tuples, -max-states; a trip exits
-// 1 with the tripped phase and a budget report) and observable:
+// Runs are budgetable (-timeout, -max-tuples, -max-states) and
+// observable:
 //
 //	joinopt -example 1 -metrics-out m.json -trace-out t.json
 //	joinopt -gen clique -n 8 -debug-addr :6060   # expvar + pprof while it runs
@@ -20,6 +20,11 @@
 // The JSON format is documented in internal/database/json.go:
 //
 //	{"relations": [{"name": "R1", "attrs": ["A","B"], "rows": [["p","0"]]}]}
+//
+// Exit codes classify failures (internal/exitcode): 0 success, 1
+// internal error, 2 usage, 3 malformed input, 4 resource budget
+// tripped — so scripts can tell "raise the budget" from "fix the
+// input" without parsing stderr.
 package main
 
 import (

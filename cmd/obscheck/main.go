@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"multijoin/internal/exitcode"
 	"multijoin/internal/experiments"
 	"multijoin/internal/obs"
 )
@@ -36,7 +37,9 @@ func main() {
 		fmt.Printf("%s: ok\n", path)
 	}
 	if failed {
-		os.Exit(1)
+		// An artifact failing its schema is malformed input to this
+		// tool, so it exits 3, distinct from usage (2) and crashes (1).
+		os.Exit(exitcode.BadInput)
 	}
 }
 

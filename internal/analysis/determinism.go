@@ -7,15 +7,18 @@ import (
 
 // determinismAllow lists the packages that may read wall clocks and
 // random sources: the observability layer (timers), the experiment and
-// bench harnesses, the seeded generators, the CLI, and the binaries.
-// Everything else — evaluator, optimizer, strategy, the cost-model core
-// — must stay bit-for-bit reproducible, because the bench pipeline and
-// the paper-theorem tests compare exact τ ledgers across runs.
+// bench harnesses, the seeded generators, the CLI, the serving layer
+// (deadlines, admission latency, Retry-After arithmetic), and the
+// binaries. Everything else — evaluator, optimizer, strategy, the
+// cost-model core — must stay bit-for-bit reproducible, because the
+// bench pipeline and the paper-theorem tests compare exact τ ledgers
+// across runs.
 var determinismAllow = []string{
 	"internal/obs",
 	"internal/experiments",
 	"internal/gen",
 	"internal/cli",
+	"internal/serve",
 }
 
 // determinismAllowPrefixes extends the allowlist to whole trees: the

@@ -32,6 +32,7 @@ import (
 
 	"multijoin/internal/core"
 	"multijoin/internal/database"
+	"multijoin/internal/exitcode"
 	"multijoin/internal/gen"
 	"multijoin/internal/guard"
 	"multijoin/internal/obs"
@@ -119,7 +120,9 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			db, err = loadDatabase(*example, *file, *genShape, *n, *rows, *domain, *seed, *diagonal)
 		}
 		if err != nil {
-			return err
+			// Whatever went wrong loading, the caller supplied it:
+			// missing file, malformed JSON/CSV, unknown shape.
+			return exitcode.Input(err)
 		}
 		if *emitJSON {
 			if err := database.EncodeJSON(stdout, db); err != nil {
@@ -130,7 +133,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		case *dotExpr != "":
 			st, err := strategy.Parse(db, *dotExpr)
 			if err != nil {
-				return err
+				return exitcode.Input(err)
 			}
 			setPhase(g, rec, "render")
 			ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
@@ -155,7 +158,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			}
 			return truncationError(an)
 		case *format != "text":
-			return fmt.Errorf("unknown format %q", *format)
+			return exitcode.Input(fmt.Errorf("unknown format %q", *format))
 		default:
 			return analyze(stdout, db, g, rec, *parallelSpaces, *listStrategies)
 		}
@@ -176,7 +179,11 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		if guard.Tripped(err) {
 			reportBudget(stderr, g)
 		}
-		return 1
+		// The exit code classifies the failure — budget-tripped (4),
+		// malformed input (3) and internal (1) are different operator
+		// actions (raise the budget / fix the input / file a bug), so
+		// scripts and CI must be able to tell them apart blind.
+		return exitcode.Classify(err)
 	}
 	return 0
 }
@@ -311,10 +318,10 @@ func costOne(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Record
 	defer guard.Trap(&err)
 	s, err := strategy.Parse(db, expr)
 	if err != nil {
-		return err
+		return exitcode.Input(err)
 	}
 	if s.Set() != db.All() {
-		return fmt.Errorf("strategy covers %v, not the whole database", s.Set())
+		return exitcode.Input(fmt.Errorf("strategy covers %v, not the whole database", s.Set()))
 	}
 	setPhase(g, rec, "trace")
 	ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)

@@ -261,8 +261,8 @@ func TestTimeoutTypedError(t *testing.T) {
 	// run must abort with the guard's cancellation error naming the phase
 	// it interrupted, not hang or crash.
 	_, errOut, code := run(t, "-gen", "chain", "-n", "6", "-timeout", "1ns")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped): %s", code, errOut)
 	}
 	if !strings.Contains(errOut, "cancelled in phase") || !strings.Contains(errOut, "deadline") {
 		t.Errorf("want typed cancellation naming the phase: %s", errOut)
@@ -271,8 +271,8 @@ func TestTimeoutTypedError(t *testing.T) {
 
 func TestTupleBudgetTypedError(t *testing.T) {
 	_, errOut, code := run(t, "-example", "5", "-max-tuples", "1")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped): %s", code, errOut)
 	}
 	if !strings.Contains(errOut, `tuples budget exceeded in phase "materialize"`) {
 		t.Errorf("want typed tuple budget error naming the phase: %s", errOut)
@@ -285,8 +285,8 @@ func TestStateBudgetPartialReport(t *testing.T) {
 	// profile and any completed subspace optima print, the truncated
 	// phases are named, and the exit code still reflects the cut.
 	out, errOut, code := run(t, "-example", "5", "-max-states", "40")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped): %s", code, errOut)
 	}
 	if !strings.Contains(errOut, "analysis truncated in phase") ||
 		!strings.Contains(errOut, "states budget exceeded") {
@@ -312,8 +312,8 @@ func TestOptimaDegradationLadder(t *testing.T) {
 	// original typed error surfaced. The space that completed before the
 	// trip still prints its optima.
 	out, errOut, code := run(t, "-example", "5", "-optima", "-max-states", "25")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped): %s", code, errOut)
 	}
 	for _, want := range []string{
 		"all: 1 τ-optimum strategies at τ=11",
@@ -332,8 +332,8 @@ func TestOptimaDegradationLadder(t *testing.T) {
 
 func TestJSONFormatTruncated(t *testing.T) {
 	out, errOut, code := run(t, "-example", "5", "-format", "json", "-max-states", "20")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped): %s", code, errOut)
 	}
 	var parsed struct {
 		Truncated []struct {

@@ -135,8 +135,8 @@ func TestTrippedRunWritesReportAndMetrics(t *testing.T) {
 	dir := t.TempDir()
 	m := filepath.Join(dir, "m.json")
 	_, errOut, code := run(t, "-example", "1", "-max-tuples", "5", "-metrics-out", m)
-	if code != 1 {
-		t.Fatalf("exit %d, want 1\n%s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped)\n%s", code, errOut)
 	}
 	if !strings.Contains(errOut, "budget report") {
 		t.Errorf("stderr missing the budget report:\n%s", errOut)
@@ -173,8 +173,8 @@ func TestStateTrippedRunReconciles(t *testing.T) {
 	dir := t.TempDir()
 	m := filepath.Join(dir, "m.json")
 	_, errOut, code := run(t, "-example", "5", "-max-states", "40", "-metrics-out", m)
-	if code != 1 {
-		t.Fatalf("exit %d, want 1\n%s", code, errOut)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped)\n%s", code, errOut)
 	}
 	mf, err := os.Open(m)
 	if err != nil {

@@ -1,0 +1,89 @@
+// Package exitcode defines the process exit codes shared by every
+// binary in the module, so that harnesses — joinload, the CI jobs, any
+// script driving the CLIs — can classify a failure without parsing
+// stderr:
+//
+//	0  success
+//	1  internal error (a bug, an I/O failure, a violated invariant)
+//	2  usage error (bad flags, missing arguments)
+//	3  malformed input (a database, strategy or artifact that does not
+//	   parse or validate)
+//	4  resource governance (a budget trip, deadline or cancellation —
+//	   the run was cut, not wrong)
+//
+// The codes are ordered by blame: 1 is ours, 2–3 are the caller's, 4 is
+// nobody's (the input was simply bigger than the budget). Classify maps
+// an error to its code; Input marks an error as malformed input at the
+// site that knows (the loaders, the parsers), so classification needs
+// no string matching.
+package exitcode
+
+import (
+	"errors"
+
+	"multijoin/internal/guard"
+)
+
+// Process exit codes. Values are part of the CLI contract documented in
+// the README; changing them breaks harnesses that classify failures.
+const (
+	// OK is success.
+	OK = 0
+	// Internal is an internal error: a bug or an environment failure.
+	Internal = 1
+	// Usage is a command-line usage error.
+	Usage = 2
+	// BadInput is malformed user input: an unparseable or invalid
+	// database, strategy expression, or artifact file.
+	BadInput = 3
+	// Budget is a resource-governance abort: a tripped budget, an
+	// expired deadline, a cancellation, or an injected fault.
+	Budget = 4
+)
+
+// ErrBadInput is the sentinel matched by errors.Is for every error
+// wrapped by Input.
+var ErrBadInput = errors.New("malformed input")
+
+// InputError marks an error as caused by malformed user input.
+type InputError struct {
+	Err error
+}
+
+// Error returns the wrapped error's message unchanged — the marker
+// changes classification, not wording.
+func (e *InputError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *InputError) Unwrap() error { return e.Err }
+
+// Is matches InputErrors against the ErrBadInput sentinel.
+func (e *InputError) Is(target error) bool { return target == ErrBadInput }
+
+// Input marks err as malformed input for Classify. A nil err stays nil.
+func Input(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &InputError{Err: err}
+}
+
+// IsInput reports whether err is marked as malformed input.
+func IsInput(err error) bool { return errors.Is(err, ErrBadInput) }
+
+// Classify maps an error to its exit code. Governance trips win over
+// the input marker: a budget that trips while loading oversized input
+// is a governance outcome, and harnesses retrying on Budget must see
+// it as such.
+func Classify(err error) int {
+	switch {
+	case err == nil:
+		return OK
+	case guard.Tripped(err):
+		return Budget
+	case IsInput(err):
+		return BadInput
+	default:
+		return Internal
+	}
+}

@@ -1,0 +1,59 @@
+package exitcode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"multijoin/internal/guard"
+)
+
+func TestClassify(t *testing.T) {
+	budget := &guard.BudgetError{Resource: "tuples", Spent: 10, Limit: 5, Phase: "load"}
+	cancel := &guard.CancelError{Phase: "optimize", Cause: context.DeadlineExceeded}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, OK},
+		{"plain", errors.New("boom"), Internal},
+		{"input", Input(errors.New("bad json")), BadInput},
+		{"wrapped input", fmt.Errorf("loading: %w", Input(errors.New("bad"))), BadInput},
+		{"budget", budget, Budget},
+		{"wrapped budget", fmt.Errorf("phase: %w", budget), Budget},
+		{"cancel", cancel, Budget},
+		{"fault", guard.ErrFaultInjected, Budget},
+		{"deadline", context.DeadlineExceeded, Budget},
+		// Governance wins over the input marker.
+		{"input wrapping budget", Input(budget), Budget},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.err); got != c.want {
+				t.Fatalf("Classify(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+func TestInputPreservesMessageAndChain(t *testing.T) {
+	base := errors.New("row 3: ragged")
+	err := Input(base)
+	if err.Error() != base.Error() {
+		t.Fatalf("Input changed the message: %q", err.Error())
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("Input broke the errors.Is chain")
+	}
+	if !IsInput(err) {
+		t.Fatal("IsInput(Input(err)) = false")
+	}
+	if IsInput(base) {
+		t.Fatal("IsInput(base) = true for unmarked error")
+	}
+	if Input(nil) != nil {
+		t.Fatal("Input(nil) != nil")
+	}
+}

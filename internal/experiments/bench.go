@@ -121,6 +121,8 @@ type BenchReport struct {
 	// Analysis compares sequential against parallel four-subspace
 	// analyze wall time on prewarmed databases.
 	Analysis []AnalysisBench `json:"analysis"`
+	// Serve is the service-level load measurement (schema v4).
+	Serve *ServeBench `json:"serve"`
 	// Totals aggregates the corpus.
 	Totals BenchTotals `json:"totals"`
 }
@@ -181,6 +183,9 @@ func RunBench(w io.Writer, workers int) (*BenchReport, error) {
 	}
 	var err error
 	if rep.Analysis, err = benchAnalysis(w); err != nil {
+		return nil, err
+	}
+	if rep.Serve, err = benchServe(w); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -489,5 +494,5 @@ func ValidateBench(rep *BenchReport) error {
 		return fmt.Errorf("bench: parallel analyze speedup %.2f× on %d procs, want ≥ %.2f×",
 			best, rep.GoMaxProcs, 1/0.6)
 	}
-	return nil
+	return validateServeBench(rep.Serve)
 }

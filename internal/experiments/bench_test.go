@@ -148,3 +148,37 @@ func TestBenchKernelSection(t *testing.T) {
 		t.Error("report with no partitioned kernel case validated")
 	}
 }
+
+// TestBenchServeSection pins the v4 serve section: present, internally
+// consistent, and gating the validator — a report missing it, or one
+// whose outcomes do not partition the run, must fail.
+func TestBenchServeSection(t *testing.T) {
+	s, err := benchServe(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateServeBench(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != serveBenchRequests {
+		t.Errorf("measured %d requests, want %d", s.Requests, serveBenchRequests)
+	}
+	if s.Shed == 0 || s.CacheHits == 0 {
+		t.Errorf("load mix failed to exercise shedding (%d) or the cache (%d)", s.Shed, s.CacheHits)
+	}
+
+	// The validator gates on the section and its partition invariant.
+	if err := validateServeBench(nil); err == nil {
+		t.Error("missing serve section validated")
+	}
+	broken := *s
+	broken.OK++
+	if err := validateServeBench(&broken); err == nil {
+		t.Error("non-partitioning serve outcomes validated")
+	}
+	violated := *s
+	violated.Failed, violated.OK = violated.OK, 0
+	if err := validateServeBench(&violated); err == nil {
+		t.Error("serve section with protocol violations validated")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // ErrBudgetExceeded is the sentinel matched by errors.Is for every
@@ -195,14 +196,22 @@ type Usage struct {
 	Limit int64 `json:"limit"`
 }
 
-// Snapshot is an atomic copy of a guard's ledger: the phase label and
-// every spent/limit pair, all read under one lock acquisition. Use it
-// instead of separate Spent()+Phase() calls when workers may still be
-// charging concurrently — the pair can tear (spend from one phase,
-// label from the next), the snapshot cannot.
+// Snapshot is an atomic copy of a guard's ledger: the phase label,
+// every spent/limit pair, and the context deadline, all read under one
+// lock acquisition. Use it instead of separate Spent()+Phase() calls
+// when workers may still be charging concurrently — the pair can tear
+// (spend from one phase, label from the next), the snapshot cannot.
 type Snapshot struct {
 	// Phase is the phase label current when the snapshot was taken.
 	Phase string `json:"phase"`
+	// HasDeadline reports whether the guard's context carries a
+	// deadline; when false, Deadline is the zero time.
+	HasDeadline bool `json:"hasDeadline"`
+	// Deadline is the wall-clock instant the guard's context expires.
+	// Consumers compute time remaining against their own clock via
+	// Remaining — the snapshot itself never reads the clock, so taking
+	// one stays deterministic.
+	Deadline time.Time `json:"deadline"`
 	// Tuples is the intermediate-tuple ledger (the running τ sum).
 	Tuples Usage `json:"tuples"`
 	// States is the evaluator-subset + DP-state ledger.
@@ -211,20 +220,38 @@ type Snapshot struct {
 	Steps Usage `json:"steps"`
 }
 
-// Snapshot returns an atomic copy of the guard's phase and spend/limit
-// ledger. The nil guard snapshots as all zeros.
+// Remaining reports the time left until the snapshot's deadline as of
+// now, and whether a deadline exists at all. A negative duration means
+// the deadline already passed. The serving layer uses this to compute
+// Retry-After hints from the deadlines of in-flight requests.
+func (s Snapshot) Remaining(now time.Time) (time.Duration, bool) {
+	if !s.HasDeadline {
+		return 0, false
+	}
+	return s.Deadline.Sub(now), true
+}
+
+// Snapshot returns an atomic copy of the guard's phase, spend/limit
+// ledger and deadline. The nil guard snapshots as all zeros.
 func (g *Guard) Snapshot() Snapshot {
 	if g == nil {
 		return Snapshot{}
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return Snapshot{
+	snap := Snapshot{
 		Phase:  g.phase,
 		Tuples: Usage{Spent: g.tuples, Limit: g.lim.MaxTuples},
 		States: Usage{Spent: g.states, Limit: g.lim.MaxStates},
 		Steps:  Usage{Spent: g.steps, Limit: g.lim.MaxSteps},
 	}
+	if g.ctx != nil {
+		// The context is immutable after New, so reading its deadline
+		// under g.mu keeps the whole snapshot tear-free even while
+		// workers trip budgets concurrently.
+		snap.Deadline, snap.HasDeadline = g.ctx.Deadline()
+	}
+	return snap
 }
 
 // cancelErrLocked wraps the context error; g.mu must be held.

@@ -286,6 +286,63 @@ func TestSnapshotCarriesLimits(t *testing.T) {
 	}
 }
 
+// TestSnapshotCarriesDeadline pins the deadline plumbing the serving
+// layer's Retry-After computation reads: a deadline context surfaces in
+// the snapshot, Remaining is measured against a caller-supplied clock,
+// and deadline-free guards report no deadline.
+func TestSnapshotCarriesDeadline(t *testing.T) {
+	deadline := time.Now().Add(42 * time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	g := New(ctx, Limits{MaxTuples: 5})
+	s := g.Snapshot()
+	if !s.HasDeadline || !s.Deadline.Equal(deadline) {
+		t.Fatalf("snapshot deadline = (%v, %v), want (%v, true)", s.Deadline, s.HasDeadline, deadline)
+	}
+	now := deadline.Add(-10 * time.Second)
+	if rem, ok := s.Remaining(now); !ok || rem != 10*time.Second {
+		t.Fatalf("Remaining = (%v, %v), want (10s, true)", rem, ok)
+	}
+	// Past the deadline, Remaining goes negative rather than clamping:
+	// the caller decides how to render an expired budget.
+	if rem, ok := s.Remaining(deadline.Add(time.Second)); !ok || rem >= 0 {
+		t.Fatalf("Remaining past deadline = (%v, %v), want negative", rem, ok)
+	}
+
+	free := New(context.Background(), Limits{})
+	if s := free.Snapshot(); s.HasDeadline {
+		t.Fatalf("deadline-free guard reports a deadline: %+v", s)
+	}
+	if _, ok := free.Snapshot().Remaining(time.Now()); ok {
+		t.Fatal("Remaining ok on a deadline-free guard")
+	}
+}
+
+// TestSnapshotDeadlineRaceFree snapshots concurrently with budget trips;
+// -race verifies the deadline read shares the ledger's synchronization.
+func TestSnapshotDeadlineRaceFree(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	g := New(ctx, Limits{MaxTuples: 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = g.ChargeEval(3) // trips past 100 and keeps charging
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		s := g.Snapshot()
+		if !s.HasDeadline {
+			t.Fatal("deadline lost under concurrent trips")
+		}
+	}
+	wg.Wait()
+}
+
 func TestRecoveredConvertsPanicValues(t *testing.T) {
 	if err := Recovered(nil); err != nil {
 		t.Errorf("Recovered(nil) = %v, want nil", err)

@@ -20,8 +20,10 @@ const (
 	// (experiments -bench, BENCH_joinopt.json). v2 added the kernel
 	// micro-benchmark section (ns/op, B/op, allocs/op, partitions); v3
 	// added the analysis section comparing sequential against parallel
-	// four-subspace analyze wall time.
-	BenchSchema = "multijoin/bench/v3"
+	// four-subspace analyze wall time; v4 added the serve section
+	// (joinserve load run: outcome counts, shed/cache rates, latency
+	// quantiles).
+	BenchSchema = "multijoin/bench/v4"
 )
 
 // TimerStats is a timer's aggregate in a snapshot.

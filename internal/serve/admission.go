@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+)
+
+// Admission control. Each tenant class owns a fixed pool of concurrency
+// slots and a bounded wait queue in front of it. A request first joins
+// the queue; if the queue is already full it is shed immediately — the
+// server answers 429 with a Retry-After computed from the deadlines of
+// the requests currently holding slots — and if a slot frees before the
+// request's context dies, it is admitted. Shedding at the door instead
+// of queueing without bound is what keeps admission latency flat when
+// the engine saturates: the paper's own results say some inputs *will*
+// exhaust any budget (intermediate blow-up is workload-dependent), so
+// overload is a normal state, not an error.
+
+// ErrShed is returned when a class's wait queue is full.
+var ErrShed = errors.New("serve: admission queue full, request shed")
+
+// classGate is the admission state for one tenant class.
+type classGate struct {
+	class TenantClass
+	slots chan struct{} // buffered to MaxConcurrent; a token = a running request
+
+	mu      sync.Mutex
+	waiting int                       // requests blocked on a slot
+	holders map[*guard.Guard]struct{} // guards of requests currently holding slots
+}
+
+// admission is the per-class gate registry plus the shared metrics.
+type admission struct {
+	gates map[string]*classGate
+	rec   *obs.Recorder
+
+	cShed    *obs.Counter
+	tAdmit   *obs.Timer
+	tShed    *obs.Timer
+	gWaiting *obs.Gauge
+	gRunning *obs.Gauge
+}
+
+func newAdmission(ts *tenantSet, rec *obs.Recorder) *admission {
+	a := &admission{
+		gates:    make(map[string]*classGate, len(ts.byName)),
+		rec:      rec,
+		cShed:    rec.Counter("serve.shed"),
+		tAdmit:   rec.Timer("serve.admit.wait"),
+		tShed:    rec.Timer("serve.shed.wait"),
+		gWaiting: rec.Gauge("serve.admit.waiting"),
+		gRunning: rec.Gauge("serve.admit.running"),
+	}
+	for name, c := range ts.byName {
+		a.gates[name] = &classGate{
+			class:   c,
+			slots:   make(chan struct{}, c.MaxConcurrent),
+			holders: make(map[*guard.Guard]struct{}),
+		}
+	}
+	return a
+}
+
+// ticket is an admitted request's hold on a slot; release returns the
+// slot exactly once.
+type ticket struct {
+	gate     *classGate
+	adm      *admission
+	guard    *guard.Guard
+	released sync.Once
+}
+
+// admit runs the admission protocol for one request of the class. On
+// success the returned ticket must be released; ErrShed means the queue
+// was full, a context error means the caller died while waiting.
+func (a *admission) admit(ctx context.Context, class string) (*ticket, error) {
+	gate := a.gates[class]
+	start := time.Now()
+
+	gate.mu.Lock()
+	if gate.waiting >= gate.class.MaxQueue {
+		// Fast-path check: even a full queue admits instantly when a
+		// slot is free right now (the queue bounds *waiters*, not
+		// throughput).
+		select {
+		case gate.slots <- struct{}{}:
+			gate.mu.Unlock()
+			a.tAdmit.Observe(time.Since(start))
+			return a.admitted(gate), nil
+		default:
+			gate.mu.Unlock()
+			// The shed decision itself must stay fast under overload —
+			// this timer is the "bounded admission latency while
+			// shedding" acceptance metric, measured server-side so
+			// client-goroutine scheduling delay cannot pollute it.
+			a.tShed.Observe(time.Since(start))
+			a.cShed.Inc()
+			a.rec.Counter("serve.tenant." + class + ".shed").Inc()
+			return nil, ErrShed
+		}
+	}
+	gate.waiting++
+	a.gWaiting.Add(1)
+	gate.mu.Unlock()
+
+	defer func() {
+		gate.mu.Lock()
+		gate.waiting--
+		gate.mu.Unlock()
+		a.gWaiting.Add(-1)
+	}()
+
+	select {
+	case gate.slots <- struct{}{}:
+		a.tAdmit.Observe(time.Since(start))
+		return a.admitted(gate), nil
+	case <-ctx.Done():
+		a.tAdmit.Observe(time.Since(start))
+		return nil, &guard.CancelError{Phase: "admit", Cause: ctx.Err()}
+	}
+}
+
+// admitted builds the ticket for a request that just took a slot.
+func (a *admission) admitted(gate *classGate) *ticket {
+	a.gRunning.Add(1)
+	return &ticket{gate: gate, adm: a}
+}
+
+// setGuard registers the admitted request's guard so concurrent sheds
+// can read its deadline for Retry-After hints.
+func (t *ticket) setGuard(g *guard.Guard) {
+	t.guard = g
+	t.gate.mu.Lock()
+	t.gate.holders[g] = struct{}{}
+	t.gate.mu.Unlock()
+}
+
+// release returns the slot and deregisters the guard. Safe to call more
+// than once; only the first call has effect.
+func (t *ticket) release() {
+	t.released.Do(func() {
+		if t.guard != nil {
+			t.gate.mu.Lock()
+			delete(t.gate.holders, t.guard)
+			t.gate.mu.Unlock()
+		}
+		<-t.gate.slots
+		t.adm.gRunning.Add(-1)
+	})
+}
+
+// retryAfter estimates when a shed caller should try again: the soonest
+// deadline among the class's in-flight requests — a slot must free by
+// then, because every request dies with its deadline — and the class
+// deadline when nothing is in flight or deadlines are unreadable. The
+// result is clamped to [1s, class deadline] and rounded up to whole
+// seconds, the granularity of the Retry-After header.
+func (a *admission) retryAfter(class string, now time.Time) time.Duration {
+	gate := a.gates[class]
+	est := gate.class.Deadline
+
+	gate.mu.Lock()
+	for g := range gate.holders {
+		if rem, ok := g.Snapshot().Remaining(now); ok && rem >= 0 && rem < est {
+			est = rem
+		}
+	}
+	gate.mu.Unlock()
+
+	rounded := est.Truncate(time.Second)
+	if rounded < est {
+		rounded += time.Second
+	}
+	if rounded < time.Second {
+		rounded = time.Second
+	}
+	if max := gate.class.Deadline; rounded > max && max >= time.Second {
+		rounded = max.Truncate(time.Second)
+		if rounded < max {
+			rounded += time.Second
+		}
+	}
+	return rounded
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+)
+
+func testAdmission(t *testing.T, class TenantClass) (*admission, *obs.Recorder) {
+	t.Helper()
+	ts, err := newTenantSet([]TenantClass{class})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	return newAdmission(ts, rec), rec
+}
+
+func TestAdmitShedsWhenSaturated(t *testing.T) {
+	adm, rec := testAdmission(t, TenantClass{
+		Name: "tiny", Deadline: time.Second, MaxConcurrent: 1, MaxQueue: 0, StartRung: RungGreedy,
+	})
+	ctx := context.Background()
+
+	tk1, err := adm.admit(ctx, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot taken, queue depth 0: the next arrival is shed immediately.
+	if _, err := adm.admit(ctx, "tiny"); !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	if rec.Counter("serve.shed").Value() != 1 || rec.Counter("serve.tenant.tiny.shed").Value() != 1 {
+		t.Errorf("shed counters: global %d, tenant %d, want 1/1",
+			rec.Counter("serve.shed").Value(), rec.Counter("serve.tenant.tiny.shed").Value())
+	}
+
+	// Releasing frees the slot; admission succeeds again. release is
+	// idempotent.
+	tk1.release()
+	tk1.release()
+	tk2, err := adm.admit(ctx, "tiny")
+	if err != nil {
+		t.Fatalf("slot not reusable after release: %v", err)
+	}
+	tk2.release()
+}
+
+func TestAdmitQueuesUntilSlotFrees(t *testing.T) {
+	adm, _ := testAdmission(t, TenantClass{
+		Name: "q", Deadline: time.Second, MaxConcurrent: 1, MaxQueue: 4, StartRung: RungGreedy,
+	})
+	ctx := context.Background()
+	tk1, err := adm.admit(ctx, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	admitted := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		tk2, err := adm.admit(ctx, "q")
+		if err != nil {
+			t.Errorf("queued admit failed: %v", err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		tk2.release()
+	}()
+
+	select {
+	case <-admitted:
+		t.Fatal("second request admitted while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tk1.release()
+	select {
+	case <-admitted:
+	case <-time.After(time.Second):
+		t.Fatal("queued request never admitted after release")
+	}
+	wg.Wait()
+}
+
+func TestAdmitRespectsCallerDeath(t *testing.T) {
+	adm, _ := testAdmission(t, TenantClass{
+		Name: "dead", Deadline: time.Second, MaxConcurrent: 1, MaxQueue: 4, StartRung: RungGreedy,
+	})
+	tk1, err := adm.admit(context.Background(), "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk1.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = adm.admit(ctx, "dead")
+	var ce *guard.CancelError
+	if !errors.As(err, &ce) || ce.Phase != "admit" {
+		t.Fatalf("want a typed admit cancellation, got %v", err)
+	}
+	if !guard.Tripped(err) {
+		t.Error("admit cancellation not classified as governance")
+	}
+}
+
+func TestRetryAfterFromInflightDeadlines(t *testing.T) {
+	adm, _ := testAdmission(t, TenantClass{
+		Name: "ra", Deadline: 10 * time.Second, MaxConcurrent: 1, MaxQueue: 0, StartRung: RungGreedy,
+	})
+	now := time.Now()
+
+	// Nothing in flight: the hint falls back to the class deadline.
+	if got := adm.retryAfter("ra", now); got != 10*time.Second {
+		t.Errorf("idle retryAfter = %v, want 10s", got)
+	}
+
+	// A holder 2.5s from its deadline tightens the hint to ⌈2.5s⌉ = 3s.
+	tk, err := adm.admit(context.Background(), "ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), now.Add(2500*time.Millisecond))
+	defer cancel()
+	tk.setGuard(guard.New(ctx, guard.Limits{}))
+	if got := adm.retryAfter("ra", now); got != 3*time.Second {
+		t.Errorf("retryAfter = %v, want 3s from the in-flight deadline", got)
+	}
+	tk.release()
+
+	// Released: back to the class fallback.
+	if got := adm.retryAfter("ra", now); got != 10*time.Second {
+		t.Errorf("post-release retryAfter = %v, want 10s", got)
+	}
+}
+
+func TestRetryAfterNeverBelowOneSecond(t *testing.T) {
+	adm, _ := testAdmission(t, TenantClass{
+		Name: "fast", Deadline: 100 * time.Millisecond, MaxConcurrent: 1, MaxQueue: 0, StartRung: RungGreedy,
+	})
+	// Retry-After is whole seconds; even a sub-second class clamps to 1.
+	if got := adm.retryAfter("fast", time.Now()); got < time.Second {
+		t.Errorf("retryAfter = %v, want ≥ 1s", got)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+)
+
+// Deterministic fault injection. Chaos here is scheduled, not random:
+// every Nth admitted request is faulted / slowed / cancelled, counted by
+// an atomic sequence number. Determinism matters because the chaos suite
+// asserts exact shapes ("every faulted request is answered by a lower
+// rung or a typed error"), and a seeded-random schedule would make the
+// failing case unreproducible from a CI log. The injected fault reuses
+// guard.ErrFaultInjected via Limits.FaultStep, so the chaos path and the
+// production budget-trip path are one code path.
+
+// ChaosConfig schedules deterministic failures across requests. The
+// zero value injects nothing.
+type ChaosConfig struct {
+	// FaultEvery injects guard.ErrFaultInjected into every Nth request
+	// (at join step FaultStep of each rung attempt); 0 disables.
+	FaultEvery int64
+	// FaultStep is the join step that fails on a faulted request;
+	// values < 1 mean step 1 (the first join).
+	FaultStep int64
+	// SlowEvery delays every Nth request by SlowBy while it holds its
+	// concurrency slot — the knob that makes admission queues fill and
+	// shedding observable; 0 disables.
+	SlowEvery int64
+	// SlowBy is the injected delay for slowed requests.
+	SlowBy time.Duration
+	// CancelEvery cancels every Nth request's context CancelAfter into
+	// its execution; 0 disables.
+	CancelEvery int64
+	// CancelAfter is how far into a cancelled request the cancellation
+	// fires.
+	CancelAfter time.Duration
+}
+
+// Enabled reports whether any injection is configured.
+func (c ChaosConfig) Enabled() bool {
+	return c.FaultEvery > 0 || c.SlowEvery > 0 || c.CancelEvery > 0
+}
+
+// chaos applies a ChaosConfig to the request stream.
+type chaos struct {
+	cfg ChaosConfig
+	seq atomic.Int64
+
+	cFault  *obs.Counter
+	cSlow   *obs.Counter
+	cCancel *obs.Counter
+}
+
+func newChaos(cfg ChaosConfig, rec *obs.Recorder) *chaos {
+	return &chaos{
+		cfg:     cfg,
+		cFault:  rec.Counter("serve.chaos.fault"),
+		cSlow:   rec.Counter("serve.chaos.slow"),
+		cCancel: rec.Counter("serve.chaos.cancel"),
+	}
+}
+
+// chaosPlan is the injection schedule for one request.
+type chaosPlan struct {
+	fault  bool
+	slow   bool
+	cancel bool
+}
+
+// next assigns the next request its injection plan. Sequence numbers
+// are 1-based so a config of FaultEvery=N faults requests N, 2N, … and
+// the zero config faults nothing.
+func (c *chaos) next() chaosPlan {
+	if c == nil || !c.cfg.Enabled() {
+		return chaosPlan{}
+	}
+	seq := c.seq.Add(1)
+	p := chaosPlan{
+		fault:  c.cfg.FaultEvery > 0 && seq%c.cfg.FaultEvery == 0,
+		slow:   c.cfg.SlowEvery > 0 && seq%c.cfg.SlowEvery == 0,
+		cancel: c.cfg.CancelEvery > 0 && seq%c.cfg.CancelEvery == 0,
+	}
+	if p.fault {
+		c.cFault.Inc()
+	}
+	if p.slow {
+		c.cSlow.Inc()
+	}
+	if p.cancel {
+		c.cCancel.Inc()
+	}
+	return p
+}
+
+// applyLimits stamps the injected fault into a rung attempt's budgets.
+func (c *chaos) applyLimits(p chaosPlan, lim guard.Limits) guard.Limits {
+	if !p.fault {
+		return lim
+	}
+	step := c.cfg.FaultStep
+	if step < 1 {
+		step = 1
+	}
+	lim.FaultStep = step
+	lim.FaultErr = guard.ErrFaultInjected
+	return lim
+}
+
+// slowDelay reports how long a slowed request must stall (while holding
+// its slot, which is the point).
+func (c *chaos) slowDelay(p chaosPlan) time.Duration {
+	if !p.slow || c.cfg.SlowBy <= 0 {
+		return 0
+	}
+	return c.cfg.SlowBy
+}
+
+// armCancel schedules the mid-execution cancellation for a cancelled
+// request, returning the possibly-wrapped context and a stop function
+// the caller must defer (it releases the timer on normal completion).
+func (c *chaos) armCancel(ctx context.Context, p chaosPlan) (context.Context, func()) {
+	if !p.cancel || c.cfg.CancelAfter <= 0 {
+		return ctx, func() {}
+	}
+	wrapped, cancel := context.WithCancel(ctx)
+	timer := time.AfterFunc(c.cfg.CancelAfter, cancel)
+	return wrapped, func() {
+		timer.Stop()
+		cancel()
+	}
+}

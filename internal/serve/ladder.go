@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"multijoin/internal/core"
+	"multijoin/internal/database"
+	"multijoin/internal/estimate"
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/strategy"
+)
+
+// The degradation ladder. The paper's strategy spaces are searched by
+// algorithms of strictly decreasing cost and decreasing guarantees:
+//
+//	exhaustive  (2n−3)!! enumeration — certain optimum, exponential
+//	dp          subset dynamic program — τ-optimum, 2^n states
+//	greedy      O(n³) heuristic probe — no guarantee, executes joins
+//	estimate    statistics-only plan — never touches the data
+//
+// A budget trip at rung k is answered by rung k+1 under a fresh guard
+// (the request deadline keeps running — the ladder degrades within the
+// request's wall-clock contract, it does not extend it). The bottom
+// rung plans purely from statistics, so every admitted request that
+// survives to its deadline gets *an* answer; the response records which
+// rung produced it and what tripped on the way down.
+
+// Rung identifies a ladder level, ordered best-first.
+type Rung int
+
+const (
+	// RungExhaustive enumerates every strategy in the space.
+	RungExhaustive Rung = iota
+	// RungDP runs the memoized subset dynamic program.
+	RungDP
+	// RungGreedy runs the greedy heuristic over the full space.
+	RungGreedy
+	// RungEstimate plans from statistics without executing any join.
+	RungEstimate
+	rungCount
+)
+
+// String names the rung as it appears in responses and metrics.
+func (r Rung) String() string {
+	switch r {
+	case RungExhaustive:
+		return "exhaustive"
+	case RungDP:
+		return "dp"
+	case RungGreedy:
+		return "greedy"
+	case RungEstimate:
+		return "estimate"
+	}
+	return fmt.Sprintf("Rung(%d)", int(r))
+}
+
+// ParseRung resolves a rung name from a request body.
+func ParseRung(name string) (Rung, error) {
+	for r := RungExhaustive; r < rungCount; r++ {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown rung %q (want exhaustive|dp|greedy|estimate)", name)
+}
+
+// exhaustiveMaxRelations bounds the enumeration rung the same way the
+// CLI's -optima does: past 8 relations (2n−3)!! is out of reach and the
+// ladder starts at the DP instead.
+const exhaustiveMaxRelations = 8
+
+// estimateDPMaxRelations bounds the estimate rung's own subset DP; past
+// it the rung falls back to the left-deep order, which costs O(n).
+const estimateDPMaxRelations = 12
+
+// trip records one rung's governance failure on the way down.
+type trip struct {
+	rung Rung
+	err  error
+}
+
+// ladderOutcome is a successful ladder descent.
+type ladderOutcome struct {
+	rung      Rung
+	strategy  *strategy.Node
+	cost      int64
+	estimated bool
+	trips     []trip
+	// snapshot is the answering rung's final guard ledger.
+	snapshot guard.Snapshot
+	// analysis is the full four-space analysis, present only when the
+	// request asked for analyze mode and the DP rung answered.
+	analysis *core.Analysis
+}
+
+// ladderError is a descent in which every rung failed. It unwraps to
+// the bottom rung's error, so guard.Tripped classifies it exactly as it
+// would the underlying trip, while keeping the full descent history for
+// the response body.
+type ladderError struct {
+	trips []trip
+}
+
+// Error names the last rung and its error.
+func (e *ladderError) Error() string {
+	last := e.trips[len(e.trips)-1]
+	return fmt.Sprintf("serve: all rungs failed, last (%s): %v", last.rung, last.err)
+}
+
+// Unwrap exposes the bottom rung's error for errors.Is/As.
+func (e *ladderError) Unwrap() error { return e.trips[len(e.trips)-1].err }
+
+// degraded reports whether the answer came from below the start rung.
+func (o *ladderOutcome) degraded() bool { return len(o.trips) > 0 }
+
+// ladderRequest carries everything one descent needs.
+type ladderRequest struct {
+	ctx     context.Context
+	db      *database.Database
+	ev      *database.Evaluator
+	rec     *obs.Recorder
+	start   Rung
+	analyze bool
+	// limitsFor derives the guard budgets for one rung attempt; tests
+	// inject trip-at-rung-k schedules through it.
+	limitsFor func(Rung) guard.Limits
+	// execute materializes the chosen plan's steps under the rung's
+	// guard (query mode with execution requested). The estimate rung
+	// never executes.
+	execute bool
+}
+
+// runLadder descends from req.start until a rung answers. The error
+// return is non-nil only when every rung failed — either the deadline
+// died (a typed governance error) or a genuine internal error surfaced,
+// which is never absorbed by degradation.
+func runLadder(req ladderRequest) (*ladderOutcome, error) {
+	out := &ladderOutcome{}
+	start := req.start
+	if start == RungExhaustive && req.db.Len() > exhaustiveMaxRelations {
+		start = RungDP
+	}
+	if req.analyze && start < RungDP {
+		// The four-space analysis with certificates IS the DP rung;
+		// exhaustive enumeration adds nothing to an analyze request.
+		start = RungDP
+	}
+	for rung := start; rung < rungCount; rung++ {
+		g := guard.New(req.ctx, req.limitsFor(rung))
+		req.ev.WithGuard(g)
+		err := attemptRung(req, rung, out)
+		if err == nil {
+			out.rung = rung
+			out.snapshot = g.Snapshot()
+			if out.degraded() {
+				req.rec.Counter("serve.degraded").Inc()
+				req.rec.Counter("serve.degraded." + rung.String()).Inc()
+			}
+			return out, nil
+		}
+		if !guard.Tripped(err) {
+			return nil, err
+		}
+		req.rec.Counter("serve.trips").Inc()
+		out.trips = append(out.trips, trip{rung: rung, err: err})
+	}
+	// Even the estimate rung failed: the deadline is dead (its only
+	// governed work is reading base-relation statistics). Surface the
+	// whole descent as one typed error.
+	return nil, &ladderError{trips: out.trips}
+}
+
+// attemptRung runs one rung, filling out.strategy/cost/estimated (and
+// out.analysis for analyze mode) on success.
+func attemptRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
+	switch rung {
+	case RungExhaustive:
+		res, err := optimizer.ExhaustiveGuarded(req.ev)
+		if err != nil {
+			return err
+		}
+		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
+		return req.maybeExecute(out)
+
+	case RungDP:
+		if req.analyze {
+			an, err := core.AnalyzeEvaluator(req.ev)
+			if err != nil {
+				return err
+			}
+			if !an.Complete() {
+				// A truncated analysis is a trip for ladder purposes —
+				// the greedy rung still owes the caller a plan — but the
+				// partial profile is kept for the response.
+				out.analysis = an
+				return an.Truncated[0].Err
+			}
+			out.analysis = an
+			res, ok := an.Result(optimizer.SpaceAll)
+			if !ok {
+				return fmt.Errorf("serve: analysis complete but missing the full-space optimum")
+			}
+			out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
+			return req.maybeExecute(out)
+		}
+		res, err := optimizer.Optimize(req.ev, optimizer.SpaceAll)
+		if err != nil {
+			return err
+		}
+		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
+		return req.maybeExecute(out)
+
+	case RungGreedy:
+		res, err := optimizer.GreedyGuarded(req.ev)
+		if err != nil {
+			return err
+		}
+		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
+		return req.maybeExecute(out)
+
+	case RungEstimate:
+		return estimateRung(req, out)
+	}
+	return fmt.Errorf("serve: unknown rung %d", int(rung))
+}
+
+// estimateRung plans from statistics only. It still honors the request
+// context — gathering the catalog touches base relations — but executes
+// nothing, so it answers even when every execution budget is spent.
+func estimateRung(req ladderRequest, out *ladderOutcome) (err error) {
+	defer guard.Protect(&err)
+	if cerr := req.ctx.Err(); cerr != nil {
+		return &guard.CancelError{Phase: "estimate", Cause: cerr}
+	}
+	cat := estimate.NewCatalog(req.db)
+	var plan *strategy.Node
+	if req.db.Len() <= estimateDPMaxRelations {
+		plan = cat.Optimize()
+	} else {
+		order := make([]int, req.db.Len())
+		for i := range order {
+			order[i] = i
+		}
+		plan = strategy.LeftDeep(order...)
+	}
+	out.strategy, out.cost, out.estimated = plan, int64(cat.Cost(plan)), true
+	return nil
+}
+
+// maybeExecute materializes the plan's steps (charging the rung's
+// guard) when the request asked for execution; the trap converts a trip
+// during execution into this rung's failure, sending the ladder down.
+func (req ladderRequest) maybeExecute(out *ladderOutcome) (err error) {
+	if !req.execute {
+		return nil
+	}
+	defer guard.Trap(&err)
+	out.cost = int64(out.strategy.Cost(req.ev))
+	return nil
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+	"multijoin/internal/paperex"
+)
+
+// generous is a budget no rung trips on the paper examples.
+var generous = guard.Limits{}
+
+// tripping is a budget every searching/executing rung trips on
+// immediately (the estimate rung never charges it).
+var tripping = guard.Limits{MaxStates: 1}
+
+// TestLadderPerRung is the rung-by-rung contract: when rung k trips,
+// rung k+1 answers, the outcome records the answering rung and every
+// trip on the way down, and the serve.degraded metrics move.
+func TestLadderPerRung(t *testing.T) {
+	cases := []struct {
+		name     string
+		start    Rung
+		tripThru Rung // every rung ≤ tripThru gets the tripping budget
+		wantRung Rung
+		wantTrip int
+	}{
+		{"exhaustive clean", RungExhaustive, Rung(-1), RungExhaustive, 0},
+		{"exhaustive trips to dp", RungExhaustive, RungExhaustive, RungDP, 1},
+		{"dp clean", RungDP, Rung(-1), RungDP, 0},
+		{"dp trips to greedy", RungDP, RungDP, RungGreedy, 1},
+		{"greedy clean", RungGreedy, Rung(-1), RungGreedy, 0},
+		{"greedy trips to estimate", RungGreedy, RungGreedy, RungEstimate, 1},
+		{"full descent", RungExhaustive, RungGreedy, RungEstimate, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := paperex.Example5()
+			rec := obs.NewRecorder()
+			degradedBefore := rec.Counter("serve.degraded").Value()
+			out, err := runLadder(ladderRequest{
+				ctx:   context.Background(),
+				db:    db,
+				ev:    database.NewEvaluator(db).WithRecorder(rec),
+				rec:   rec,
+				start: tc.start,
+				limitsFor: func(r Rung) guard.Limits {
+					if r <= tc.tripThru {
+						return tripping
+					}
+					return generous
+				},
+			})
+			if err != nil {
+				t.Fatalf("ladder failed outright: %v", err)
+			}
+			if out.rung != tc.wantRung {
+				t.Errorf("answered at %v, want %v", out.rung, tc.wantRung)
+			}
+			if len(out.trips) != tc.wantTrip {
+				t.Errorf("%d trips recorded, want %d: %+v", len(out.trips), tc.wantTrip, out.trips)
+			}
+			for _, tr := range out.trips {
+				if !guard.Tripped(tr.err) {
+					t.Errorf("rung %v recorded a non-governance error: %v", tr.rung, tr.err)
+				}
+			}
+			// The answer must be a complete, valid strategy whatever the rung.
+			if out.strategy == nil || out.strategy.Set() != db.All() {
+				t.Fatalf("rung %v answered with an invalid strategy: %v", out.rung, out.strategy)
+			}
+			if out.estimated != (out.rung == RungEstimate) {
+				t.Errorf("estimated = %v at rung %v", out.estimated, out.rung)
+			}
+			// Degradation metrics move exactly when the answer came from
+			// below the start rung.
+			gotDegraded := rec.Counter("serve.degraded").Value() - degradedBefore
+			if tc.wantTrip > 0 {
+				if gotDegraded != 1 {
+					t.Errorf("serve.degraded moved by %d, want 1", gotDegraded)
+				}
+				if rec.Counter("serve.degraded."+tc.wantRung.String()).Value() != 1 {
+					t.Errorf("serve.degraded.%s not incremented", tc.wantRung)
+				}
+				if rec.Counter("serve.trips").Value() != int64(tc.wantTrip) {
+					t.Errorf("serve.trips = %d, want %d", rec.Counter("serve.trips").Value(), tc.wantTrip)
+				}
+			} else if gotDegraded != 0 {
+				t.Errorf("undegraded run moved serve.degraded by %d", gotDegraded)
+			}
+		})
+	}
+}
+
+// TestLadderEstimateNeverExecutes: the bottom rung answers from
+// statistics alone — zero tuples charged, cost flagged estimated.
+func TestLadderEstimateNeverExecutes(t *testing.T) {
+	db := paperex.Example5()
+	rec := obs.NewRecorder()
+	out, err := runLadder(ladderRequest{
+		ctx:       context.Background(),
+		db:        db,
+		ev:        database.NewEvaluator(db).WithRecorder(rec),
+		rec:       rec,
+		start:     RungEstimate,
+		limitsFor: func(Rung) guard.Limits { return generous },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.rung != RungEstimate || !out.estimated {
+		t.Fatalf("want an estimate answer, got %+v", out)
+	}
+	if out.cost <= 0 {
+		t.Errorf("estimated cost = %d, want positive", out.cost)
+	}
+	if got := rec.Counter("eval.tuples").Value(); got != 0 {
+		t.Errorf("estimate rung materialized %d tuples", got)
+	}
+}
+
+// TestLadderDeadDeadlineFailsTyped: when the context is already dead,
+// every rung fails and the ladder surfaces one typed error carrying the
+// full descent.
+func TestLadderDeadDeadlineFailsTyped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	db := paperex.Example5()
+	rec := obs.NewRecorder()
+	_, err := runLadder(ladderRequest{
+		ctx:       ctx,
+		db:        db,
+		ev:        database.NewEvaluator(db).WithRecorder(rec),
+		rec:       rec,
+		start:     RungDP,
+		limitsFor: func(Rung) guard.Limits { return generous },
+	})
+	if err == nil {
+		t.Fatal("dead context produced an answer")
+	}
+	if !guard.Tripped(err) {
+		t.Fatalf("failure not typed as governance: %v", err)
+	}
+	var le *ladderError
+	if !errors.As(err, &le) || len(le.trips) == 0 {
+		t.Fatalf("failure does not carry the descent: %v", err)
+	}
+}
+
+// TestLadderAnalyzeDegradesToGreedy: a tripped analysis still yields a
+// plan from the greedy rung, and the partial analysis is preserved.
+func TestLadderAnalyzeDegradesToGreedy(t *testing.T) {
+	db := paperex.Example5()
+	rec := obs.NewRecorder()
+	out, err := runLadder(ladderRequest{
+		ctx:     context.Background(),
+		db:      db,
+		ev:      database.NewEvaluator(db).WithRecorder(rec),
+		rec:     rec,
+		start:   RungDP,
+		analyze: true,
+		limitsFor: func(r Rung) guard.Limits {
+			if r == RungDP {
+				return guard.Limits{MaxStates: 40}
+			}
+			return generous
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.rung != RungGreedy {
+		t.Fatalf("answered at %v, want greedy", out.rung)
+	}
+	if out.analysis == nil || out.analysis.Complete() {
+		t.Errorf("partial analysis not preserved: %+v", out.analysis)
+	}
+}
+
+// TestParseRung round-trips every rung name and rejects junk.
+func TestParseRung(t *testing.T) {
+	for r := RungExhaustive; r < rungCount; r++ {
+		got, err := ParseRung(r.String())
+		if err != nil || got != r {
+			t.Errorf("round trip %v: %v %v", r, got, err)
+		}
+	}
+	if _, err := ParseRung("quantum"); err == nil {
+		t.Error("unknown rung accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"multijoin/internal/core"
+	"multijoin/internal/obs"
+	"multijoin/internal/strategy"
+)
+
+// The plan cache. Optimization is the expensive half of a request — the
+// DP examines up to 2^n states — while the *outcome* is a small tree
+// over relation indexes. The cache keys that tree by core.Fingerprint
+// (hypergraph shape + statistics digest), so a repeat of a query against
+// unchanged data skips the DP entirely: the acceptance criterion is that
+// a cache hit leaves `dp.states` flat. Any change to the data moves the
+// stats digest and misses naturally — there is no explicit invalidation
+// protocol to get wrong.
+
+// defaultPlanCacheCap bounds the cache when Config leaves it zero.
+const defaultPlanCacheCap = 256
+
+// cachedPlan is one cache entry: the plan tree plus how it was obtained,
+// so a hit can report the original rung and cost honestly.
+type cachedPlan struct {
+	strategy  *strategy.Node
+	rung      Rung
+	cost      int64
+	estimated bool
+}
+
+// planCache is a concurrency-safe LRU from fingerprint to plan.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *planEntry
+	entries map[core.Fingerprint]*list.Element
+
+	cHit   *obs.Counter
+	cMiss  *obs.Counter
+	cEvict *obs.Counter
+	gSize  *obs.Gauge
+}
+
+type planEntry struct {
+	key  core.Fingerprint
+	plan cachedPlan
+}
+
+func newPlanCache(capacity int, rec *obs.Recorder) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheCap
+	}
+	return &planCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[core.Fingerprint]*list.Element, capacity),
+		cHit:    rec.Counter("serve.cache.hit"),
+		cMiss:   rec.Counter("serve.cache.miss"),
+		cEvict:  rec.Counter("serve.cache.evict"),
+		gSize:   rec.Gauge("serve.cache.size"),
+	}
+}
+
+// get returns the cached plan for the fingerprint, refreshing its
+// recency on a hit.
+func (pc *planCache) get(key core.Fingerprint) (cachedPlan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[key]
+	if !ok {
+		pc.cMiss.Inc()
+		return cachedPlan{}, false
+	}
+	pc.order.MoveToFront(el)
+	pc.cHit.Inc()
+	return el.Value.(*planEntry).plan, true
+}
+
+// put stores a plan under the fingerprint, evicting the least recently
+// used entry past capacity. Storing again under a live key refreshes the
+// plan in place (a concurrent request may have planned the same shape).
+func (pc *planCache) put(key core.Fingerprint, plan cachedPlan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		pc.order.MoveToFront(el)
+		return
+	}
+	pc.entries[key] = pc.order.PushFront(&planEntry{key: key, plan: plan})
+	for pc.order.Len() > pc.cap {
+		oldest := pc.order.Back()
+		pc.order.Remove(oldest)
+		delete(pc.entries, oldest.Value.(*planEntry).key)
+		pc.cEvict.Inc()
+	}
+	pc.gSize.Set(int64(pc.order.Len()))
+}
+
+// len reports the number of cached plans.
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.order.Len()
+}

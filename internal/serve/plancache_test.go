@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"testing"
+
+	"multijoin/internal/core"
+	"multijoin/internal/obs"
+	"multijoin/internal/strategy"
+)
+
+func fpOf(n uint64) core.Fingerprint { return core.Fingerprint{Shape: n, Stats: n} }
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	rec := obs.NewRecorder()
+	pc := newPlanCache(2, rec)
+	plan := cachedPlan{strategy: strategy.Leaf(0), rung: RungDP, cost: 1}
+
+	pc.put(fpOf(1), plan)
+	pc.put(fpOf(2), plan)
+	pc.get(fpOf(1)) // refresh 1 → 2 is now least recent
+	pc.put(fpOf(3), plan)
+
+	if _, ok := pc.get(fpOf(2)); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	if _, ok := pc.get(fpOf(1)); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if _, ok := pc.get(fpOf(3)); !ok {
+		t.Error("newest entry evicted")
+	}
+	if pc.len() != 2 {
+		t.Errorf("len = %d, want 2", pc.len())
+	}
+	if rec.Counter("serve.cache.evict").Value() != 1 {
+		t.Errorf("evict counter = %d, want 1", rec.Counter("serve.cache.evict").Value())
+	}
+}
+
+func TestPlanCacheRefreshInPlace(t *testing.T) {
+	pc := newPlanCache(2, nil)
+	pc.put(fpOf(1), cachedPlan{strategy: strategy.Leaf(0), rung: RungGreedy, cost: 9})
+	pc.put(fpOf(1), cachedPlan{strategy: strategy.Leaf(0), rung: RungDP, cost: 5})
+	got, ok := pc.get(fpOf(1))
+	if !ok || got.rung != RungDP || got.cost != 5 {
+		t.Fatalf("refresh lost: %+v %v", got, ok)
+	}
+	if pc.len() != 1 {
+		t.Errorf("len = %d after double put under one key", pc.len())
+	}
+}
+
+func TestPlanCacheHitMissCounters(t *testing.T) {
+	rec := obs.NewRecorder()
+	pc := newPlanCache(0, rec) // 0 selects the default capacity
+	if _, ok := pc.get(fpOf(7)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	pc.put(fpOf(7), cachedPlan{strategy: strategy.Leaf(0)})
+	if _, ok := pc.get(fpOf(7)); !ok {
+		t.Fatal("miss after put")
+	}
+	if rec.Counter("serve.cache.hit").Value() != 1 || rec.Counter("serve.cache.miss").Value() != 1 {
+		t.Errorf("hit/miss = %d/%d, want 1/1",
+			rec.Counter("serve.cache.hit").Value(), rec.Counter("serve.cache.miss").Value())
+	}
+}

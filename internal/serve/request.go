@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"multijoin/internal/database"
+	"multijoin/internal/exitcode"
+	"multijoin/internal/guard"
+)
+
+// The wire format. Requests and responses are plain JSON; the decoder
+// is strict (unknown fields rejected, body size bounded) because it is
+// the service's untrusted-input surface — FuzzServeRequest fuzzes
+// exactly DecodeRequest, and the contract it checks is "error or valid
+// request, never a panic, never an unbounded allocation".
+
+// MaxRequestBytes bounds a request body. Databases past this limit
+// belong in a file workload, not a service call.
+const MaxRequestBytes = 8 << 20
+
+// Request is the body of POST /v1/analyze and POST /v1/query.
+type Request struct {
+	// Tenant selects the tenant class; empty means "standard".
+	Tenant string `json:"tenant,omitempty"`
+	// Database is the database in the interchange format
+	// ({"relations":[{"name","attrs","rows"}]}).
+	Database json.RawMessage `json:"database"`
+	// Execute asks /v1/query to also materialize the chosen plan's
+	// joins (charging the tenant's tuple budget) and report the final
+	// result size. Ignored by /v1/analyze, which always executes.
+	Execute bool `json:"execute,omitempty"`
+	// NoCache bypasses the plan cache for this request (both lookup and
+	// fill) — the knob the chaos suite uses to force planning work.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// DecodeRequest strictly parses a request body and its embedded
+// database. Every failure is an *exitcode.InputError — malformed input
+// is the caller's fault (HTTP 400, exit code 3), never an internal
+// error.
+func DecodeRequest(r io.Reader) (*Request, *database.Database, error) {
+	body, err := io.ReadAll(io.LimitReader(r, MaxRequestBytes+1))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: reading request body: %w", err)
+	}
+	if len(body) > MaxRequestBytes {
+		return nil, nil, exitcode.Input(fmt.Errorf("serve: request body exceeds %d bytes", MaxRequestBytes))
+	}
+	req, db, err := decodeRequestBytes(body)
+	if err != nil {
+		return nil, nil, exitcode.Input(err)
+	}
+	return req, db, nil
+}
+
+// decodeRequestBytes is the fuzzed core: bytes in, request+database or
+// error out.
+func decodeRequestBytes(body []byte) (req *Request, db *database.Database, err error) {
+	defer guard.Protect(&err)
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	req = &Request{}
+	if err := dec.Decode(req); err != nil {
+		return nil, nil, fmt.Errorf("serve: decoding request: %w", err)
+	}
+	if dec.More() {
+		return nil, nil, fmt.Errorf("serve: trailing data after request object")
+	}
+	if len(req.Database) == 0 {
+		return nil, nil, fmt.Errorf("serve: request has no database")
+	}
+	db, err = database.DecodeJSON(bytes.NewReader(req.Database))
+	if err != nil {
+		return nil, nil, err
+	}
+	if db.Len() == 0 {
+		return nil, nil, fmt.Errorf("serve: database has no relations")
+	}
+	return req, db, nil
+}
+
+// TripInfo reports one rung the ladder fell past on the way to the
+// answering rung.
+type TripInfo struct {
+	// Rung is the rung that tripped.
+	Rung string `json:"rung"`
+	// Error is the typed governance error that tripped it.
+	Error string `json:"error"`
+}
+
+// PlanInfo is the plan section of a response.
+type PlanInfo struct {
+	// Expr is the join tree over relation indexes, e.g. "((0 1) 2)".
+	Expr string `json:"expr"`
+	// Strategy is the same tree rendered with relation names.
+	Strategy string `json:"strategy"`
+	// Cost is τ of the plan — measured for executed rungs, estimated
+	// for the estimate rung.
+	Cost int64 `json:"cost"`
+	// Estimated marks costs from the statistics model.
+	Estimated bool `json:"estimated"`
+}
+
+// Response is the body of a successful /v1/analyze or /v1/query call.
+type Response struct {
+	// Tenant is the resolved tenant class.
+	Tenant string `json:"tenant"`
+	// Rung names the ladder rung that produced the answer.
+	Rung string `json:"rung"`
+	// Degraded is true when Rung is below the class's start rung.
+	Degraded bool `json:"degraded"`
+	// Trips lists the rungs that tripped before Rung answered.
+	Trips []TripInfo `json:"trips,omitempty"`
+	// Plan is the chosen strategy.
+	Plan PlanInfo `json:"plan"`
+	// CacheHit marks answers served from the plan cache.
+	CacheHit bool `json:"cacheHit"`
+	// Fingerprint is the database's plan-cache key, for cache debugging.
+	Fingerprint string `json:"fingerprint"`
+	// ResultSize is the final join's cardinality; present only when the
+	// request executed (analyze mode, or query mode with execute).
+	ResultSize *int `json:"resultSize,omitempty"`
+	// Analysis is the full four-space analysis (analyze mode only), in
+	// the same shape as the CLI's -format json.
+	Analysis json.RawMessage `json:"analysis,omitempty"`
+	// Guard is the final rung's budget ledger.
+	Guard guard.Snapshot `json:"guard"`
+}
+
+// ErrorInfo is the body of every non-2xx response.
+type ErrorInfo struct {
+	// Error describes what failed.
+	Error string `json:"error"`
+	// Kind classifies it: "bad_request", "shed", "draining", "deadline"
+	// or "internal".
+	Kind string `json:"kind"`
+	// RetryAfterSeconds echoes the Retry-After header on shed and
+	// draining responses.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+	// Trips lists the rungs attempted before the request died (deadline
+	// responses only).
+	Trips []TripInfo `json:"trips,omitempty"`
+}

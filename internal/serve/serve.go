@@ -1,0 +1,416 @@
+// Package serve is the engine's multi-tenant service layer: an
+// HTTP/JSON API that runs analyze/optimize/execute requests through the
+// guard/obs stack with per-tenant admission control, load shedding, a
+// degradation ladder, a fingerprint-keyed plan cache, and deterministic
+// fault injection.
+//
+// The paper's results motivate every piece. Intermediate-result blow-up
+// is workload-dependent (τ can be exponential in the worst case), so a
+// served engine must treat resource exhaustion as a normal outcome: the
+// guard turns it into typed errors, the ladder turns those into cheaper
+// answers, and admission control turns sustained overload into fast
+// 429s instead of collapse. The theorems say *which* cheaper searches
+// are still optimal — the service is where that theory earns its keep.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"multijoin/internal/core"
+	"multijoin/internal/database"
+	"multijoin/internal/exitcode"
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+)
+
+// Config configures a Server. The zero value serves the default tenant
+// classes with a default-sized plan cache and no chaos.
+type Config struct {
+	// Tenants are the tenant classes; empty selects DefaultTenants.
+	Tenants []TenantClass
+	// PlanCacheCap bounds the plan cache; 0 selects the default (256).
+	PlanCacheCap int
+	// Chaos schedules deterministic fault injection; zero disables.
+	Chaos ChaosConfig
+	// Recorder receives the service metrics; nil records nothing.
+	Recorder *obs.Recorder
+}
+
+// Server is the service: tenant classes, admission gates, the plan
+// cache and the chaos schedule. Create with New, mount Handler.
+type Server struct {
+	tenants *tenantSet
+	adm     *admission
+	cache   *planCache
+	chaos   *chaos
+	rec     *obs.Recorder
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	cRequests *obs.Counter
+	cOK       *obs.Counter
+	cFailed   *obs.Counter
+	tRequest  *obs.Timer
+}
+
+// New validates the configuration and builds a Server.
+func New(cfg Config) (*Server, error) {
+	ts, err := newTenantSet(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	rec := cfg.Recorder
+	return &Server{
+		tenants:   ts,
+		adm:       newAdmission(ts, rec),
+		cache:     newPlanCache(cfg.PlanCacheCap, rec),
+		chaos:     newChaos(cfg.Chaos, rec),
+		rec:       rec,
+		cRequests: rec.Counter("serve.requests"),
+		cOK:       rec.Counter("serve.ok"),
+		cFailed:   rec.Counter("serve.failed"),
+		tRequest:  rec.Timer("serve.request"),
+	}, nil
+}
+
+// Recorder returns the server's recorder (nil when unconfigured).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Tenants lists the configured tenant class names, sorted.
+func (s *Server) Tenants() []string {
+	out := make([]string, len(s.tenants.names))
+	copy(out, s.tenants.names)
+	return out
+}
+
+// CacheLen reports the number of cached plans.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// BeginDrain flips the server into draining: /readyz answers 503 so
+// load balancers stop routing here, and new API requests are refused
+// with 503 while in-flight ones run to completion.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.rec.Counter("serve.drain").Inc()
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain blocks until every in-flight request completes or the context
+// dies, whichever is first.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			// The goroutineguard boundary: a panic here would otherwise
+			// kill the process during shutdown.
+			if err := guard.Recovered(recover()); err != nil {
+				s.rec.Counter("serve.drain.panic").Inc()
+			}
+			close(done)
+		}()
+		s.inflight.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler mounts the API:
+//
+//	GET  /healthz     liveness (always 200 while the process runs)
+//	GET  /readyz      readiness (503 once draining)
+//	POST /v1/analyze  full four-space analysis with certificates
+//	POST /v1/query    plan (and optionally execute) one join query
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, true)
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, false)
+	})
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleRun is both API endpoints: decode, admit, descend the ladder,
+// answer. analyze selects the full four-space analysis; otherwise the
+// request plans (and optionally executes) in the full space only.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, analyze bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "serve: POST only", 0, nil)
+		return
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining", "serve: draining", 1, nil)
+		return
+	}
+
+	s.cRequests.Inc()
+	sw := s.tRequest.Start()
+	defer sw.Stop()
+
+	req, db, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.cFailed.Inc()
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0, nil)
+		return
+	}
+	class, ok := s.tenants.lookup(req.Tenant)
+	if !ok {
+		s.cFailed.Inc()
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"serve: unknown tenant class "+strconv.Quote(req.Tenant), 0, nil)
+		return
+	}
+	s.rec.Counter("serve.tenant." + class.Name + ".requests").Inc()
+
+	plan := s.chaos.next()
+	ctx, cancel := context.WithTimeout(r.Context(), class.Deadline)
+	defer cancel()
+
+	tk, err := s.adm.admit(ctx, class.Name)
+	if err != nil {
+		s.cFailed.Inc()
+		if errors.Is(err, ErrShed) {
+			secs := int(s.adm.retryAfter(class.Name, time.Now()) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "shed",
+				"serve: class "+class.Name+" saturated, request shed", secs, nil)
+			return
+		}
+		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error(), 0, nil)
+		return
+	}
+	defer tk.release()
+
+	// The request guard carries the deadline only; it exists so
+	// concurrent sheds can compute Retry-After from in-flight deadlines.
+	tk.setGuard(guard.New(ctx, guard.Limits{}))
+
+	ctx, disarm := s.chaos.armCancel(ctx, plan)
+	defer disarm()
+	if d := s.chaos.slowDelay(plan); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+
+	resp, herr := s.runRequest(ctx, req, db, class, plan, analyze)
+	if herr != nil {
+		s.cFailed.Inc()
+		writeError(w, herr.status, herr.kind, herr.msg, 0, herr.trips)
+		return
+	}
+	resp.Tenant = class.Name
+	s.cOK.Inc()
+	s.rec.Counter("serve.tenant." + class.Name + ".ok").Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// httpError is a classified request failure.
+type httpError struct {
+	status int
+	kind   string
+	msg    string
+	trips  []TripInfo
+}
+
+// runRequest executes one admitted request: plan cache, then the
+// degradation ladder.
+func (s *Server) runRequest(ctx context.Context, req *Request, db *database.Database,
+	class TenantClass, plan chaosPlan, analyze bool) (*Response, *httpError) {
+	fp := core.FingerprintDB(db)
+	ev := database.NewEvaluator(db).WithRecorder(s.rec)
+
+	if !analyze && !req.NoCache {
+		if hit, ok := s.cache.get(fp); ok {
+			if resp, ok := s.serveFromCache(ctx, req, class, plan, ev, fp, hit); ok {
+				return resp, nil
+			}
+			// Executing the cached plan tripped a budget — fall through
+			// to the ladder, which owns degradation.
+		}
+	}
+
+	limits := s.chaos.applyLimits(plan, class.Limits())
+	out, err := runLadder(ladderRequest{
+		ctx:       ctx,
+		db:        db,
+		ev:        ev,
+		rec:       s.rec,
+		start:     class.StartRung,
+		analyze:   analyze,
+		execute:   analyze || req.Execute,
+		limitsFor: func(Rung) guard.Limits { return limits },
+	})
+	if err != nil {
+		if guard.Tripped(err) {
+			return nil, &httpError{
+				status: http.StatusGatewayTimeout,
+				kind:   "deadline",
+				msg:    err.Error(),
+				trips:  tripInfos(tripsOf(err)),
+			}
+		}
+		if exitcode.IsInput(err) {
+			return nil, &httpError{status: http.StatusBadRequest, kind: "bad_request", msg: err.Error()}
+		}
+		return nil, &httpError{status: http.StatusInternalServerError, kind: "internal", msg: err.Error()}
+	}
+
+	resp := s.buildResponse(db, ev, out, fp, analyze || req.Execute)
+	if !req.NoCache && (out.rung == RungExhaustive || out.rung == RungDP) {
+		s.cache.put(fp, cachedPlan{
+			strategy:  out.strategy,
+			rung:      out.rung,
+			cost:      out.cost,
+			estimated: out.estimated,
+		})
+	}
+	if analyze && out.analysis != nil {
+		if raw, err := encodeAnalysis(db, out.analysis); err == nil {
+			resp.Analysis = raw
+		}
+	}
+	return resp, nil
+}
+
+// serveFromCache answers a query from the plan cache, executing the
+// cached plan under a fresh guard when asked to. It reports !ok when
+// execution trips, sending the caller to the ladder.
+func (s *Server) serveFromCache(ctx context.Context, req *Request, class TenantClass,
+	plan chaosPlan, ev *database.Evaluator, fp core.Fingerprint, hit cachedPlan) (*Response, bool) {
+	g := guard.New(ctx, s.chaos.applyLimits(plan, class.Limits()))
+	ev.WithGuard(g)
+	out := &ladderOutcome{
+		rung:      hit.rung,
+		strategy:  hit.strategy,
+		cost:      hit.cost,
+		estimated: hit.estimated,
+	}
+	if req.Execute {
+		if err := (ladderRequest{ev: ev, execute: true}).maybeExecute(out); err != nil {
+			return nil, false
+		}
+	}
+	out.snapshot = g.Snapshot()
+	resp := s.buildResponse(ev.Database(), ev, out, fp, req.Execute)
+	resp.CacheHit = true
+	return resp, true
+}
+
+// buildResponse renders a ladder outcome.
+func (s *Server) buildResponse(db *database.Database, ev *database.Evaluator,
+	out *ladderOutcome, fp core.Fingerprint, executed bool) *Response {
+	resp := &Response{
+		Rung:        out.rung.String(),
+		Degraded:    out.degraded(),
+		Trips:       tripInfos(out.trips),
+		Fingerprint: fp.String(),
+		Guard:       out.snapshot,
+		Plan: PlanInfo{
+			Expr:      core.EncodePlanExpr(out.strategy),
+			Strategy:  out.strategy.Render(db),
+			Cost:      out.cost,
+			Estimated: out.estimated,
+		},
+	}
+	if executed && !out.estimated {
+		// The final join is memoized by the execution that just ran, so
+		// this lookup costs nothing and charges nothing.
+		size := ev.Size(db.All())
+		resp.ResultSize = &size
+	}
+	return resp
+}
+
+// tripInfos renders ladder trips for the wire.
+func tripInfos(trips []trip) []TripInfo {
+	if len(trips) == 0 {
+		return nil
+	}
+	out := make([]TripInfo, len(trips))
+	for i, t := range trips {
+		out[i] = TripInfo{Rung: t.rung.String(), Error: t.err.Error()}
+	}
+	return out
+}
+
+// tripsOf recovers the ladder's trip list from a total-failure error.
+func tripsOf(err error) []trip {
+	var le *ladderError
+	if errors.As(err, &le) {
+		return le.trips
+	}
+	return nil
+}
+
+// encodeAnalysis renders the analysis in the CLI's JSON shape.
+func encodeAnalysis(db *database.Database, an *core.Analysis) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := core.EncodeAnalysisJSON(&buf, db, an); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+// writeJSON writes a JSON body with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the standard error body.
+func writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter int, trips []TripInfo) {
+	writeJSON(w, status, ErrorInfo{
+		Error:             msg,
+		Kind:              kind,
+		RetryAfterSeconds: retryAfter,
+		Trips:             trips,
+	})
+}
