@@ -3,7 +3,8 @@
 // parse as a response, every 429 must carry a usable Retry-After, and
 // the outcome counts must partition the requests issued. The aggregate
 // report — outcome counts, shed rate, cache hit rate, latency and
-// shed-latency quantiles — is written to stdout as JSON.
+// shed-latency quantiles — is written to stdout as JSON, and a
+// per-tenant-class latency/outcome breakdown goes to stderr at exit.
 //
 // Usage:
 //
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -77,11 +79,34 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "joinload: %v\n", err)
 		return exitcode.Internal
 	}
+	printTenantBreakdown(stderr, report)
 	if report.Failed > 0 {
 		fmt.Fprintf(stderr, "joinload: %d protocol violations (see violations in the report)\n", report.Failed)
 		return exitcode.Budget
 	}
 	return exitcode.OK
+}
+
+// printTenantBreakdown writes the per-tenant-class latency and outcome
+// breakdown to stderr — human-readable operator output, kept off stdout
+// so the JSON report stays machine-parseable.
+func printTenantBreakdown(stderr *os.File, report *serve.LoadReport) {
+	if len(report.PerTenant) == 0 {
+		return
+	}
+	names := make([]string, 0, len(report.PerTenant))
+	for name := range report.PerTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(stderr, "joinload: per-tenant breakdown:")
+	for _, name := range names {
+		ts := report.PerTenant[name]
+		fmt.Fprintf(stderr,
+			"  %-10s requests=%d ok=%d degraded=%d shed=%d refused=%d deadline=%d failed=%d p50=%v p99=%v\n",
+			name, ts.Requests, ts.OK, ts.Degraded, ts.Shed, ts.Refused, ts.Deadline, ts.Failed,
+			time.Duration(ts.LatencyP50NS), time.Duration(ts.LatencyP99NS))
+	}
 }
 
 // buildCases expands the tenant × example cross product into the
@@ -113,7 +138,7 @@ func buildCases(tenantList, exampleList string, execute, noCache bool, analyzeEv
 			if analyzeEvery > 0 && i%analyzeEvery == 0 {
 				path = "/v1/analyze"
 			}
-			cases = append(cases, serve.LoadCase{Path: path, Body: body})
+			cases = append(cases, serve.LoadCase{Path: path, Tenant: tenant, Body: body})
 		}
 	}
 	if len(cases) == 0 {

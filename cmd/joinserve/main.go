@@ -20,6 +20,7 @@
 //	joinserve -addr :8080
 //	joinserve -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0
 //	joinserve -addr :8080 -chaos-fault-every 7 -chaos-slow-every 5 -chaos-slow-by 50ms
+//	joinserve -addr :8080 -flight-cap 256 -slow-threshold 250ms
 //
 // On SIGINT/SIGTERM the server flips /readyz to 503, waits -drain-grace
 // for load balancers to notice, then finishes in-flight requests and
@@ -59,14 +60,18 @@ func run(args []string, stdout, stderr *os.File) int {
 	slowBy := fs.Duration("chaos-slow-by", 50*time.Millisecond, "delay injected into slowed requests")
 	cancelEvery := fs.Int64("chaos-cancel-every", 0, "cancel every Nth request mid-execution (0 = off)")
 	cancelAfter := fs.Duration("chaos-cancel-after", 10*time.Millisecond, "how far into a cancelled request the cancellation fires")
+	flightCap := fs.Int("flight-cap", 0, "flight recorder ring capacity (0 = default 64)")
+	slowThreshold := fs.Duration("slow-threshold", 0, "latency above which a request is retained in the flight ring (0 = default 1s)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	rec := obs.NewRecorder()
 	srv, err := serve.New(serve.Config{
-		PlanCacheCap: *cacheCap,
-		Recorder:     rec,
+		PlanCacheCap:  *cacheCap,
+		Recorder:      rec,
+		FlightCap:     *flightCap,
+		SlowThreshold: *slowThreshold,
 		Chaos: serve.ChaosConfig{
 			FaultEvery:  *faultEvery,
 			FaultStep:   *faultStep,

@@ -1,35 +1,51 @@
 // Command obscheck validates the machine-readable observability
 // artifacts the engine emits: metrics snapshots (joinopt -metrics-out),
-// structured traces (joinopt -trace-out) and bench reports (experiments
-// -bench, BENCH_joinopt.json). Each argument is sniffed by schema and
-// must decode cleanly with no unknown fields; bench reports must also
-// pass the bench validator. CI runs it to keep the JSON contracts
-// honest.
+// structured traces (joinopt -trace-out), bench reports (experiments
+// -bench, BENCH_joinopt.json) and flight-recorder documents (joinserve
+// GET /debug/requests). Each argument is sniffed by schema and must
+// decode cleanly with no unknown fields; bench reports must also pass
+// the bench validator. With -prom the arguments are Prometheus text
+// exposition (joinserve GET /metrics) instead of JSON, checked for
+// well-formed families and sorted, type-consistent sample lines. CI
+// runs it to keep the service's wire contracts honest.
 //
 // Usage:
 //
 //	obscheck FILE...
+//	obscheck -prom METRICS_FILE...
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"multijoin/internal/exitcode"
 	"multijoin/internal/experiments"
 	"multijoin/internal/obs"
+	"multijoin/internal/serve"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck FILE...")
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	prom := fs.Bool("prom", false, "treat the files as Prometheus text exposition instead of JSON")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-prom] FILE...")
 		os.Exit(2)
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if err := checkFile(path); err != nil {
+	for _, path := range fs.Args() {
+		check := checkFile
+		if *prom {
+			check = checkProm
+		}
+		if err := check(path); err != nil {
 			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
 			failed = true
 			continue
@@ -61,6 +77,8 @@ func checkFile(path string) error {
 		_, err = obs.DecodeMetrics(bytes.NewReader(data))
 	case obs.TraceSchema:
 		_, err = obs.DecodeTrace(bytes.NewReader(data))
+	case serve.FlightSchema:
+		_, err = serve.DecodeFlight(bytes.NewReader(data))
 	case obs.BenchSchema:
 		var rep *experiments.BenchReport
 		rep, err = experiments.DecodeBench(bytes.NewReader(data))
@@ -71,4 +89,17 @@ func checkFile(path string) error {
 		return fmt.Errorf("unknown schema %q", head.Schema)
 	}
 	return err
+}
+
+// checkProm validates one Prometheus text exposition file.
+func checkProm(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	cerr := obs.CheckPrometheus(f)
+	if err := f.Close(); cerr == nil {
+		cerr = err
+	}
+	return cerr
 }

@@ -10,6 +10,7 @@ package analysis
 //	goroutineguard no goroutine can crash the process past the guard boundaries
 //	jsontags       schema-versioned artifacts cannot drift via untagged fields
 //	hotpath        //joinlint:hotpath kernel files stay allocation-disciplined
+//	spanclose      every opened trace span is ended or handed to a caller
 func All() []*Analyzer {
 	return []*Analyzer{
 		GuardMirror,
@@ -19,5 +20,6 @@ func All() []*Analyzer {
 		GoroutineGuard,
 		JSONTags,
 		HotPath,
+		SpanClose,
 	}
 }

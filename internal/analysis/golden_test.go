@@ -145,6 +145,10 @@ func TestHotPathGolden(t *testing.T) {
 	runFixture(t, HotPath, "hotpath", "internal/relation")
 }
 
+func TestSpanCloseGolden(t *testing.T) {
+	runFixture(t, SpanClose, "spanclose", "internal/serve")
+}
+
 // TestHotPathIgnoresUntaggedFiles pins the opt-in boundary: a package
 // full of would-be violations produces nothing without the directive.
 func TestHotPathIgnoresUntaggedFiles(t *testing.T) {
@@ -233,6 +237,11 @@ func TestAnalyzerAppliesScoping(t *testing.T) {
 		{JSONTags, "internal/obs", true},
 		{JSONTags, "", true},
 		{JSONTags, "cmd/joinopt", false},
+
+		{SpanClose, "internal/serve", true},
+		{SpanClose, "internal/core", true},
+		{SpanClose, "internal/obs", false},
+		{SpanClose, "cmd/joinserve", false},
 	}
 	if HotPath.Applies != nil {
 		t.Error("hotpath must apply everywhere: the //joinlint:hotpath directive is its only gate")
@@ -256,7 +265,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[an.Name] = true
 	}
-	for _, wantName := range []string{"guardmirror", "determinism", "nodirectio", "panicmsg", "goroutineguard", "jsontags", "hotpath"} {
+	for _, wantName := range []string{"guardmirror", "determinism", "nodirectio", "panicmsg", "goroutineguard", "jsontags", "hotpath", "spanclose"} {
 		if !names[wantName] {
 			t.Errorf("registry is missing analyzer %q", wantName)
 		}

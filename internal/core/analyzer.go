@@ -250,7 +250,7 @@ type spaceOutcome struct {
 // each DP individually.
 func optimizeSpacesParallel(ev *database.Evaluator, spaces []optimizer.Space, outcomes []spaceOutcome) {
 	g, rec := ev.Guard(), ev.Recorder()
-	endPhase := beginPhase(g, rec, "optimize:parallel")
+	endPhase, phaseSpan := beginPhaseSpan(g, rec, "optimize:parallel")
 	watch := rec.Timer("analyze.parallel.wall").Start()
 	var wg sync.WaitGroup
 	for i, sp := range spaces {
@@ -267,11 +267,16 @@ func optimizeSpacesParallel(ev *database.Evaluator, spaces []optimizer.Space, ou
 			}()
 			name := "optimize:" + sp.String()
 			rec.Emit(obs.Event{Kind: "begin", Name: name, Phase: "optimize:parallel"})
+			// StartChild, not StartSpan: sibling goroutines must parent to
+			// the fan-out's phase span, never to each other's open spans.
+			span := phaseSpan.StartChild(name)
 			res, err := optimizer.Optimize(ev, sp)
 			e := obs.Event{Kind: "end", Name: name, Phase: "optimize:parallel"}
 			if err != nil {
 				e.Err = err.Error()
+				span.Fail(err)
 			}
+			span.End()
 			rec.Emit(e)
 			outcomes[i] = spaceOutcome{res: res, err: err}
 		}(i, sp)
@@ -296,27 +301,44 @@ func optimizeSpacesParallel(ev *database.Evaluator, spaces []optimizer.Space, ou
 // phase's wall timer, and returns the closer that emits the matching
 // end event. Both g and rec may be nil.
 func beginPhase(g *guard.Guard, rec *obs.Recorder, name string) func(error) {
+	end, _ := beginPhaseSpan(g, rec, name)
+	return end
+}
+
+// beginPhaseSpan is beginPhase plus a trace span: the phase opens a
+// span named `phase:<name>` (stack-parented, so phases nest under
+// whatever request or phase span is already open on the recorder), and
+// the closer stamps the span with the guard-ledger delta accumulated
+// across the phase before ending it. The span is returned so parallel
+// fan-outs can hang per-goroutine children off it with StartChild.
+func beginPhaseSpan(g *guard.Guard, rec *obs.Recorder, name string) (func(error), *obs.Span) {
 	g.SetPhase(name)
 	rec.SetPhase(name)
 	if rec == nil {
-		return func(error) {}
+		return func(error) {}, nil
 	}
 	snap := g.Snapshot()
 	rec.Emit(obs.Event{Kind: "begin", Name: name,
 		Tuples: snap.Tuples.Spent, States: snap.States.Spent, Steps: snap.Steps.Spent})
+	sp := rec.StartSpan("phase:" + name)
 	watch := rec.Timer("phase." + name).Start()
 	return func(err error) {
-		snap := g.Snapshot()
+		after := g.Snapshot()
 		e := obs.Event{Kind: "end", Name: name, DurNS: watch.Stop().Nanoseconds(),
-			Tuples: snap.Tuples.Spent, States: snap.States.Spent, Steps: snap.Steps.Spent}
+			Tuples: after.Tuples.Spent, States: after.States.Spent, Steps: after.Steps.Spent}
+		sp.AddDelta(after.Tuples.Spent-snap.Tuples.Spent,
+			after.States.Spent-snap.States.Spent,
+			after.Steps.Spent-snap.Steps.Spent)
 		if err != nil {
 			e.Err = err.Error()
+			sp.Fail(err)
 			if guard.Tripped(err) {
 				rec.Counter("guard.trips").Inc()
 			}
 		}
+		sp.End()
 		rec.Emit(e)
-	}
+	}, sp
 }
 
 // Certify derives the theorem certificates implied by a condition

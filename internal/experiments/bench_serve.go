@@ -6,18 +6,22 @@ import (
 	"io"
 	"time"
 
+	"multijoin/internal/obs"
 	"multijoin/internal/paperex"
 	"multijoin/internal/serve"
 )
 
-// The serve section (bench schema v4): the bench pipeline boots an
+// The serve section (bench schema v5): the bench pipeline boots an
 // in-process joinserve, drives a deterministic mixed-tenant load
 // through the shared load generator, and records the service-level
-// outcome counts and latency quantiles. CI gates on the same contract
-// the chaos suite asserts — outcomes partition the run, zero protocol
-// violations, shedding and cache hits both actually happened — so a
-// push that breaks admission control or the plan cache fails the bench
-// job even if no unit test notices.
+// outcome counts and latency quantiles, broken down per tenant class,
+// plus the server's own latency-histogram series. CI gates on the same
+// contract the chaos suite asserts — outcomes partition the run, per
+// class and in total, zero protocol violations, shedding and cache hits
+// both actually happened, and every request landed in exactly one
+// histogram bucket — so a push that breaks admission control, the plan
+// cache or the metrics plumbing fails the bench job even if no unit
+// test notices.
 
 // ServeBench is the service-level load measurement.
 type ServeBench struct {
@@ -54,6 +58,15 @@ type ServeBench struct {
 	ShedP50NS int64 `json:"shedP50Ns"`
 	// ShedP99NS is the 99th-percentile shed latency.
 	ShedP99NS int64 `json:"shedP99Ns"`
+	// PerTenant breaks the run down by tenant class (schema v5): each
+	// class's outcome counts partition its request count, and the
+	// classes together account for the whole run.
+	PerTenant map[string]*serve.TenantLoadStats `json:"perTenant"`
+	// LatencyHist holds the server's serve.request.latency histogram
+	// series (one per tenant × endpoint × outcome); summed bucket counts
+	// must equal the requests issued — the histogram plumbing observed
+	// every request exactly once.
+	LatencyHist []obs.HistogramStats `json:"latencyHist"`
 }
 
 // serveBenchRequests and serveBenchConcurrency size the load run: small
@@ -71,7 +84,9 @@ const (
 // A chaos slowdown holds slots long enough that the tiny class's
 // arrivals pile up at the door.
 func benchServe(w io.Writer) (*ServeBench, error) {
+	rec := obs.NewRecorder()
 	srv, err := serve.New(serve.Config{
+		Recorder: rec,
 		Tenants: []serve.TenantClass{
 			{Name: "bench-tiny", Deadline: 2 * time.Second, MaxTuples: 100_000, MaxStates: 100_000,
 				MaxConcurrent: 1, MaxQueue: 0, StartRung: serve.RungDP},
@@ -101,7 +116,7 @@ func benchServe(w io.Writer) (*ServeBench, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench serve: %w", err)
 		}
-		cases = append(cases, serve.LoadCase{Path: "/v1/query", Body: body})
+		cases = append(cases, serve.LoadCase{Path: "/v1/query", Tenant: mix.tenant, Body: body})
 	}
 
 	report, err := serve.RunLoad(serve.HandlerDoer{Handler: srv.Handler()}, serve.LoadConfig{
@@ -136,6 +151,12 @@ func benchServe(w io.Writer) (*ServeBench, error) {
 		LatencyP99NS: report.LatencyP99NS,
 		ShedP50NS:    report.ShedP50NS,
 		ShedP99NS:    report.ShedP99NS,
+		PerTenant:    report.PerTenant,
+	}
+	for _, h := range rec.Snapshot().Histograms {
+		if h.Name == "serve.request.latency" {
+			s.LatencyHist = append(s.LatencyHist, h)
+		}
 	}
 	fmt.Fprintf(w, "serve %d req @%d  ok=%d shed=%d (rate %.2f) cacheHit=%.2f p99=%s shedP99=%s failed=%d\n",
 		s.Requests, s.Concurrency, s.OK, s.Shed, s.ShedRate, s.CacheHitRate,
@@ -182,6 +203,53 @@ func validateServeBench(s *ServeBench) error {
 	if s.ShedP50NS <= 0 || s.ShedP99NS < s.ShedP50NS {
 		return fmt.Errorf("bench: serve shed quantiles implausible (p50 %d, p99 %d)",
 			s.ShedP50NS, s.ShedP99NS)
+	}
+	if len(s.PerTenant) == 0 {
+		return fmt.Errorf("bench: serve section has no per-tenant breakdown")
+	}
+	tenantTotal := 0
+	for name, ts := range s.PerTenant {
+		tenantTotal += ts.Requests
+		if sum := ts.OK + ts.Shed + ts.Refused + ts.Deadline + ts.Failed; sum != ts.Requests {
+			return fmt.Errorf("bench: serve class %s outcomes sum to %d of %d requests",
+				name, sum, ts.Requests)
+		}
+	}
+	if tenantTotal != s.Requests {
+		return fmt.Errorf("bench: serve per-tenant requests sum to %d of %d", tenantTotal, s.Requests)
+	}
+	if len(s.LatencyHist) == 0 {
+		return fmt.Errorf("bench: serve section has no latency-histogram series")
+	}
+	var observed int64
+	for _, h := range s.LatencyHist {
+		if h.Name != "serve.request.latency" {
+			return fmt.Errorf("bench: foreign histogram series %q in the serve section", h.Name)
+		}
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("bench: histogram series %v has %d counts for %d bounds",
+				h.Labels, len(h.Counts), len(h.Bounds))
+		}
+		var bucketSum int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("bench: histogram series %v has a negative bucket", h.Labels)
+			}
+			bucketSum += c
+		}
+		if bucketSum != h.Count {
+			return fmt.Errorf("bench: histogram series %v buckets sum to %d of %d observations",
+				h.Labels, bucketSum, h.Count)
+		}
+		for _, key := range []string{"tenant", "endpoint", "outcome"} {
+			if h.Labels[key] == "" {
+				return fmt.Errorf("bench: histogram series %v is missing the %q label", h.Labels, key)
+			}
+		}
+		observed += h.Count
+	}
+	if observed != int64(s.Requests) {
+		return fmt.Errorf("bench: latency histograms observed %d of %d requests", observed, s.Requests)
 	}
 	return nil
 }

@@ -149,9 +149,11 @@ func TestBenchKernelSection(t *testing.T) {
 	}
 }
 
-// TestBenchServeSection pins the v4 serve section: present, internally
-// consistent, and gating the validator — a report missing it, or one
-// whose outcomes do not partition the run, must fail.
+// TestBenchServeSection pins the v5 serve section: present, internally
+// consistent — including the per-tenant breakdown and the latency
+// histograms — and gating the validator: a report missing it, one whose
+// outcomes do not partition the run, or one whose histograms did not
+// observe every request must fail.
 func TestBenchServeSection(t *testing.T) {
 	s, err := benchServe(io.Discard)
 	if err != nil {
@@ -165,6 +167,14 @@ func TestBenchServeSection(t *testing.T) {
 	}
 	if s.Shed == 0 || s.CacheHits == 0 {
 		t.Errorf("load mix failed to exercise shedding (%d) or the cache (%d)", s.Shed, s.CacheHits)
+	}
+	for _, class := range []string{"bench-tiny", "bench-wide"} {
+		if s.PerTenant[class] == nil || s.PerTenant[class].Requests == 0 {
+			t.Errorf("serve section has no per-tenant stats for %q", class)
+		}
+	}
+	if ts := s.PerTenant["bench-tiny"]; ts != nil && ts.Shed == 0 {
+		t.Error("the 1-slot bench-tiny class shed nothing")
 	}
 
 	// The validator gates on the section and its partition invariant.
@@ -180,5 +190,21 @@ func TestBenchServeSection(t *testing.T) {
 	violated.Failed, violated.OK = violated.OK, 0
 	if err := validateServeBench(&violated); err == nil {
 		t.Error("serve section with protocol violations validated")
+	}
+	noTenants := *s
+	noTenants.PerTenant = nil
+	if err := validateServeBench(&noTenants); err == nil {
+		t.Error("serve section without a per-tenant breakdown validated")
+	}
+	noHist := *s
+	noHist.LatencyHist = nil
+	if err := validateServeBench(&noHist); err == nil {
+		t.Error("serve section without latency histograms validated")
+	}
+	short := *s
+	short.LatencyHist = append([]obs.HistogramStats(nil), s.LatencyHist...)
+	short.LatencyHist = short.LatencyHist[:len(short.LatencyHist)-1]
+	if err := validateServeBench(&short); err == nil {
+		t.Error("histograms observing fewer requests than issued validated")
 	}
 }

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Labeled metric families. A service needs per-tenant, per-endpoint,
+// per-outcome breakdowns, which flat metric names cannot express without
+// name explosions. A labeled family is a set of (label-set → handle)
+// series under one name; the label *values* must come from bounded sets
+// (tenant classes, endpoints, outcome kinds) — the cardinality rule the
+// ops-plane documentation spells out — because every distinct label set
+// materializes a series held for the recorder's lifetime.
+
+// Labels is one metric series' label set. Keys and values must be drawn
+// from small fixed vocabularies; never put request IDs, fingerprints or
+// other unbounded values in labels.
+type Labels map[string]string
+
+// canonical renders the labels in sorted key order as `k="v",…`, the
+// registry key and the Prometheus exposition form share.
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(l[k])
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// clone copies the labels so a caller mutating its map after
+// registration cannot corrupt the registry.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// seriesKey joins a family name and a label set into the registry key.
+func seriesKey(name string, labels Labels) string {
+	return name + "{" + labels.canonical() + "}"
+}
+
+// labeledSeries is one registered series: the identifying name+labels
+// plus whichever handle kind the family holds.
+type labeledSeries struct {
+	name   string
+	labels Labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// LabeledCounter returns the counter for the (name, labels) series,
+// creating it on first use. On a nil recorder it returns the nil no-op
+// counter.
+func (r *Recorder) LabeledCounter(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.labeled[key]
+	if !ok {
+		s = &labeledSeries{name: name, labels: labels.clone(), c: &Counter{}}
+		r.labeled[key] = s
+	}
+	return s.c
+}
+
+// LabeledGauge returns the gauge for the (name, labels) series, creating
+// it on first use. On a nil recorder it returns the nil no-op gauge.
+func (r *Recorder) LabeledGauge(name string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.labeledG[key]
+	if !ok {
+		s = &labeledSeries{name: name, labels: labels.clone(), g: &Gauge{}}
+		r.labeledG[key] = s
+	}
+	return s.g
+}
+
+// Histogram is a fixed-bucket distribution: counts per upper bound
+// (inclusive, ascending) plus an overflow bucket, an observation count
+// and a sum. All operations are atomic per field; the nil *Histogram is
+// a valid no-op.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value into its bucket.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Stats returns the histogram's per-bucket counts (overflow last),
+// observation count and sum.
+func (h *Histogram) Stats() (counts []int64, count, sum int64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.sum.Load()
+}
+
+// Bounds returns the histogram's upper bounds (nil for the nil
+// histogram).
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// DefaultLatencyBucketsNS is the fixed latency bucket ladder, in
+// nanoseconds: 100µs to 10s in roughly 1-3-10 steps, matching the
+// service's deadline range (500ms free … 10s premium).
+var DefaultLatencyBucketsNS = []int64{
+	100_000, 300_000, // 100µs, 300µs
+	1_000_000, 3_000_000, // 1ms, 3ms
+	10_000_000, 30_000_000, // 10ms, 30ms
+	100_000_000, 300_000_000, // 100ms, 300ms
+	1_000_000_000, 3_000_000_000, // 1s, 3s
+	10_000_000_000, // 10s
+}
+
+// DefaultTupleBuckets is the fixed τ-spend bucket ladder: decades from 1
+// to 10M intermediate tuples, covering everything the tenant budgets
+// (20k free … 2M premium) allow plus headroom for ungoverned runs.
+var DefaultTupleBuckets = []int64{
+	1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+}
+
+// Histogram returns the fixed-bucket histogram for the (name, labels)
+// series, creating it with the given upper bounds on first use (bounds
+// are sorted defensively; later calls reuse the first registration's
+// bounds). On a nil recorder it returns the nil no-op histogram.
+func (r *Recorder) Histogram(name string, bounds []int64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.histograms[key]
+	if !ok {
+		bs := make([]int64, len(bounds))
+		copy(bs, bounds)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		s = &labeledSeries{name: name, labels: labels.clone(), h: h}
+		r.histograms[key] = s
+	}
+	return s.h
+}

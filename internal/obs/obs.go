@@ -209,25 +209,38 @@ const DefaultMaxEvents = 1 << 16
 type Recorder struct {
 	start time.Time
 
-	mu        sync.Mutex
-	counters  map[string]*Counter
-	gauges    map[string]*Gauge
-	timers    map[string]*Timer
-	phase     string
-	events    []Event
-	seq       int64
-	dropped   int64
-	maxEvents int
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	labeled    map[string]*labeledSeries // labeled counter series
+	labeledG   map[string]*labeledSeries // labeled gauge series
+	histograms map[string]*labeledSeries
+	phase      string
+	events     []Event
+	seq        int64
+	dropped    int64
+	maxEvents  int
+
+	spans        []SpanRecord
+	openSpans    []*Span
+	spanSeq      int64
+	droppedSpans int64
+	maxSpans     int
 }
 
 // NewRecorder creates an empty recorder with the default event cap.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		start:     time.Now(),
-		counters:  make(map[string]*Counter),
-		gauges:    make(map[string]*Gauge),
-		timers:    make(map[string]*Timer),
-		maxEvents: DefaultMaxEvents,
+		start:      time.Now(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		labeled:    make(map[string]*labeledSeries),
+		labeledG:   make(map[string]*labeledSeries),
+		histograms: make(map[string]*labeledSeries),
+		maxEvents:  DefaultMaxEvents,
+		maxSpans:   DefaultMaxSpans,
 	}
 }
 
@@ -354,6 +367,108 @@ func (r *Recorder) Dropped() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.dropped
+}
+
+// absorb folds another timer's aggregate into this one.
+func (t *Timer) absorb(count int64, total, min, max time.Duration) {
+	if t == nil || count == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || min < t.min {
+		t.min = min
+	}
+	if max > t.max {
+		t.max = max
+	}
+	t.count += count
+	t.total += total
+}
+
+// absorb adds another histogram's buckets into this one; bucket layouts
+// must agree (they do when both sides registered with the same bounds).
+func (h *Histogram) absorb(counts []int64, count, sum int64) {
+	if h == nil || len(counts) != len(h.counts) {
+		return
+	}
+	for i, c := range counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(count)
+	h.sum.Add(sum)
+}
+
+// Absorb folds a child recorder's counters, gauges, timers, labeled
+// series and histograms into r — the step that rolls a per-request
+// recorder up into the server's root recorder once the request is done,
+// so process-lifetime totals (and their reconciliation invariants) keep
+// holding while each request still gets its own isolated trace. Counter
+// and histogram values add; gauges take the child's last value; the
+// child's events and spans are *not* absorbed — they are request-scoped
+// by design. Absorbing nil, or absorbing into nil, is a no-op.
+func (r *Recorder) Absorb(child *Recorder) {
+	if r == nil || child == nil || r == child {
+		return
+	}
+	// Copy the child's handle maps under its lock, then read each handle
+	// with its own synchronization — never holding both recorders' locks
+	// at once.
+	child.mu.Lock()
+	counters := make(map[string]*Counter, len(child.counters))
+	for k, v := range child.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(child.gauges))
+	for k, v := range child.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(child.timers))
+	for k, v := range child.timers {
+		timers[k] = v
+	}
+	labeled := make([]*labeledSeries, 0, len(child.labeled))
+	for _, s := range child.labeled {
+		labeled = append(labeled, s)
+	}
+	labeledG := make([]*labeledSeries, 0, len(child.labeledG))
+	for _, s := range child.labeledG {
+		labeledG = append(labeledG, s)
+	}
+	histograms := make([]*labeledSeries, 0, len(child.histograms))
+	for _, s := range child.histograms {
+		histograms = append(histograms, s)
+	}
+	child.mu.Unlock()
+
+	for k, c := range counters {
+		if v := c.Value(); v != 0 {
+			r.Counter(k).Add(v)
+		}
+	}
+	for k, g := range gauges {
+		r.Gauge(k).Set(g.Value())
+	}
+	for k, t := range timers {
+		count, total, min, max := t.Stats()
+		r.Timer(k).absorb(count, total, min, max)
+	}
+	for _, s := range labeled {
+		if v := s.c.Value(); v != 0 {
+			r.LabeledCounter(s.name, s.labels).Add(v)
+		}
+	}
+	for _, s := range labeledG {
+		r.LabeledGauge(s.name, s.labels).Set(s.g.Value())
+	}
+	for _, s := range histograms {
+		counts, count, sum := s.h.Stats()
+		if count != 0 {
+			r.Histogram(s.name, s.h.Bounds(), s.labels).absorb(counts, count, sum)
+		}
+	}
 }
 
 // timeSince is time.Since, named so the snapshot code reads as a single

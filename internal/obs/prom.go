@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition. The /metrics endpoint renders a recorder
+// snapshot in the Prometheus text format (version 0.0.4): counters and
+// gauges one sample per line, timers as _count/_sum_ns/_min_ns/_max_ns,
+// labeled families grouped under one # TYPE line, and histograms in the
+// native cumulative form (_bucket{le="…"} … le="+Inf", _sum, _count).
+// Metric names are the engine's dotted names with dots and dashes
+// rewritten to underscores; label keys and values pass through
+// untouched (the cardinality rules keep them from needing escaping, and
+// the writer escapes defensively anyway).
+
+// WritePrometheus renders the recorder's current snapshot as Prometheus
+// text. A nil recorder writes an empty (valid) exposition.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	return WritePrometheusSnapshot(w, r.Snapshot())
+}
+
+// WritePrometheusSnapshot renders an already-taken snapshot as
+// Prometheus text — the form obscheck and tests use to render stored
+// snapshots without a live recorder.
+func WritePrometheusSnapshot(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range snap.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[k])
+	}
+
+	names = names[:0]
+	for k := range snap.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n, ts := promName(k), snap.Timers[k]
+		fmt.Fprintf(bw, "# TYPE %s_count counter\n%s_count %d\n", n, n, ts.Count)
+		fmt.Fprintf(bw, "# TYPE %s_sum_ns counter\n%s_sum_ns %d\n", n, n, ts.TotalNS)
+		fmt.Fprintf(bw, "# TYPE %s_min_ns gauge\n%s_min_ns %d\n", n, n, ts.MinNS)
+		fmt.Fprintf(bw, "# TYPE %s_max_ns gauge\n%s_max_ns %d\n", n, n, ts.MaxNS)
+	}
+
+	writeLabeledFamilies(bw, snap.LabeledCounters, "counter")
+	writeLabeledFamilies(bw, snap.LabeledGauges, "gauge")
+
+	// Histograms, grouped by family so each gets exactly one TYPE line.
+	byFamily := map[string][]HistogramStats{}
+	var famNames []string
+	for _, h := range snap.Histograms {
+		if _, seen := byFamily[h.Name]; !seen {
+			famNames = append(famNames, h.Name)
+		}
+		byFamily[h.Name] = append(byFamily[h.Name], h)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		n := promName(fam)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		for _, h := range byFamily[fam] {
+			prefix := promLabels(h.Labels)
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{%sle=\"%d\"} %d\n", n, prefix, bound, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", n, prefix, h.Count)
+			if prefix == "" {
+				fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+			} else {
+				lbl := "{" + strings.TrimSuffix(prefix, ",") + "}"
+				fmt.Fprintf(bw, "%s_sum%s %d\n%s_count%s %d\n", n, lbl, h.Sum, n, lbl, h.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLabeledFamilies renders one snapshot section of labeled series,
+// grouped by family name under a single TYPE line each.
+func writeLabeledFamilies(w io.Writer, vals []LabeledValue, typ string) {
+	byFamily := map[string][]LabeledValue{}
+	var famNames []string
+	for _, v := range vals {
+		if _, seen := byFamily[v.Name]; !seen {
+			famNames = append(famNames, v.Name)
+		}
+		byFamily[v.Name] = append(byFamily[v.Name], v)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		n := promName(fam)
+		fmt.Fprintf(w, "# TYPE %s %s\n", n, typ)
+		for _, v := range byFamily[fam] {
+			if len(v.Labels) == 0 {
+				fmt.Fprintf(w, "%s %d\n", n, v.Value)
+				continue
+			}
+			fmt.Fprintf(w, "%s{%s} %d\n", n, strings.TrimSuffix(promLabels(v.Labels), ","), v.Value)
+		}
+	}
+}
+
+// promName rewrites a dotted engine metric name into the Prometheus
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set as `k="v",k2="v2",` (trailing comma so
+// a histogram's le label can be appended directly).
+func promLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteString(`",`)
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// CheckPrometheus validates Prometheus text line by line: every
+// non-comment line must be `name[{labels}] value`, names must stay in
+// the Prometheus alphabet, every series must be preceded by a TYPE
+// declaration for its family, and the document must contain at least
+// one sample. It is the gate CI runs over a live /metrics scrape.
+func CheckPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := map[string]string{}
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				if !validPromName(fields[2]) {
+					return fmt.Errorf("obs: prom line %d: bad metric name %q", lineNo, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: prom line %d: unknown type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: prom line %d: %w", lineNo, err)
+		}
+		if !validPromName(name) {
+			return fmt.Errorf("obs: prom line %d: bad metric name %q", lineNo, name)
+		}
+		var value float64
+		if _, err := fmt.Sscanf(rest, "%g", &value); err != nil {
+			return fmt.Errorf("obs: prom line %d: bad sample value %q: %w", lineNo, rest, err)
+		}
+		if !promFamilyTyped(typed, name) {
+			return fmt.Errorf("obs: prom line %d: series %q has no TYPE declaration", lineNo, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: reading prom text: %w", err)
+	}
+	if samples == 0 {
+		return fmt.Errorf("obs: prom text contains no samples")
+	}
+	return nil
+}
+
+// splitPromSample splits `name{labels} value` or `name value` into the
+// metric name and the value text, validating label syntax shallowly.
+func splitPromSample(line string) (name, value string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels := line[i+1 : j]
+		if strings.Count(labels, `"`)%2 != 0 {
+			return "", "", fmt.Errorf("unbalanced quotes in labels %q", labels)
+		}
+		return line[:i], strings.TrimSpace(line[j+1:]), nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("want `name value`, got %q", line)
+	}
+	return fields[0], fields[1], nil
+}
+
+// validPromName checks the Prometheus metric-name alphabet.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// promFamilyTyped reports whether the sample name is covered by a TYPE
+// declaration — directly, or via its family's histogram/summary
+// suffixed forms (_bucket, _sum, _count).
+func promFamilyTyped(typed map[string]string, name string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+			return true
+		}
+	}
+	return false
+}

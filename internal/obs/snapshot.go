@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Schema version strings embedded in every machine-readable artifact the
@@ -11,19 +12,23 @@ import (
 // understand instead of misreading them.
 const (
 	// MetricsSchema identifies the metrics snapshot JSON shape
-	// (joinopt -metrics-out).
-	MetricsSchema = "multijoin/metrics/v1"
+	// (joinopt -metrics-out). v2 added spans/droppedSpans and the
+	// labeled-series sections (labeledCounters, labeledGauges,
+	// histograms) that back the per-tenant ops plane.
+	MetricsSchema = "multijoin/metrics/v2"
 	// TraceSchema identifies the structured trace JSON shape
-	// (joinopt -trace-out).
-	TraceSchema = "multijoin/trace/v1"
+	// (joinopt -trace-out). v2 added the completed-span list and its
+	// dropped count alongside the event stream.
+	TraceSchema = "multijoin/trace/v2"
 	// BenchSchema identifies the bench-pipeline JSON shape
 	// (experiments -bench, BENCH_joinopt.json). v2 added the kernel
 	// micro-benchmark section (ns/op, B/op, allocs/op, partitions); v3
 	// added the analysis section comparing sequential against parallel
 	// four-subspace analyze wall time; v4 added the serve section
 	// (joinserve load run: outcome counts, shed/cache rates, latency
-	// quantiles).
-	BenchSchema = "multijoin/bench/v4"
+	// quantiles); v5 added the serve section's per-tenant-class
+	// breakdown and latency-histogram summary.
+	BenchSchema = "multijoin/bench/v5"
 )
 
 // TimerStats is a timer's aggregate in a snapshot.
@@ -54,11 +59,49 @@ type Snapshot struct {
 	Gauges map[string]int64 `json:"gauges"`
 	// Timers holds the aggregate timer statistics.
 	Timers map[string]TimerStats `json:"timers"`
+	// LabeledCounters holds every labeled counter series, sorted by
+	// name then canonical label string.
+	LabeledCounters []LabeledValue `json:"labeledCounters,omitempty"`
+	// LabeledGauges holds every labeled gauge series, same order.
+	LabeledGauges []LabeledValue `json:"labeledGauges,omitempty"`
+	// Histograms holds every histogram series, same order.
+	Histograms []HistogramStats `json:"histograms,omitempty"`
 	// Events is the number of events currently buffered; DroppedEvents
 	// counts emissions past the cap.
 	Events int64 `json:"events"`
 	// DroppedEvents counts events discarded past the stream cap.
 	DroppedEvents int64 `json:"droppedEvents"`
+	// Spans is the number of completed spans currently buffered.
+	Spans int64 `json:"spans"`
+	// DroppedSpans counts spans discarded past the span cap.
+	DroppedSpans int64 `json:"droppedSpans"`
+}
+
+// LabeledValue is one labeled counter or gauge series in a snapshot.
+type LabeledValue struct {
+	// Name is the family name.
+	Name string `json:"name"`
+	// Labels is the series' label set.
+	Labels Labels `json:"labels,omitempty"`
+	// Value is the series' value at snapshot time.
+	Value int64 `json:"value"`
+}
+
+// HistogramStats is one histogram series in a snapshot.
+type HistogramStats struct {
+	// Name is the family name.
+	Name string `json:"name"`
+	// Labels is the series' label set.
+	Labels Labels `json:"labels,omitempty"`
+	// Bounds are the inclusive upper bounds, ascending.
+	Bounds []int64 `json:"bounds"`
+	// Counts are the per-bucket observation counts; its length is
+	// len(Bounds)+1, the final entry counting overflow observations.
+	Counts []int64 `json:"counts"`
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum int64 `json:"sum"`
 }
 
 // Snapshot copies every metric atomically enough for reconciliation:
@@ -79,6 +122,8 @@ func (r *Recorder) Snapshot() Snapshot {
 	snap.Phase = r.phase
 	snap.Events = int64(len(r.events))
 	snap.DroppedEvents = r.dropped
+	snap.Spans = int64(len(r.spans))
+	snap.DroppedSpans = r.droppedSpans
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v
@@ -90,6 +135,18 @@ func (r *Recorder) Snapshot() Snapshot {
 	timers := make(map[string]*Timer, len(r.timers))
 	for k, v := range r.timers {
 		timers[k] = v
+	}
+	labeled := make([]*labeledSeries, 0, len(r.labeled))
+	for _, s := range r.labeled {
+		labeled = append(labeled, s)
+	}
+	labeledG := make([]*labeledSeries, 0, len(r.labeledG))
+	for _, s := range r.labeledG {
+		labeledG = append(labeledG, s)
+	}
+	histograms := make([]*labeledSeries, 0, len(r.histograms))
+	for _, s := range r.histograms {
+		histograms = append(histograms, s)
 	}
 	r.mu.Unlock()
 	for k, c := range counters {
@@ -105,9 +162,44 @@ func (r *Recorder) Snapshot() Snapshot {
 			MinNS: min.Nanoseconds(), MaxNS: max.Nanoseconds(),
 		}
 	}
+	for _, s := range labeled {
+		snap.LabeledCounters = append(snap.LabeledCounters,
+			LabeledValue{Name: s.name, Labels: s.labels.clone(), Value: s.c.Value()})
+	}
+	for _, s := range labeledG {
+		snap.LabeledGauges = append(snap.LabeledGauges,
+			LabeledValue{Name: s.name, Labels: s.labels.clone(), Value: s.g.Value()})
+	}
+	for _, s := range histograms {
+		counts, count, sum := s.h.Stats()
+		snap.Histograms = append(snap.Histograms, HistogramStats{
+			Name: s.name, Labels: s.labels.clone(), Bounds: s.h.Bounds(),
+			Counts: counts, Count: count, Sum: sum,
+		})
+	}
+	sortLabeledValues(snap.LabeledCounters)
+	sortLabeledValues(snap.LabeledGauges)
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		a, b := snap.Histograms[i], snap.Histograms[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels.canonical() < b.Labels.canonical()
+	})
 	// Uptime last, so it upper-bounds every AtNS in the trace.
 	snap.UptimeNS = timeSince(r.start).Nanoseconds()
 	return snap
+}
+
+// sortLabeledValues orders a snapshot section by name then canonical
+// label string, so snapshots are byte-stable across runs.
+func sortLabeledValues(vals []LabeledValue) {
+	sort.Slice(vals, func(i, j int) bool {
+		if vals[i].Name != vals[j].Name {
+			return vals[i].Name < vals[j].Name
+		}
+		return vals[i].Labels.canonical() < vals[j].Labels.canonical()
+	})
 }
 
 // Trace is the serializable form of the structured event stream.
@@ -116,13 +208,23 @@ type Trace struct {
 	Schema string `json:"schema"`
 	// Dropped counts events discarded past the stream cap.
 	Dropped int64 `json:"dropped"`
+	// DroppedSpans counts spans discarded past the span cap.
+	DroppedSpans int64 `json:"droppedSpans,omitempty"`
 	// Events is the buffered stream in emission order.
 	Events []Event `json:"events"`
+	// Spans is the completed-span list in start order.
+	Spans []SpanRecord `json:"spans,omitempty"`
 }
 
 // TraceSnapshot copies the event stream into its serializable form.
 func (r *Recorder) TraceSnapshot() Trace {
-	return Trace{Schema: TraceSchema, Dropped: r.Dropped(), Events: r.Events()}
+	return Trace{
+		Schema:       TraceSchema,
+		Dropped:      r.Dropped(),
+		DroppedSpans: r.DroppedSpans(),
+		Events:       r.Events(),
+		Spans:        r.Spans(),
+	}
 }
 
 // WriteMetrics writes the recorder's metrics snapshot as indented,
@@ -156,6 +258,12 @@ func DecodeMetrics(r io.Reader) (*Snapshot, error) {
 	}
 	if snap.Counters == nil || snap.Gauges == nil || snap.Timers == nil {
 		return nil, fmt.Errorf("obs: metrics JSON missing counters/gauges/timers sections")
+	}
+	for _, h := range snap.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return nil, fmt.Errorf("obs: histogram %q has %d counts for %d bounds (want bounds+1)",
+				h.Name, len(h.Counts), len(h.Bounds))
+		}
 	}
 	return &snap, nil
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"net/http"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -149,5 +151,63 @@ func TestRetryAfterNeverBelowOneSecond(t *testing.T) {
 	// Retry-After is whole seconds; even a sub-second class clamps to 1.
 	if got := adm.retryAfter("fast", time.Now()); got < time.Second {
 		t.Errorf("retryAfter = %v, want ≥ 1s", got)
+	}
+}
+
+// TestRetryAfterMonotoneAsDeadlinesApproach pins the shed hint's shape:
+// with fixed in-flight holders, the hint never grows as wall-clock time
+// advances toward their deadlines, and never drops below one second.
+func TestRetryAfterMonotoneAsDeadlinesApproach(t *testing.T) {
+	adm, _ := testAdmission(t, TenantClass{
+		Name: "mono", Deadline: 10 * time.Second, MaxConcurrent: 2, MaxQueue: 0, StartRung: RungGreedy,
+	})
+	now := time.Now()
+	for _, d := range []time.Duration{7 * time.Second, 4 * time.Second} {
+		tk, err := adm.admit(context.Background(), "mono")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tk.release()
+		ctx, cancel := context.WithDeadline(context.Background(), now.Add(d))
+		defer cancel()
+		tk.setGuard(guard.New(ctx, guard.Limits{}))
+	}
+
+	// Advance a simulated clock in 500ms steps, staying inside the
+	// nearest holder's deadline (past it, Remaining fails and the hint
+	// falls back to the class deadline by design).
+	prev := time.Duration(1<<63 - 1)
+	for step := time.Duration(0); step <= 3500*time.Millisecond; step += 500 * time.Millisecond {
+		got := adm.retryAfter("mono", now.Add(step))
+		if got > prev {
+			t.Errorf("retryAfter grew from %v to %v at +%v", prev, got, step)
+		}
+		if got < time.Second {
+			t.Errorf("retryAfter %v below the 1s floor at +%v", got, step)
+		}
+		prev = got
+	}
+	if prev != time.Second {
+		t.Errorf("final hint %v, want 1s with 500ms left on the nearest holder", prev)
+	}
+}
+
+// TestDrainingRetryAfterStaysSane drives the HTTP surface: every refusal
+// from a draining server carries a whole-second Retry-After ≥ 1.
+func TestDrainingRetryAfterStaysSane(t *testing.T) {
+	srv, doer, _ := newTestServer(t, Config{})
+	srv.BeginDrain()
+	for i := 0; i < 3; i++ {
+		res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != http.StatusServiceUnavailable {
+			t.Fatalf("draining status %d, want 503", res.Status)
+		}
+		secs, err := strconv.Atoi(res.RetryAfter)
+		if err != nil || secs < 1 {
+			t.Fatalf("draining Retry-After %q, want whole seconds ≥ 1", res.RetryAfter)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"net/http"
 	"runtime"
@@ -87,6 +88,10 @@ func TestChaosSuite(t *testing.T) {
 	rec := obs.NewRecorder()
 	srv, doer, _ := newTestServer(t, Config{
 		Recorder: rec,
+		// Big enough that nothing interesting is ever evicted — the suite
+		// asserts the flight recorder captured every shed and degraded
+		// request with zero drops unaccounted.
+		FlightCap: 8192,
 		Tenants: []TenantClass{
 			// A deliberately tiny class so saturation — and therefore
 			// shedding — is guaranteed at this concurrency.
@@ -114,10 +119,10 @@ func TestChaosSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cases = append(cases, LoadCase{Path: "/v1/query", Body: body})
+			cases = append(cases, LoadCase{Path: "/v1/query", Tenant: tenant, Body: body})
 		}
 	}
-	cases = append(cases, LoadCase{Path: "/v1/analyze", Body: mustBody(t, "standard", false, false)})
+	cases = append(cases, LoadCase{Path: "/v1/analyze", Tenant: "standard", Body: mustBody(t, "standard", false, false)})
 
 	report, err := RunLoad(doer, LoadConfig{
 		Requests:    3000,
@@ -169,7 +174,7 @@ func TestChaosSuite(t *testing.T) {
 	shedReport, err := RunLoad(doer, LoadConfig{
 		Requests:    1000,
 		Concurrency: 64,
-		Cases:       []LoadCase{{Path: "/v1/query", Body: burstBody}},
+		Cases:       []LoadCase{{Path: "/v1/query", Tenant: "burst", Body: burstBody}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +196,62 @@ func TestChaosSuite(t *testing.T) {
 		rec.Counter("serve.chaos.slow").Value() == 0 ||
 		rec.Counter("serve.chaos.cancel").Value() == 0 {
 		t.Error("chaos schedule did not fire all three injection kinds")
+	}
+
+	// The per-tenant breakdown partitions each phase exactly: every
+	// class's outcomes sum to its request count, and the classes together
+	// account for the whole run.
+	for phase, rep := range map[string]*LoadReport{"mixed": report, "shed": shedReport} {
+		total := 0
+		for name, ts := range rep.PerTenant {
+			total += ts.Requests
+			if sum := ts.OK + ts.Shed + ts.Refused + ts.Deadline + ts.Failed; sum != ts.Requests {
+				t.Errorf("%s phase, class %s: outcomes sum to %d of %d", phase, name, sum, ts.Requests)
+			}
+		}
+		if total != rep.Requests {
+			t.Errorf("%s phase: per-tenant requests sum to %d of %d", phase, total, rep.Requests)
+		}
+	}
+	for _, class := range []string{"burst", "standard", "free"} {
+		if report.PerTenant[class] == nil || report.PerTenant[class].Requests == 0 {
+			t.Errorf("mixed phase has no per-tenant stats for %q", class)
+		}
+	}
+	if ts := report.PerTenant["burst"]; ts != nil && ts.Shed == 0 {
+		t.Error("the 2-slot burst class shed nothing at 1000-way concurrency")
+	}
+
+	// Flight-recorder accounting: with the ring oversized, nothing was
+	// evicted and every shed and degraded request across both phases is
+	// retained — zero drops unaccounted.
+	flight, err := DecodeFlight(flightBody(t, doer))
+	if err != nil {
+		t.Fatalf("flight document invalid: %v", err)
+	}
+	if flight.Evicted != 0 {
+		t.Fatalf("flight ring evicted %d entries despite cap %d", flight.Evicted, flight.Capacity)
+	}
+	if int64(len(flight.Entries)) != flight.Recorded {
+		t.Fatalf("flight retains %d of %d recorded", len(flight.Entries), flight.Recorded)
+	}
+	var fShed, fDegraded int
+	for _, e := range flight.Entries {
+		if e.Outcome == "shed" {
+			fShed++
+		}
+		if e.Degraded {
+			fDegraded++
+		}
+		if e.TraceID == "" || e.Endpoint == "" {
+			t.Fatalf("flight entry missing identity: %+v", e)
+		}
+	}
+	if want := report.Shed + shedReport.Shed; fShed != want {
+		t.Errorf("flight captured %d sheds, want %d", fShed, want)
+	}
+	if want := report.Degraded + shedReport.Degraded; fDegraded != want {
+		t.Errorf("flight captured %d degraded answers, want %d", fDegraded, want)
 	}
 
 	// Drain and verify no goroutine leaks: everything the suite spawned
@@ -215,4 +276,14 @@ func TestChaosSuite(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// flightBody fetches /debug/requests through the Doer.
+func flightBody(t *testing.T, doer Doer) *bytes.Reader {
+	t.Helper()
+	res, err := doer.Do(http.MethodGet, "/debug/requests", nil)
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("GET /debug/requests: %v status %d", err, res.Status)
+	}
+	return bytes.NewReader(res.Body)
 }

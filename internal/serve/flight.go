@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"multijoin/internal/obs"
+)
+
+// The flight recorder: a bounded ring of the most recent *interesting*
+// requests — shed, degraded, errored, or slower than the threshold —
+// each kept with its full span tree. It answers GET /debug/requests, so
+// an operator staring at a latency spike can pull the actual traces of
+// the requests that hurt without any external tracing backend. Healthy
+// fast requests are not recorded; the ring holds only the tail worth
+// debugging.
+
+// FlightSchema identifies the /debug/requests JSON shape.
+const FlightSchema = "multijoin/flightrecord/v1"
+
+const (
+	// defaultFlightCap is the ring capacity when Config.FlightCap is 0.
+	defaultFlightCap = 64
+	// defaultSlowThreshold marks requests as slow when
+	// Config.SlowThreshold is 0.
+	defaultSlowThreshold = time.Second
+)
+
+// FlightEntry is one recorded request in the flight ring.
+type FlightEntry struct {
+	// TraceID is the request's trace identifier.
+	TraceID string `json:"traceId"`
+	// Endpoint is the request path.
+	Endpoint string `json:"endpoint"`
+	// Tenant is the resolved tenant class; empty when the request died
+	// before tenant resolution.
+	Tenant string `json:"tenant,omitempty"`
+	// Outcome classifies the request: "ok", "shed", "deadline",
+	// "bad_request" or "internal".
+	Outcome string `json:"outcome"`
+	// Status is the HTTP status answered.
+	Status int `json:"status"`
+	// Rung names the answering ladder rung (successful requests only).
+	Rung string `json:"rung,omitempty"`
+	// Degraded marks answers from below the class's start rung.
+	Degraded bool `json:"degraded,omitempty"`
+	// DurNS is the request's wall-clock duration in nanoseconds.
+	DurNS int64 `json:"durNs"`
+	// Tuples and States are the answering guard's ledger spend.
+	Tuples int64 `json:"tuples"`
+	// States is the answering guard's state-budget spend.
+	States int64 `json:"states"`
+	// Error is the failure message (failed requests only).
+	Error string `json:"error,omitempty"`
+	// Spans is the request's completed span tree.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
+}
+
+// FlightDoc is the body of GET /debug/requests.
+type FlightDoc struct {
+	// Schema is FlightSchema.
+	Schema string `json:"schema"`
+	// Capacity is the ring size.
+	Capacity int `json:"capacity"`
+	// Recorded counts every entry ever recorded; Evicted counts entries
+	// overwritten by newer ones. Recorded − Evicted == len(Entries).
+	Recorded int64 `json:"recorded"`
+	// Evicted counts entries overwritten past the ring capacity.
+	Evicted int64 `json:"evicted"`
+	// Entries holds the retained entries, oldest first.
+	Entries []FlightEntry `json:"entries"`
+}
+
+// flightRecorder is the ring. All methods are safe for concurrent use.
+type flightRecorder struct {
+	mu       sync.Mutex
+	cap      int
+	slow     time.Duration
+	buf      []FlightEntry
+	start    int // index of the oldest entry once the ring is full
+	recorded int64
+	evicted  int64
+}
+
+// newFlightRecorder builds the ring, applying defaults for zero config.
+func newFlightRecorder(capacity int, slow time.Duration) *flightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightCap
+	}
+	if slow <= 0 {
+		slow = defaultSlowThreshold
+	}
+	return &flightRecorder{cap: capacity, slow: slow}
+}
+
+// interesting reports whether the request belongs in the ring: any
+// non-200 answer, any degraded answer, or anything slower than the
+// threshold.
+func (f *flightRecorder) interesting(e FlightEntry) bool {
+	return e.Status != 200 || e.Degraded || e.DurNS >= f.slow.Nanoseconds()
+}
+
+// record appends an entry, overwriting the oldest when full.
+func (f *flightRecorder) record(e FlightEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recorded++
+	if len(f.buf) < f.cap {
+		f.buf = append(f.buf, e)
+		return
+	}
+	f.buf[f.start] = e
+	f.start = (f.start + 1) % f.cap
+	f.evicted++
+}
+
+// snapshot copies the ring into its serializable form, oldest first.
+func (f *flightRecorder) snapshot() FlightDoc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries := make([]FlightEntry, 0, len(f.buf))
+	for i := 0; i < len(f.buf); i++ {
+		entries = append(entries, f.buf[(f.start+i)%len(f.buf)])
+	}
+	return FlightDoc{
+		Schema:   FlightSchema,
+		Capacity: f.cap,
+		Recorded: f.recorded,
+		Evicted:  f.evicted,
+		Entries:  entries,
+	}
+}
+
+// Flight returns the server's current flight-recorder contents.
+func (s *Server) Flight() FlightDoc { return s.flight.snapshot() }
+
+// DecodeFlight reads and validates a flight-recorder document: it must
+// parse strictly, carry FlightSchema, and satisfy the retention
+// identity Recorded − Evicted == len(Entries) ≤ Capacity.
+func DecodeFlight(r io.Reader) (*FlightDoc, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc FlightDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("serve: decoding flight JSON: %w", err)
+	}
+	if doc.Schema != FlightSchema {
+		return nil, fmt.Errorf("serve: flight schema %q, want %q", doc.Schema, FlightSchema)
+	}
+	if doc.Capacity <= 0 {
+		return nil, fmt.Errorf("serve: flight capacity %d, want positive", doc.Capacity)
+	}
+	if doc.Recorded-doc.Evicted != int64(len(doc.Entries)) {
+		return nil, fmt.Errorf("serve: flight accounting broken: recorded %d − evicted %d ≠ %d entries",
+			doc.Recorded, doc.Evicted, len(doc.Entries))
+	}
+	if len(doc.Entries) > doc.Capacity {
+		return nil, fmt.Errorf("serve: flight holds %d entries over capacity %d",
+			len(doc.Entries), doc.Capacity)
+	}
+	return &doc, nil
+}

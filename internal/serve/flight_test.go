@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRingEviction(t *testing.T) {
+	f := newFlightRecorder(2, time.Second)
+	for i := 0; i < 5; i++ {
+		f.record(FlightEntry{TraceID: fmt.Sprintf("t%d", i), Status: 429})
+	}
+	doc := f.snapshot()
+	if doc.Recorded != 5 || doc.Evicted != 3 {
+		t.Fatalf("recorded/evicted = %d/%d, want 5/3", doc.Recorded, doc.Evicted)
+	}
+	if len(doc.Entries) != 2 {
+		t.Fatalf("retained %d entries, want 2", len(doc.Entries))
+	}
+	// Oldest first: the survivors are the last two recorded, in order.
+	if doc.Entries[0].TraceID != "t3" || doc.Entries[1].TraceID != "t4" {
+		t.Errorf("retained %q/%q, want t3/t4", doc.Entries[0].TraceID, doc.Entries[1].TraceID)
+	}
+	if err := validateFlightDoc(t, doc); err != nil {
+		t.Errorf("snapshot fails its own decoder: %v", err)
+	}
+}
+
+// validateFlightDoc round-trips a doc through DecodeFlight.
+func validateFlightDoc(t *testing.T, doc FlightDoc) error {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeFlight(bytes.NewReader(raw))
+	return err
+}
+
+func TestFlightInteresting(t *testing.T) {
+	f := newFlightRecorder(4, time.Second)
+	for name, tc := range map[string]struct {
+		e    FlightEntry
+		want bool
+	}{
+		"healthy fast": {FlightEntry{Status: 200, DurNS: 1e6}, false},
+		"shed":         {FlightEntry{Status: 429, DurNS: 1e6}, true},
+		"bad request":  {FlightEntry{Status: 400, DurNS: 1e6}, true},
+		"deadline":     {FlightEntry{Status: 504, DurNS: 1e6}, true},
+		"degraded ok":  {FlightEntry{Status: 200, Degraded: true, DurNS: 1e6}, true},
+		"slow ok":      {FlightEntry{Status: 200, DurNS: 2e9}, true},
+		"at threshold": {FlightEntry{Status: 200, DurNS: 1e9}, true},
+		"just under":   {FlightEntry{Status: 200, DurNS: 1e9 - 1}, false},
+	} {
+		if got := f.interesting(tc.e); got != tc.want {
+			t.Errorf("%s: interesting = %v, want %v", name, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeFlightRejectsGarbage(t *testing.T) {
+	for name, body := range map[string]string{
+		"not json":       "nope",
+		"wrong schema":   `{"schema":"multijoin/flightrecord/v0","capacity":4,"recorded":0,"evicted":0,"entries":[]}`,
+		"no capacity":    `{"schema":"multijoin/flightrecord/v1","capacity":0,"recorded":0,"evicted":0,"entries":[]}`,
+		"accounting":     `{"schema":"multijoin/flightrecord/v1","capacity":4,"recorded":3,"evicted":0,"entries":[]}`,
+		"over capacity":  `{"schema":"multijoin/flightrecord/v1","capacity":1,"recorded":2,"evicted":0,"entries":[{"traceId":"a","endpoint":"/x","outcome":"shed","status":429,"durNs":1,"tuples":0,"states":0},{"traceId":"b","endpoint":"/x","outcome":"shed","status":429,"durNs":1,"tuples":0,"states":0}]}`,
+		"unknown field":  `{"schema":"multijoin/flightrecord/v1","capacity":4,"recorded":0,"evicted":0,"entries":[],"extra":1}`,
+		"unknown nested": `{"schema":"multijoin/flightrecord/v1","capacity":4,"recorded":1,"evicted":0,"entries":[{"traceId":"a","endpoint":"/x","outcome":"shed","status":429,"durNs":1,"tuples":0,"states":0,"bogus":true}]}`,
+	} {
+		if _, err := DecodeFlight(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := `{"schema":"multijoin/flightrecord/v1","capacity":4,"recorded":1,"evicted":0,"entries":[{"traceId":"a","endpoint":"/x","outcome":"shed","status":429,"durNs":1,"tuples":0,"states":0}]}`
+	if _, err := DecodeFlight(strings.NewReader(good)); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+}
+
+// TestFlightEndpointCapturesInteresting drives real requests and checks
+// what the ring keeps: failures yes, healthy fast answers no.
+func TestFlightEndpointCapturesInteresting(t *testing.T) {
+	srv, doer, _ := newTestServer(t, Config{})
+
+	// A healthy fast request is not interesting.
+	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode200(t, res)
+	if doc := srv.Flight(); len(doc.Entries) != 0 {
+		t.Fatalf("healthy request recorded: %+v", doc.Entries)
+	}
+
+	// A bad request is captured with its outcome and status.
+	res, _ = doer.Do(http.MethodPost, "/v1/query", []byte("not json"))
+	if res.Status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", res.Status)
+	}
+	doc := srv.Flight()
+	if len(doc.Entries) != 1 {
+		t.Fatalf("bad request not recorded: %+v", doc)
+	}
+	e := doc.Entries[0]
+	if e.Outcome != "bad_request" || e.Status != 400 || e.Error == "" {
+		t.Errorf("entry misclassified: %+v", e)
+	}
+	if !isLowerHex(e.TraceID, 32) || e.Endpoint != "/v1/query" {
+		t.Errorf("entry identity wrong: %+v", e)
+	}
+	if len(e.Spans) == 0 {
+		t.Error("entry has no spans")
+	}
+
+	// The HTTP surface serves the same document, strictly decodable.
+	res, _ = doer.Do(http.MethodGet, "/debug/requests", nil)
+	if res.Status != http.StatusOK {
+		t.Fatalf("GET /debug/requests: status %d", res.Status)
+	}
+	got, err := DecodeFlight(bytes.NewReader(res.Body))
+	if err != nil {
+		t.Fatalf("endpoint document invalid: %v\n%s", err, res.Body)
+	}
+	if got.Recorded != 1 || len(got.Entries) != 1 || got.Entries[0].TraceID != e.TraceID {
+		t.Errorf("endpoint document disagrees with Flight(): %+v", got)
+	}
+	if res, _ := doer.Do(http.MethodPost, "/debug/requests", nil); res.Status != http.StatusMethodNotAllowed {
+		t.Errorf("POST /debug/requests: status %d, want 405", res.Status)
+	}
+}
+
+// TestFlightCapturesSlowRequests drops the threshold to 1ns so a healthy
+// answer becomes "slow" and lands in the ring with its full trace.
+func TestFlightCapturesSlowRequests(t *testing.T) {
+	srv, doer, _ := newTestServer(t, Config{SlowThreshold: time.Nanosecond})
+	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode200(t, res)
+
+	doc := srv.Flight()
+	if len(doc.Entries) != 1 {
+		t.Fatalf("slow request not recorded: %+v", doc)
+	}
+	e := doc.Entries[0]
+	if e.Outcome != "ok" || e.Status != 200 || e.Rung != out.Rung {
+		t.Errorf("entry disagrees with the response: %+v vs %+v", e, out)
+	}
+	if e.Tuples != out.Guard.Tuples.Spent || e.States != out.Guard.States.Spent {
+		t.Errorf("entry spend %d/%d ≠ response guard %d/%d",
+			e.Tuples, e.States, out.Guard.Tuples.Spent, out.Guard.States.Spent)
+	}
+	if len(e.Spans) != len(out.Trace.Spans) {
+		t.Errorf("entry spans %d ≠ trace spans %d", len(e.Spans), len(out.Trace.Spans))
+	}
+}

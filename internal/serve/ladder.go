@@ -150,18 +150,24 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 		start = RungDP
 	}
 	for rung := start; rung < rungCount; rung++ {
+		rsp := req.rec.StartSpan("rung:" + rung.String())
 		g := guard.New(req.ctx, req.limitsFor(rung))
 		req.ev.WithGuard(g)
-		err := attemptRung(req, rung, out)
+		err := attemptRung(req, rung, g, out)
+		snap := g.Snapshot()
+		rsp.AddDelta(snap.Tuples.Spent, snap.States.Spent, snap.Steps.Spent)
 		if err == nil {
+			rsp.End()
 			out.rung = rung
-			out.snapshot = g.Snapshot()
+			out.snapshot = snap
 			if out.degraded() {
 				req.rec.Counter("serve.degraded").Inc()
 				req.rec.Counter("serve.degraded." + rung.String()).Inc()
 			}
 			return out, nil
 		}
+		rsp.Fail(err)
+		rsp.End()
 		if !guard.Tripped(err) {
 			return nil, err
 		}
@@ -174,9 +180,48 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 	return nil, &ladderError{trips: out.trips}
 }
 
-// attemptRung runs one rung, filling out.strategy/cost/estimated (and
-// out.analysis for analyze mode) on success.
-func attemptRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
+// attemptRung runs one rung under its fresh guard, wrapping the
+// planning work in an "optimize" span and any materialization in an
+// "execute" span. The guard-ledger readings at the span boundaries are
+// the spans' τ/state attribution, so the answering rung's optimize and
+// execute deltas sum exactly to the response's guard spend.
+func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcome) error {
+	osp := req.rec.StartSpan("optimize")
+	err := planRung(req, rung, out)
+	planned := g.Snapshot()
+	osp.AddDelta(planned.Tuples.Spent, planned.States.Spent, planned.Steps.Spent)
+	if err != nil {
+		osp.Fail(err)
+		osp.End()
+		return err
+	}
+	osp.End()
+
+	esp := req.rec.StartSpan("execute")
+	if !req.execute || rung == RungEstimate {
+		// The estimate rung never executes; other rungs skip execution
+		// when the request did not ask for it. The span still appears,
+		// with zero deltas, so every answer carries the full taxonomy.
+		esp.SetAttr("skipped", "true")
+		esp.End()
+		return nil
+	}
+	err = req.maybeExecute(out)
+	final := g.Snapshot()
+	esp.AddDelta(final.Tuples.Spent-planned.Tuples.Spent,
+		final.States.Spent-planned.States.Spent,
+		final.Steps.Spent-planned.Steps.Spent)
+	if err != nil {
+		esp.Fail(err)
+	}
+	esp.End()
+	return err
+}
+
+// planRung runs one rung's planning work, filling
+// out.strategy/cost/estimated (and out.analysis for analyze mode) on
+// success. Execution is the caller's concern.
+func planRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
 	switch rung {
 	case RungExhaustive:
 		res, err := optimizer.ExhaustiveGuarded(req.ev)
@@ -184,7 +229,7 @@ func attemptRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
 			return err
 		}
 		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
-		return req.maybeExecute(out)
+		return nil
 
 	case RungDP:
 		if req.analyze {
@@ -205,14 +250,14 @@ func attemptRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
 				return fmt.Errorf("serve: analysis complete but missing the full-space optimum")
 			}
 			out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
-			return req.maybeExecute(out)
+			return nil
 		}
 		res, err := optimizer.Optimize(req.ev, optimizer.SpaceAll)
 		if err != nil {
 			return err
 		}
 		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
-		return req.maybeExecute(out)
+		return nil
 
 	case RungGreedy:
 		res, err := optimizer.GreedyGuarded(req.ev)
@@ -220,7 +265,7 @@ func attemptRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
 			return err
 		}
 		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
-		return req.maybeExecute(out)
+		return nil
 
 	case RungEstimate:
 		return estimateRung(req, out)

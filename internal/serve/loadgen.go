@@ -101,6 +101,9 @@ func BuildRequestBody(db *database.Database, tenant string, execute, noCache boo
 type LoadCase struct {
 	// Path is the endpoint ("/v1/query" or "/v1/analyze").
 	Path string
+	// Tenant names the case's tenant class for the per-tenant
+	// breakdown; empty buckets under "unknown".
+	Tenant string
 	// Body is the JSON request body.
 	Body []byte
 }
@@ -148,6 +151,31 @@ type LoadReport struct {
 	ShedP50NS int64 `json:"shedP50Ns"`
 	// ShedP99NS is the 99th-percentile shed latency.
 	ShedP99NS int64 `json:"shedP99Ns"`
+	// PerTenant breaks the run down by tenant class, keyed by
+	// LoadCase.Tenant.
+	PerTenant map[string]*TenantLoadStats `json:"perTenant,omitempty"`
+}
+
+// TenantLoadStats is one tenant class's slice of a load run.
+type TenantLoadStats struct {
+	// Requests is the number issued for this class.
+	Requests int `json:"requests"`
+	// OK counts 200 responses.
+	OK int `json:"ok"`
+	// Degraded counts 200 responses answered below the start rung.
+	Degraded int `json:"degraded"`
+	// Shed counts 429 responses.
+	Shed int `json:"shed"`
+	// Refused counts 400/405/503 responses.
+	Refused int `json:"refused"`
+	// Deadline counts 504 responses.
+	Deadline int `json:"deadline"`
+	// Failed counts transport errors and protocol violations.
+	Failed int `json:"failed"`
+	// LatencyP50NS and LatencyP99NS are this class's latency quantiles.
+	LatencyP50NS int64 `json:"latencyP50Ns"`
+	// LatencyP99NS is the class's 99th-percentile latency.
+	LatencyP99NS int64 `json:"latencyP99Ns"`
 }
 
 // maxViolationSamples bounds the failure descriptions kept verbatim.
@@ -203,7 +231,7 @@ func RunLoad(d Doer, cfg LoadConfig) (*LoadReport, error) {
 				c := cfg.Cases[i%len(cfg.Cases)]
 				start := time.Now()
 				res, err := d.Do(http.MethodPost, c.Path, c.Body)
-				tally.observe(res, err, time.Since(start))
+				tally.observe(c.Tenant, res, err, time.Since(start))
 			}
 		}()
 	}
@@ -211,6 +239,7 @@ func RunLoad(d Doer, cfg LoadConfig) (*LoadReport, error) {
 
 	report := &LoadReport{Requests: cfg.Requests}
 	var all, shed []time.Duration
+	tenantLat := map[string][]time.Duration{}
 	for i := range results {
 		t := &results[i]
 		report.OK += t.ok
@@ -227,11 +256,33 @@ func RunLoad(d Doer, cfg LoadConfig) (*LoadReport, error) {
 		}
 		all = append(all, t.latencies...)
 		shed = append(shed, t.shedLatencies...)
+		for name, tt := range t.perTenant {
+			if report.PerTenant == nil {
+				report.PerTenant = map[string]*TenantLoadStats{}
+			}
+			ts := report.PerTenant[name]
+			if ts == nil {
+				ts = &TenantLoadStats{}
+				report.PerTenant[name] = ts
+			}
+			ts.Requests += tt.requests
+			ts.OK += tt.ok
+			ts.Degraded += tt.degraded
+			ts.Shed += tt.shed
+			ts.Refused += tt.refused
+			ts.Deadline += tt.deadline
+			ts.Failed += tt.failed
+			tenantLat[name] = append(tenantLat[name], tt.latencies...)
+		}
 	}
 	report.LatencyP50NS = quantileNS(all, 0.50)
 	report.LatencyP99NS = quantileNS(all, 0.99)
 	report.ShedP50NS = quantileNS(shed, 0.50)
 	report.ShedP99NS = quantileNS(shed, 0.99)
+	for name, lat := range tenantLat {
+		report.PerTenant[name].LatencyP50NS = quantileNS(lat, 0.50)
+		report.PerTenant[name].LatencyP99NS = quantileNS(lat, 0.99)
+	}
 	return report, nil
 }
 
@@ -243,6 +294,14 @@ type workerTally struct {
 	failed                   int
 	violations               []string
 	latencies, shedLatencies []time.Duration
+	perTenant                map[string]*tenantTally
+}
+
+// tenantTally is one worker's per-tenant-class slice of the run.
+type tenantTally struct {
+	requests, ok, degraded          int
+	shed, refused, deadline, failed int
+	latencies                       []time.Duration
 }
 
 func (t *workerTally) fail(msg string) {
@@ -252,11 +311,32 @@ func (t *workerTally) fail(msg string) {
 	}
 }
 
+// tenant returns the worker's bucket for the class, creating it on
+// first use.
+func (t *workerTally) tenant(name string) *tenantTally {
+	if name == "" {
+		name = "unknown"
+	}
+	if t.perTenant == nil {
+		t.perTenant = map[string]*tenantTally{}
+	}
+	tt := t.perTenant[name]
+	if tt == nil {
+		tt = &tenantTally{}
+		t.perTenant[name] = tt
+	}
+	return tt
+}
+
 // observe classifies one response against the service protocol.
-func (t *workerTally) observe(res *DoResult, err error, took time.Duration) {
+func (t *workerTally) observe(tenant string, res *DoResult, err error, took time.Duration) {
 	t.latencies = append(t.latencies, took)
+	tt := t.tenant(tenant)
+	tt.requests++
+	tt.latencies = append(tt.latencies, took)
 	if err != nil {
 		t.fail("transport: " + err.Error())
+		tt.failed++
 		return
 	}
 	switch res.Status {
@@ -264,27 +344,35 @@ func (t *workerTally) observe(res *DoResult, err error, took time.Duration) {
 		var body Response
 		if jerr := json.Unmarshal(res.Body, &body); jerr != nil {
 			t.fail("unparseable 200 body: " + jerr.Error())
+			tt.failed++
 			return
 		}
 		t.ok++
+		tt.ok++
 		if body.Degraded {
 			t.degraded++
+			tt.degraded++
 		}
 		if body.CacheHit {
 			t.cacheHits++
 		}
 	case http.StatusTooManyRequests:
 		t.shed++
+		tt.shed++
 		t.shedLatencies = append(t.shedLatencies, took)
 		if secs, aerr := parseRetryAfter(res.RetryAfter); aerr != nil || secs < 1 {
 			t.fail("shed without usable Retry-After: " + res.RetryAfter)
+			tt.failed++
 		}
 	case http.StatusBadRequest, http.StatusMethodNotAllowed, http.StatusServiceUnavailable:
 		t.refused++
+		tt.refused++
 	case http.StatusGatewayTimeout:
 		t.deadline++
+		tt.deadline++
 	default:
 		t.fail(fmt.Sprintf("unexpected status %d", res.Status))
+		tt.failed++
 	}
 }
 

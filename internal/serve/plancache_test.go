@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 
 	"multijoin/internal/core"
@@ -63,5 +64,49 @@ func TestPlanCacheHitMissCounters(t *testing.T) {
 	if rec.Counter("serve.cache.hit").Value() != 1 || rec.Counter("serve.cache.miss").Value() != 1 {
 		t.Errorf("hit/miss = %d/%d, want 1/1",
 			rec.Counter("serve.cache.hit").Value(), rec.Counter("serve.cache.miss").Value())
+	}
+}
+
+// TestPlanCacheConcurrentHitFillEvict hammers one small cache from many
+// goroutines doing get-else-put over a key space four times the
+// capacity. Run under -race in CI, it is the cache's concurrency-safety
+// test; the counter identities are checked after the dust settles.
+func TestPlanCacheConcurrentHitFillEvict(t *testing.T) {
+	rec := obs.NewRecorder()
+	pc := newPlanCache(8, rec)
+	plan := cachedPlan{strategy: strategy.Leaf(0), rung: RungDP, cost: 1}
+
+	const (
+		workers = 8
+		ops     = 500
+		keys    = 32
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				fp := fpOf(uint64((w*ops + i) % keys))
+				if _, ok := pc.get(fp); !ok {
+					pc.put(fp, plan)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := pc.len(); got > 8 {
+		t.Errorf("cache grew past capacity: len %d", got)
+	}
+	hits := rec.Counter("serve.cache.hit").Value()
+	misses := rec.Counter("serve.cache.miss").Value()
+	if hits+misses != workers*ops {
+		t.Errorf("hit %d + miss %d ≠ %d lookups", hits, misses, workers*ops)
+	}
+	// 32 keys cycling through an 8-entry cache must evict; with capacity
+	// respected, evictions are at least fills − capacity.
+	if evicts := rec.Counter("serve.cache.evict").Value(); evicts == 0 {
+		t.Error("no evictions despite 4× key pressure")
 	}
 }

@@ -128,6 +128,9 @@ type Response struct {
 	Analysis json.RawMessage `json:"analysis,omitempty"`
 	// Guard is the final rung's budget ledger.
 	Guard guard.Snapshot `json:"guard"`
+	// Trace is the request's span tree; present on every API answer,
+	// absent only for direct library callers that bypass the handler.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 // ErrorInfo is the body of every non-2xx response.

@@ -41,6 +41,12 @@ type Config struct {
 	Chaos ChaosConfig
 	// Recorder receives the service metrics; nil records nothing.
 	Recorder *obs.Recorder
+	// FlightCap bounds the flight-recorder ring; 0 selects the
+	// default (64).
+	FlightCap int
+	// SlowThreshold marks requests slower than this for the flight
+	// recorder; 0 selects the default (1s).
+	SlowThreshold time.Duration
 }
 
 // Server is the service: tenant classes, admission gates, the plan
@@ -51,6 +57,7 @@ type Server struct {
 	cache   *planCache
 	chaos   *chaos
 	rec     *obs.Recorder
+	flight  *flightRecorder
 
 	mu       sync.Mutex
 	draining bool
@@ -75,6 +82,7 @@ func New(cfg Config) (*Server, error) {
 		cache:     newPlanCache(cfg.PlanCacheCap, rec),
 		chaos:     newChaos(cfg.Chaos, rec),
 		rec:       rec,
+		flight:    newFlightRecorder(cfg.FlightCap, cfg.SlowThreshold),
 		cRequests: rec.Counter("serve.requests"),
 		cOK:       rec.Counter("serve.ok"),
 		cFailed:   rec.Counter("serve.failed"),
@@ -137,14 +145,18 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Handler mounts the API:
 //
-//	GET  /healthz     liveness (always 200 while the process runs)
-//	GET  /readyz      readiness (503 once draining)
-//	POST /v1/analyze  full four-space analysis with certificates
-//	POST /v1/query    plan (and optionally execute) one join query
+//	GET  /healthz         liveness (always 200 while the process runs)
+//	GET  /readyz          readiness (503 once draining)
+//	GET  /metrics         Prometheus text exposition of the recorder
+//	GET  /debug/requests  flight recorder: recent interesting traces
+//	POST /v1/analyze      full four-space analysis with certificates
+//	POST /v1/query        plan (and optionally execute) one join query
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleFlight)
 	mux.HandleFunc("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		s.handleRun(w, r, true)
 	})
@@ -166,9 +178,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
+// handleMetrics serves the recorder snapshot as Prometheus text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "serve: GET only", 0, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.rec.WritePrometheus(w)
+}
+
+// handleFlight serves the flight recorder's retained request traces.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "serve: GET only", 0, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flight.snapshot())
+}
+
 // handleRun is both API endpoints: decode, admit, descend the ladder,
 // answer. analyze selects the full four-space analysis; otherwise the
-// request plans (and optionally executes) in the full space only.
+// request plans (and optionally executes) in the full space only. The
+// whole run is traced against a request-scoped recorder; finishRequest
+// owns the epilogue (headers, body, labeled series, flight record).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, analyze bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -185,41 +220,52 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, analyze bool)
 	}
 
 	s.cRequests.Inc()
-	sw := s.tRequest.Start()
-	defer sw.Stop()
+	start := time.Now()
+	rt := s.startRequestTrace(r)
+	resp, herr := s.serveRun(r, rt, analyze)
+	dur := time.Since(start)
+	s.tRequest.Observe(dur)
+	s.finishRequest(w, rt, resp, herr, dur)
+}
 
+// serveRun runs one traced request end to end: decode, tenant lookup,
+// admission, then the plan cache and ladder. It returns the response or
+// a classified failure, never writing to the wire itself.
+func (s *Server) serveRun(r *http.Request, rt *requestTrace, analyze bool) (*Response, *httpError) {
 	req, db, err := DecodeRequest(r.Body)
 	if err != nil {
-		s.cFailed.Inc()
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0, nil)
-		return
+		return nil, &httpError{status: http.StatusBadRequest, kind: "bad_request", msg: err.Error()}
 	}
 	class, ok := s.tenants.lookup(req.Tenant)
 	if !ok {
-		s.cFailed.Inc()
-		writeError(w, http.StatusBadRequest, "bad_request",
-			"serve: unknown tenant class "+strconv.Quote(req.Tenant), 0, nil)
-		return
+		return nil, &httpError{status: http.StatusBadRequest, kind: "bad_request",
+			msg: "serve: unknown tenant class " + strconv.Quote(req.Tenant)}
 	}
+	rt.class = class.Name
+	rt.root.SetAttr("tenant", class.Name)
 	s.rec.Counter("serve.tenant." + class.Name + ".requests").Inc()
 
 	plan := s.chaos.next()
 	ctx, cancel := context.WithTimeout(r.Context(), class.Deadline)
 	defer cancel()
 
+	asp := rt.rec.StartSpan("admission")
 	tk, err := s.adm.admit(ctx, class.Name)
 	if err != nil {
-		s.cFailed.Inc()
+		asp.Fail(err)
+		asp.End()
 		if errors.Is(err, ErrShed) {
 			secs := int(s.adm.retryAfter(class.Name, time.Now()) / time.Second)
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeError(w, http.StatusTooManyRequests, "shed",
-				"serve: class "+class.Name+" saturated, request shed", secs, nil)
-			return
+			return nil, &httpError{
+				status:     http.StatusTooManyRequests,
+				kind:       "shed",
+				msg:        "serve: class " + class.Name + " saturated, request shed",
+				retryAfter: secs,
+			}
 		}
-		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error(), 0, nil)
-		return
+		return nil, &httpError{status: http.StatusGatewayTimeout, kind: "deadline", msg: err.Error()}
 	}
+	asp.End()
 	defer tk.release()
 
 	// The request guard carries the deadline only; it exists so
@@ -237,15 +283,79 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, analyze bool)
 		}
 	}
 
-	resp, herr := s.runRequest(ctx, req, db, class, plan, analyze)
+	return s.runRequest(ctx, rt, req, db, class, plan, analyze)
+}
+
+// finishRequest is the traced epilogue shared by success and failure:
+// end the root span, stamp the trace headers, write the body, feed the
+// per-tenant labeled series and latency histograms, offer the request
+// to the flight recorder, and fold the request-scoped recorder into the
+// server's so process totals keep reconciling.
+func (s *Server) finishRequest(w http.ResponseWriter, rt *requestTrace,
+	resp *Response, herr *httpError, dur time.Duration) {
+	outcome, status := "ok", http.StatusOK
+	if herr != nil {
+		outcome, status = herr.kind, herr.status
+		rt.root.Fail(errors.New(herr.msg))
+	}
+	rt.root.SetAttr("outcome", outcome)
+	rt.root.End()
+
+	w.Header().Set("Trace-Id", rt.traceID)
+	w.Header().Set("Traceparent", rt.traceparentHeader())
+
+	tenant := rt.class
+	if tenant == "" {
+		tenant = "unknown"
+	}
+	labels := obs.Labels{"tenant": tenant, "endpoint": rt.endpoint, "outcome": outcome}
+	s.rec.LabeledCounter("serve.requests.by", labels).Inc()
+	s.rec.Histogram("serve.request.latency", obs.DefaultLatencyBucketsNS, labels).
+		Observe(dur.Nanoseconds())
+
+	spans := rt.rec.Spans()
+	entry := FlightEntry{
+		TraceID:  rt.traceID,
+		Endpoint: rt.endpoint,
+		Tenant:   rt.class,
+		Outcome:  outcome,
+		Status:   status,
+		DurNS:    dur.Nanoseconds(),
+		Spans:    spans,
+	}
 	if herr != nil {
 		s.cFailed.Inc()
-		writeError(w, herr.status, herr.kind, herr.msg, 0, herr.trips)
+		entry.Error = herr.msg
+		if herr.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(herr.retryAfter))
+		}
+	} else {
+		resp.Tenant = rt.class
+		resp.Trace = &TraceInfo{
+			TraceID:      rt.traceID,
+			DroppedSpans: rt.rec.DroppedSpans(),
+			Spans:        spans,
+		}
+		entry.Rung = resp.Rung
+		entry.Degraded = resp.Degraded
+		entry.Tuples = resp.Guard.Tuples.Spent
+		entry.States = resp.Guard.States.Spent
+		s.rec.Histogram("serve.request.tuples", obs.DefaultTupleBuckets, labels).
+			Observe(resp.Guard.Tuples.Spent)
+		s.cOK.Inc()
+		s.rec.Counter("serve.tenant." + rt.class + ".ok").Inc()
+	}
+	// Record and fold before the body goes out: a client that has seen
+	// the response must already find its trace at /debug/requests and
+	// its spend in /metrics.
+	if s.flight.interesting(entry) {
+		s.flight.record(entry)
+	}
+	s.rec.Absorb(rt.rec)
+	if herr != nil {
+		writeError(w, herr.status, herr.kind, herr.msg, herr.retryAfter, herr.trips)
 		return
 	}
-	resp.Tenant = class.Name
-	s.cOK.Inc()
-	s.rec.Counter("serve.tenant." + class.Name + ".ok").Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -255,18 +365,22 @@ type httpError struct {
 	kind   string
 	msg    string
 	trips  []TripInfo
+	// retryAfter is the Retry-After hint in whole seconds (shed only).
+	retryAfter int
 }
 
 // runRequest executes one admitted request: plan cache, then the
-// degradation ladder.
-func (s *Server) runRequest(ctx context.Context, req *Request, db *database.Database,
-	class TenantClass, plan chaosPlan, analyze bool) (*Response, *httpError) {
+// degradation ladder. The evaluator records against the request-scoped
+// recorder, so the ladder's spans and the engine's phase events land in
+// this request's trace.
+func (s *Server) runRequest(ctx context.Context, rt *requestTrace, req *Request,
+	db *database.Database, class TenantClass, plan chaosPlan, analyze bool) (*Response, *httpError) {
 	fp := core.FingerprintDB(db)
-	ev := database.NewEvaluator(db).WithRecorder(s.rec)
+	ev := database.NewEvaluator(db).WithRecorder(rt.rec)
 
 	if !analyze && !req.NoCache {
 		if hit, ok := s.cache.get(fp); ok {
-			if resp, ok := s.serveFromCache(ctx, req, class, plan, ev, fp, hit); ok {
+			if resp, ok := s.serveFromCache(ctx, rt, req, class, plan, ev, fp, hit); ok {
 				return resp, nil
 			}
 			// Executing the cached plan tripped a budget — fall through
@@ -279,7 +393,7 @@ func (s *Server) runRequest(ctx context.Context, req *Request, db *database.Data
 		ctx:       ctx,
 		db:        db,
 		ev:        ev,
-		rec:       s.rec,
+		rec:       rt.rec,
 		start:     class.StartRung,
 		analyze:   analyze,
 		execute:   analyze || req.Execute,
@@ -319,9 +433,20 @@ func (s *Server) runRequest(ctx context.Context, req *Request, db *database.Data
 
 // serveFromCache answers a query from the plan cache, executing the
 // cached plan under a fresh guard when asked to. It reports !ok when
-// execution trips, sending the caller to the ladder.
-func (s *Server) serveFromCache(ctx context.Context, req *Request, class TenantClass,
-	plan chaosPlan, ev *database.Evaluator, fp core.Fingerprint, hit cachedPlan) (*Response, bool) {
+// execution trips, sending the caller to the ladder. The rung span
+// mirrors the ladder's shape — a zero-cost cached "optimize" child,
+// then "execute" carrying the full guard spend — so the trace invariant
+// (answering rung's optimize+execute deltas == response guard spend)
+// holds on cache hits too.
+func (s *Server) serveFromCache(ctx context.Context, rt *requestTrace, req *Request,
+	class TenantClass, plan chaosPlan, ev *database.Evaluator,
+	fp core.Fingerprint, hit cachedPlan) (*Response, bool) {
+	rsp := rt.rec.StartSpan("rung:" + hit.rung.String())
+	rsp.SetAttr("cached", "true")
+	osp := rt.rec.StartSpan("optimize")
+	osp.SetAttr("cached", "true")
+	osp.End()
+
 	g := guard.New(ctx, s.chaos.applyLimits(plan, class.Limits()))
 	ev.WithGuard(g)
 	out := &ladderOutcome{
@@ -330,12 +455,25 @@ func (s *Server) serveFromCache(ctx context.Context, req *Request, class TenantC
 		cost:      hit.cost,
 		estimated: hit.estimated,
 	}
+	esp := rt.rec.StartSpan("execute")
 	if req.Execute {
-		if err := (ladderRequest{ev: ev, execute: true}).maybeExecute(out); err != nil {
+		err := (ladderRequest{ev: ev, execute: true}).maybeExecute(out)
+		snap := g.Snapshot()
+		esp.AddDelta(snap.Tuples.Spent, snap.States.Spent, snap.Steps.Spent)
+		rsp.AddDelta(snap.Tuples.Spent, snap.States.Spent, snap.Steps.Spent)
+		if err != nil {
+			esp.Fail(err)
+			esp.End()
+			rsp.Fail(err)
+			rsp.End()
 			return nil, false
 		}
+	} else {
+		esp.SetAttr("skipped", "true")
 	}
+	esp.End()
 	out.snapshot = g.Snapshot()
+	rsp.End()
 	resp := s.buildResponse(ev.Database(), ev, out, fp, req.Execute)
 	resp.CacheHit = true
 	return resp, true
