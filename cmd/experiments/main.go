@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -98,7 +99,7 @@ func main() {
 // runBench executes the bench pipeline, validates the report before
 // writing it, and saves it to path.
 func runBench(path string, workers int) error {
-	rep, err := experiments.RunBench(os.Stdout, workers)
+	rep, err := experiments.RunBench(context.Background(), os.Stdout, workers)
 	if err != nil {
 		return err
 	}

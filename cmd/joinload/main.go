@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -63,7 +64,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		Client:  &http.Client{Timeout: *timeout},
 		BaseURL: strings.TrimRight(*url, "/"),
 	}
-	report, err := serve.RunLoad(doer, serve.LoadConfig{
+	report, err := serve.RunLoad(context.Background(), doer, serve.LoadConfig{
 		Requests:    *requests,
 		Concurrency: *concurrency,
 		Cases:       cases,

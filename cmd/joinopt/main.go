@@ -28,11 +28,12 @@
 package main
 
 import (
+	"context"
 	"os"
 
 	"multijoin/internal/cli"
 )
 
 func main() {
-	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(cli.Run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
 }

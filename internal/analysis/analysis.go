@@ -36,6 +36,10 @@ type Diagnostic struct {
 	Analyzer string
 	// Message describes the violation.
 	Message string
+	// Suppressed marks a finding silenced by a //lint:ignore directive.
+	// RunAnalyzers drops suppressed findings; RunAnalyzersAll keeps them
+	// flagged so machine consumers (joinlint -json) can audit waivers.
+	Suppressed bool
 }
 
 // String renders the diagnostic in the conventional
@@ -78,6 +82,11 @@ type Pass struct {
 	// TypesInfo records uses, selections and types for the files; never
 	// nil, but possibly sparse for code with type errors.
 	TypesInfo *types.Info
+	// Mod is the module-wide flow database (call graph with
+	// blocking/lock summaries, atomic-field registry, lock-order
+	// findings), built once per driver run and shared by every pass. It
+	// is nil only when a pass is constructed by hand without a module.
+	Mod *Module
 
 	report func(Diagnostic)
 }

@@ -11,6 +11,10 @@ package analysis
 //	jsontags       schema-versioned artifacts cannot drift via untagged fields
 //	hotpath        //joinlint:hotpath kernel files stay allocation-disciplined
 //	spanclose      every opened trace span is ended or handed to a caller
+//	lockorder      no mutex held across a blocking op; the acquisition graph stays acyclic
+//	atomicfield    sync/atomic fields are never accessed plainly, typed atomics never copied
+//	ctxflow        library code threads caller contexts; exported blocking serve/guard APIs carry one
+//	metricnames    every obs metric/span name comes from the internal/obs/names.go registry
 func All() []*Analyzer {
 	return []*Analyzer{
 		GuardMirror,
@@ -21,5 +25,9 @@ func All() []*Analyzer {
 		JSONTags,
 		HotPath,
 		SpanClose,
+		LockOrder,
+		AtomicField,
+		CtxFlow,
+		MetricNames,
 	}
 }

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the all-or-nothing contract of atomic access:
+//
+//   - A struct field that is passed by address to a sync/atomic
+//     function anywhere in the module must be accessed through
+//     sync/atomic everywhere — one plain read beside an atomic.AddInt64
+//     is a data race the race detector only catches when both sites
+//     fire concurrently under test.
+//   - A field of one of the typed atomic wrappers (atomic.Int64,
+//     atomic.Bool, atomic.Value, atomic.Pointer[T], …) must never be
+//     copied as a value: the copy silently forks the variable (and vet
+//     flags only some shapes). Taking its address, selecting a method
+//     on it, or receiving it as a composite-literal zero value is fine.
+//
+// The registry of legacy-atomic fields is module-wide (Pass.Mod), so a
+// plain access in one package is caught even when the atomic access
+// lives in another.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic are never read or written plainly, and typed atomics are never copied",
+	Applies: func(relPath string) bool {
+		return relPath == "" || strings.HasPrefix(relPath, "internal/") || strings.HasPrefix(relPath, "cmd/")
+	},
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	if pass.Mod == nil || len(pass.Files) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		imports := importNames(f)
+		blessed := blessedAtomicArgs(pass.TypesInfo, imports, f)
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isFieldSelection(pass.TypesInfo, sel) {
+				return true
+			}
+			key := fieldKeyOf(pass.TypesInfo, sel)
+			if key == "" {
+				return true
+			}
+			if atomicPos, legacy := pass.Mod.atomicFields[key]; legacy && !blessed[sel] {
+				at := pass.Fset.Position(atomicPos)
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed via sync/atomic (%s:%d) and must not be read or written plainly",
+					shortLockName(key), shortFile(at.Filename), at.Line)
+				return true
+			}
+			if typedAtomicField(pass.TypesInfo, sel) && copiesValue(parents, sel) {
+				pass.Reportf(sel.Pos(),
+					"field %s has a typed atomic value; copying it forks the variable — take its address or call its methods",
+					shortLockName(key))
+			}
+			return true
+		})
+	}
+}
+
+// blessedAtomicArgs collects the selectors that appear as &x.f
+// arguments of sync/atomic calls in the file — the legitimate access
+// sites the plain-access rule must not flag.
+func blessedAtomicArgs(info *types.Info, imports map[string]string, f *ast.File) map[*ast.SelectorExpr]bool {
+	blessed := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, _, ok := calleePkgFunc(info, imports, call); !ok || pkgPath != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := u.X.(*ast.SelectorExpr); ok {
+					blessed[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	return blessed
+}
+
+// isFieldSelection reports whether the selector selects a struct field
+// (not a method, not a package member). Without type information it
+// returns false: the atomic rules are typed-only.
+func isFieldSelection(info *types.Info, sel *ast.SelectorExpr) bool {
+	selection, ok := info.Selections[sel]
+	return ok && selection.Kind() == types.FieldVal
+}
+
+// typedAtomicField reports whether the selected field's type is one of
+// the sync/atomic wrapper types (Int32, Int64, Uint64, Bool, Value,
+// Pointer[T], …).
+func typedAtomicField(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, found := info.Types[sel]
+	if !found || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+	}
+	return false
+}
+
+// copiesValue reports whether the selector's immediate context copies
+// the selected value rather than taking its address or selecting
+// through it. Receiver position (s.seq.Add(1)), address-of (&s.seq) and
+// deeper selection (s.seq.x) all keep the original variable; anything
+// else — assignment source or target, call argument, return value,
+// composite-literal element — is a copy.
+func copiesValue(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	switch p := parents[n].(type) {
+	case *ast.UnaryExpr:
+		return p.Op != token.AND
+	case *ast.SelectorExpr:
+		// s.seq.Add — n is the X of a deeper selection.
+		return p.X != n
+	case *ast.ParenExpr:
+		return copiesValue(parents, p)
+	case *ast.RangeStmt:
+		return p.X == n
+	case *ast.AssignStmt, *ast.ValueSpec, *ast.CallExpr, *ast.ReturnStmt,
+		*ast.CompositeLit, *ast.KeyValueExpr, *ast.BinaryExpr, *ast.IndexExpr,
+		*ast.SendStmt:
+		return true
+	}
+	return false
+}
+
+// copiesValue recursion over ParenExpr needs the paren's own parent, so
+// parents must map every node. parentMap builds that map for one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// shortFile trims a filename to its base for compact diagnostics.
+func shortFile(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// cfg.go builds a per-function control-flow graph over the flow events
+// of flow.go and runs a must-hold lockset dataflow on it. The graph is
+// deliberately coarse — basic blocks hold ordered events, not
+// statements — because the analyzers only need to know which locks are
+// certainly held when an event fires, not the full statement structure.
+
+// cfgBlock is one basic block: events in source order plus successor
+// edges.
+type cfgBlock struct {
+	events []event
+	succs  []*cfgBlock
+}
+
+// cfg is one function body's flow graph.
+type cfg struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+// cfgFrame is one enclosing breakable construct (loop, switch, select)
+// on the builder's stack, recording where break and continue jump.
+type cfgFrame struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	info    *types.Info
+	imports map[string]string
+	graph   *cfg
+	cur     *cfgBlock
+	frames  []cfgFrame
+	// pendingLabel names the construct a LabeledStmt wraps, so labeled
+	// break/continue resolve to the right frame.
+	pendingLabel string
+	// fallTo is the next case clause's block while building a switch
+	// clause, the target of a fallthrough statement.
+	fallTo *cfgBlock
+}
+
+// buildCFG constructs the flow graph of one function body. The entry
+// block has no events; unreachable blocks (created after return/break)
+// simply have no incoming edges and are excluded by the dataflow.
+func buildCFG(info *types.Info, imports map[string]string, body *ast.BlockStmt) *cfg {
+	g := &cfg{}
+	b := &cfgBuilder{info: info, imports: imports, graph: g}
+	g.entry = b.newBlock()
+	b.cur = g.entry
+	b.stmt(body)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.graph.blocks = append(b.graph.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) emit(ev event) {
+	b.cur.events = append(b.cur.events, ev)
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// expr emits the flow events of one expression into the current block.
+func (b *cfgBuilder) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	emitExprEvents(b.info, b.imports, e, b.emit)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame resolves a break/continue target: the innermost matching
+// frame, or the labeled one.
+func (b *cfgBuilder) findFrame(label string, needContinue bool) *cfgFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.SendStmt:
+		b.expr(s.Chan)
+		b.expr(s.Value)
+		b.emit(event{kind: evBlock, pos: s.Arrow, desc: "channel send"})
+	case *ast.IncDecStmt:
+		b.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			b.expr(e)
+		}
+		for _, e := range s.Lhs {
+			b.expr(e)
+		}
+	case *ast.DeclStmt:
+		emitExprEvents(b.info, b.imports, s.Decl, b.emit)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			b.expr(e)
+		}
+		// Return terminates the path; whatever follows starts a fresh
+		// (possibly unreachable) block.
+		b.cur = b.newBlock()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		// The deferred call's receiver and arguments evaluate now; the
+		// call itself runs at return. A deferred Unlock therefore keeps
+		// the lock held for the rest of the function — which is exactly
+		// the must-hold semantics, so no event is emitted for the call.
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			b.expr(sel.X)
+		}
+		for _, a := range s.Call.Args {
+			b.expr(a)
+		}
+	case *ast.GoStmt:
+		// Arguments evaluate in this goroutine; the body runs in a new
+		// one with an empty lockset (module.go analyzes go-literal bodies
+		// as separate scopes).
+		for _, a := range s.Call.Args {
+			b.expr(a)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.expr(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.link(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		header := b.newBlock()
+		b.link(b.cur, header)
+		b.cur = header
+		b.expr(s.Cond)
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.link(header, after)
+		}
+		body := b.newBlock()
+		b.link(header, body)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, continueTo: header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stmt(s.Post)
+		b.link(b.cur, header)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.expr(s.X)
+		header := b.newBlock()
+		b.link(b.cur, header)
+		if isChanType(b.info, s.X) {
+			header.events = append(header.events,
+				event{kind: evBlock, pos: s.For, desc: "channel receive (range)"})
+		}
+		after := b.newBlock()
+		b.link(header, after)
+		body := b.newBlock()
+		b.link(header, body)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, continueTo: header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, header)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.expr(s.Tag)
+		b.switchClauses(label, s.Body, func(cc *ast.CaseClause) {
+			for _, e := range cc.List {
+				b.expr(e)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		if assign, ok := s.Assign.(*ast.ExprStmt); ok {
+			b.expr(assign.X)
+		} else if assign, ok := s.Assign.(*ast.AssignStmt); ok {
+			for _, e := range assign.Rhs {
+				b.expr(e)
+			}
+		}
+		b.switchClauses(label, s.Body, nil)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Remaining statements (EmptyStmt, …) carry no flow events.
+	}
+}
+
+// switchClauses lowers a (type) switch body: every clause is reachable
+// from the dispatch block, fallthrough jumps to the next clause, break
+// jumps past the switch.
+func (b *cfgBuilder) switchClauses(label string, body *ast.BlockStmt, caseExprs func(*ast.CaseClause)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(dispatch, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(dispatch, after)
+	}
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		if caseExprs != nil {
+			caseExprs(cc)
+		}
+		if i+1 < len(blocks) {
+			b.fallTo = blocks[i+1]
+		} else {
+			b.fallTo = after
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.fallTo = nil
+		b.link(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// selectStmt lowers a select: without a default clause the statement
+// itself parks the goroutine, so it contributes one blocking event in
+// the dispatch block; the per-clause communication op is then already
+// accounted for and only its sub-expressions emit events.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	hasDefault := false
+	var clauses []*ast.CommClause
+	for _, st := range s.Body.List {
+		if cc, ok := st.(*ast.CommClause); ok {
+			clauses = append(clauses, cc)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !hasDefault {
+		b.emit(event{kind: evBlock, pos: s.Select, desc: "select"})
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: after})
+	for _, cc := range clauses {
+		blk := b.newBlock()
+		b.link(dispatch, blk)
+		b.cur = blk
+		b.commExprs(cc.Comm)
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.link(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// commExprs emits the sub-expression events of a select communication
+// without the communication op itself (the select dispatch owns the
+// park).
+func (b *cfgBuilder) commExprs(comm ast.Stmt) {
+	switch c := comm.(type) {
+	case nil:
+	case *ast.SendStmt:
+		b.expr(c.Chan)
+		b.expr(c.Value)
+	case *ast.ExprStmt:
+		if u, ok := c.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			b.expr(u.X)
+		} else {
+			b.expr(c.X)
+		}
+	case *ast.AssignStmt:
+		for _, e := range c.Rhs {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				b.expr(u.X)
+			} else {
+				b.expr(e)
+			}
+		}
+	}
+}
+
+// branch lowers break/continue/goto/fallthrough. Goto is sealed
+// conservatively: the path ends and analysis resumes fresh, so no lock
+// facts cross a goto.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil {
+			b.link(b.cur, f.breakTo)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil {
+			b.link(b.cur, f.continueTo)
+		}
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.link(b.cur, b.fallTo)
+		}
+	}
+	b.cur = b.newBlock()
+}
+
+// lockset maps each certainly-held lock key to the position where it
+// was acquired. A nil lockset is ⊤ — "not yet reached".
+type lockset map[string]token.Pos
+
+func (l lockset) clone() lockset {
+	c := make(lockset, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// meet intersects two locksets (must-hold: a lock is held at a join
+// point only if held on every path). ⊤ is the identity.
+func meetLocksets(a, b lockset) lockset {
+	if a == nil {
+		return b.clone()
+	}
+	out := make(lockset)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func locksetsEqual(a, b lockset) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// flowFinding is one lock-discipline violation found by the dataflow.
+type flowFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// orderEdge records that `from` was held when `to` was acquired, with a
+// witness position for the report.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// lockFlow runs the must-hold dataflow over one CFG and reports
+// held-across-blocking findings and lock-order edges. Function
+// summaries supply the interprocedural facts: a call to a function that
+// may block is a blocking op; a call that acquires locks orders them
+// after everything currently held.
+func lockFlow(g *cfg, sums map[string]*funcSummary) ([]flowFinding, []orderEdge) {
+	in := make(map[*cfgBlock]lockset, len(g.blocks))
+	in[g.entry] = lockset{}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		held := in[blk].clone()
+		for _, ev := range blk.events {
+			switch ev.kind {
+			case evLock:
+				held[ev.key] = ev.pos
+			case evUnlock:
+				delete(held, ev.key)
+			}
+		}
+		for _, succ := range blk.succs {
+			merged := meetLocksets(in[succ], held)
+			if !locksetsEqual(in[succ], merged) {
+				in[succ] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+
+	var findings []flowFinding
+	var edges []orderEdge
+	for _, blk := range g.blocks {
+		held := in[blk]
+		if held == nil {
+			continue // unreachable
+		}
+		held = held.clone()
+		for _, ev := range blk.events {
+			switch ev.kind {
+			case evLock:
+				for h := range held {
+					if h != ev.key {
+						edges = append(edges, orderEdge{from: h, to: ev.key, pos: ev.pos})
+					}
+				}
+				held[ev.key] = ev.pos
+			case evUnlock:
+				delete(held, ev.key)
+			case evBlock:
+				// Cond.Wait atomically releases its own mutex — the API
+				// requires holding it — and we cannot tell which held lock
+				// is the cond's, so it is exempt here (it still poisons
+				// mayBlock summaries).
+				if ev.desc == "Cond.Wait" {
+					continue
+				}
+				for _, h := range sortedKeys(held) {
+					findings = append(findings, flowFinding{
+						pos: ev.pos,
+						msg: "mutex " + shortLockName(h) + " held across blocking " + ev.desc,
+					})
+				}
+			case evCall:
+				sum := sums[ev.callee]
+				if sum == nil {
+					continue
+				}
+				for _, h := range sortedKeys(held) {
+					for _, k := range sortedKeys(sum.allAcquires) {
+						if k != h {
+							edges = append(edges, orderEdge{from: h, to: k, pos: ev.pos})
+						}
+					}
+					if sum.mayBlock {
+						findings = append(findings, flowFinding{
+							pos: ev.pos,
+							msg: "mutex " + shortLockName(h) + " held across call to " +
+								shortFuncName(ev.callee) + ", which may block (" + sum.blockVia + ")",
+						})
+					}
+				}
+			}
+		}
+	}
+	return findings, edges
+}
+
+// sortedKeys returns the lockset's keys in stable order so diagnostics
+// are deterministic.
+func sortedKeys(l lockset) []string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// shortLockName trims a module-wide lock key to a readable suffix:
+// "multijoin/internal/serve.gate.mu" → "serve.gate.mu".
+func shortLockName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return strings.TrimPrefix(key, "local:")
+}
+
+// shortFuncName trims a funcKey the same way.
+func shortFuncName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

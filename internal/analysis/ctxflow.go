@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation contract of the serving plane:
+//
+//   - Library packages never mint their own root contexts: a
+//     context.Background() or context.TODO() call buried in a library
+//     detaches the work from the caller's deadline and trace, which is
+//     how "the request timed out but the query kept running" bugs
+//     happen. Roots belong in main (cmd/) and in tests.
+//   - An exported function in internal/serve or internal/guard that may
+//     block (per the module call graph) must accept a cancellation
+//     carrier: a context.Context or *guard.Guard parameter, an
+//     *http.Request (which carries its context), or a receiver whose
+//     struct holds one. Otherwise a caller has no way to bound the
+//     blocking.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code threads caller contexts: no Background()/TODO(), and exported blocking serve/guard functions carry a context",
+	Applies: func(relPath string) bool {
+		return relPath == "" || strings.HasPrefix(relPath, "internal/")
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		imports := importNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, ok := calleePkgFunc(pass.TypesInfo, imports, call); ok &&
+				pkgPath == "context" && (name == "Background" || name == "TODO") {
+				pass.Reportf(call.Pos(),
+					"context.%s() in library code detaches work from the caller's deadline; accept and thread a context instead", name)
+			}
+			return true
+		})
+	}
+
+	if pass.RelPath != "internal/serve" && pass.RelPath != "internal/guard" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			// A method on an unexported type is not part of the package
+			// surface.
+			if recv := sig.Recv(); recv != nil && !exportedReceiver(recv.Type()) {
+				continue
+			}
+			sum := pass.Mod.Summary(funcKey(fn))
+			if sum == nil || !sum.mayBlock {
+				continue
+			}
+			if signatureCarriesContext(sig) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s may block (%s) but carries no context.Context or *guard.Guard to bound it", fd.Name.Name, sum.blockVia)
+		}
+	}
+}
+
+// exportedReceiver reports whether the receiver's named type is
+// exported.
+func exportedReceiver(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && ast.IsExported(named.Obj().Name())
+}
+
+// signatureCarriesContext reports whether the signature gives callers a
+// cancellation handle: a context.Context, *guard.Guard or *http.Request
+// parameter, or a receiver struct holding a context or guard field.
+func signatureCarriesContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextCarrier(params.At(i).Type()) {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if isContextCarrier(st.Field(i).Type()) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isContextCarrier reports whether the type is context.Context,
+// *guard.Guard or *http.Request (pointer indirection included), or a
+// function type that receives one — callbacks that accept a context
+// count as threading it.
+func isContextCarrier(t types.Type) bool {
+	for _, probe := range [][2]string{
+		{"context", "Context"}, {guardPkg, "Guard"}, {"net/http", "Request"},
+	} {
+		if m, _ := namedTypeIs(t, probe[0], probe[1]); m {
+			return true
+		}
+	}
+	if sig, ok := t.Underlying().(*types.Signature); ok {
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			if m, _ := namedTypeIs(params.At(i).Type(), "context", "Context"); m {
+				return true
+			}
+		}
+	}
+	return false
+}

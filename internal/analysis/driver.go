@@ -78,9 +78,26 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression,
 // applies //lint:ignore suppressions, and returns the surviving
 // diagnostics sorted by position.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	all := RunAnalyzersAll(fset, pkgs, analyzers)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAnalyzersAll is RunAnalyzers without the suppression filter: every
+// diagnostic is returned, with Suppressed set on the ones a
+// //lint:ignore directive waived. joinlint -json uses it so audits see
+// the waivers alongside the live findings; the plain driver path drops
+// them.
+func RunAnalyzersAll(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := BuildModule(fset, pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		out = append(out, runPackage(fset, pkg, analyzers)...)
+		out = append(out, runPackage(fset, pkg, mod, analyzers)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -98,9 +115,9 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 	return out
 }
 
-// runPackage runs the analyzers over one package and filters the
-// findings through the package's suppression directives.
-func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// runPackage runs the analyzers over one package and marks each
+// finding the package's suppression directives cover.
+func runPackage(fset *token.FileSet, pkg *Package, mod *Module, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	for _, an := range analyzers {
 		if an.Applies != nil && !an.Applies(pkg.RelPath) {
@@ -113,6 +130,7 @@ func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diag
 			RelPath:   pkg.RelPath,
 			TypesPkg:  pkg.Types,
 			TypesInfo: pkg.Info,
+			Mod:       mod,
 			report:    func(d Diagnostic) { raw = append(raw, d) },
 		}
 		an.Run(pass)
@@ -120,16 +138,13 @@ func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diag
 	sups, bad := collectSuppressions(fset, pkg.Files)
 	out := bad
 	for _, d := range raw {
-		suppressed := false
 		for _, s := range sups {
 			if s.matches(d) {
-				suppressed = true
+				d.Suppressed = true
 				break
 			}
 		}
-		if !suppressed {
-			out = append(out, d)
-		}
+		out = append(out, d)
 	}
 	return out
 }

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// flow.go is the shared vocabulary of the flow-sensitive analyzers: an
+// ordered stream of lock, unlock, blocking and call events extracted
+// from statements and expressions. The CFG builder (cfg.go) arranges
+// the events into basic blocks, and the module summaries (module.go)
+// aggregate them per function so interprocedural facts — "this call
+// may block", "this call acquires that mutex" — are one map lookup.
+
+// eventKind discriminates flow events.
+type eventKind int
+
+const (
+	// evLock is a Mutex/RWMutex Lock or RLock call.
+	evLock eventKind = iota
+	// evUnlock is the matching Unlock/RUnlock.
+	evUnlock
+	// evBlock is an operation that can park the goroutine: channel
+	// send/receive, select without default, WaitGroup.Wait, Cond.Wait,
+	// time.Sleep, or a known network call.
+	evBlock
+	// evCall is a statically resolved call to a module function.
+	evCall
+)
+
+// event is one flow-relevant operation in source order.
+type event struct {
+	kind eventKind
+	pos  token.Pos
+	// key is the lock key for evLock/evUnlock (see lockKey).
+	key string
+	// desc describes evBlock ("channel receive", "WaitGroup.Wait", …).
+	desc string
+	// callee is the funcKey of the called module function for evCall.
+	callee string
+}
+
+// funcKey returns the module-wide identity of a function — the
+// package-path-qualified name, with the receiver's named type for
+// methods — so call edges resolve across separately type-checked
+// packages, where two *types.Func objects for the same declaration are
+// not pointer-identical.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// calleeFuncKey resolves a call expression to the funcKey of its
+// statically known target. Interface-method and function-value calls
+// return ok=false: the flow analyses treat them as opaque.
+func calleeFuncKey(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Interface methods have no body to summarize; only methods on
+		// concrete named types resolve to a summary.
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if _, isNamed := t.(*types.Named); !isNamed {
+			return "", false
+		}
+		if intf, isIntf := t.Underlying().(*types.Interface); isIntf && intf != nil {
+			return "", false
+		}
+	}
+	return funcKey(fn), true
+}
+
+// isMutexExpr reports whether the expression is a sync.Mutex or
+// sync.RWMutex value (possibly behind a pointer).
+func isMutexExpr(info *types.Info, expr ast.Expr) bool {
+	tv, found := info.Types[expr]
+	if !found || tv.Type == nil {
+		return false
+	}
+	if m, ok := namedTypeIs(tv.Type, "sync", "Mutex"); ok {
+		if m {
+			return true
+		}
+	}
+	m, _ := namedTypeIs(tv.Type, "sync", "RWMutex")
+	return m
+}
+
+// lockKey returns a stable module-wide identity for a mutex value:
+//
+//	pkgpath.Type.field  for a struct-field mutex (via the owner's type)
+//	pkgpath.var         for a package-level mutex variable
+//	local:name@offset   for a function-local mutex
+//
+// Field and package-level keys are comparable across packages, which is
+// what lets the acquisition graph span the module. An empty string
+// means the expression could not be keyed (no type information).
+func lockKey(info *types.Info, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		// s.mu — key through the owner's named type so every method of
+		// the type shares the key.
+		if tv, found := info.Types[e.X]; found && tv.Type != nil {
+			t := tv.Type
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj() != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		// pkg.Mu — a mutex exported at package level.
+		if id, isIdent := e.X.(*ast.Ident); isIdent {
+			if pn, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return pn.Imported().Path() + "." + e.Sel.Name
+			}
+		}
+		return "~" + e.Sel.Name
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return "~" + e.Name
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + e.Name
+		}
+		return fmt.Sprintf("local:%s@%d", e.Name, obj.Pos())
+	case *ast.ParenExpr:
+		return lockKey(info, e.X)
+	}
+	return ""
+}
+
+// blockingCalls maps selector method names on known types — and
+// package-level functions — to a blocking description. Network calls
+// are keyed by package so the table stays small; net/http/httptest is
+// in-process and excluded.
+var blockingPkgFuncs = map[[2]string]string{
+	{"time", "Sleep"}:              "time.Sleep",
+	{"net", "Dial"}:                "net.Dial",
+	{"net", "DialTimeout"}:         "net.DialTimeout",
+	{"net", "Listen"}:              "net.Listen",
+	{"net/http", "Get"}:            "http.Get",
+	{"net/http", "Post"}:           "http.Post",
+	{"net/http", "PostForm"}:       "http.PostForm",
+	{"net/http", "Head"}:           "http.Head",
+	{"net/http", "ListenAndServe"}: "http.ListenAndServe",
+	{"net/http", "Serve"}:          "http.Serve",
+}
+
+// classifyCall turns one call expression into a lock, unlock, blocking
+// or module-call event, or returns ok=false when the call is none of
+// those. Classification is typed where type information exists, with a
+// syntactic fallback for the mutex and Wait shapes so type-broken
+// fixtures still exercise the analyzers.
+func classifyCall(info *types.Info, imports map[string]string, call *ast.CallExpr) (event, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if isMutexExpr(info, sel.X) {
+				if k := lockKey(info, sel.X); k != "" {
+					return event{kind: evLock, pos: call.Pos(), key: k}, true
+				}
+			}
+		case "Unlock", "RUnlock":
+			if isMutexExpr(info, sel.X) {
+				if k := lockKey(info, sel.X); k != "" {
+					return event{kind: evUnlock, pos: call.Pos(), key: k}, true
+				}
+			}
+		case "Wait":
+			if tv, found := info.Types[sel.X]; found && tv.Type != nil {
+				if m, _ := namedTypeIs(tv.Type, "sync", "WaitGroup"); m {
+					return event{kind: evBlock, pos: call.Pos(), desc: "WaitGroup.Wait"}, true
+				}
+				if m, _ := namedTypeIs(tv.Type, "sync", "Cond"); m {
+					return event{kind: evBlock, pos: call.Pos(), desc: "Cond.Wait"}, true
+				}
+				break
+			}
+			// No type information: assume a Wait call parks.
+			return event{kind: evBlock, pos: call.Pos(), desc: "Wait call"}, true
+		case "Do":
+			// (*http.Client).Do is the one stdlib method call the serving
+			// plane makes that genuinely leaves the process.
+			if tv, found := info.Types[sel.X]; found && tv.Type != nil {
+				if m, _ := namedTypeIs(tv.Type, "net/http", "Client"); m {
+					return event{kind: evBlock, pos: call.Pos(), desc: "http.Client.Do"}, true
+				}
+			}
+		}
+	}
+	if pkgPath, name, ok := calleePkgFunc(info, imports, call); ok {
+		if desc, blocks := blockingPkgFuncs[[2]string{pkgPath, name}]; blocks {
+			return event{kind: evBlock, pos: call.Pos(), desc: desc}, true
+		}
+	}
+	if key, ok := calleeFuncKey(info, call); ok && strings.Contains(key, "/") {
+		return event{kind: evCall, pos: call.Pos(), callee: key}, true
+	}
+	return event{}, false
+}
+
+// isChanType reports whether the expression has channel type.
+func isChanType(info *types.Info, expr ast.Expr) bool {
+	tv, found := info.Types[expr]
+	if !found || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// eventSink collects events in source order.
+type eventSink func(event)
+
+// emitExprEvents walks an expression (or expression-bearing statement
+// fragment) in pre-order and emits its flow events, without descending
+// into function literals — a literal's body runs when the literal runs,
+// which is its own scope.
+func emitExprEvents(info *types.Info, imports map[string]string, n ast.Node, sink eventSink) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if ev, ok := classifyCall(info, imports, e); ok {
+				sink(ev)
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				sink(event{kind: evBlock, pos: e.Pos(), desc: "channel receive"})
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective drives the //lint:ignore parser and the
+// suppression matcher with arbitrary directive bodies. The contract
+// under fuzz: parsing never panics, every directive becomes exactly one
+// of {well-formed suppression, malformed-directive diagnostic}, a
+// malformed directive (fewer than two fields) always diagnoses, and a
+// well-formed suppression matches precisely its own line and the line
+// below for precisely the analyzers it names.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("panicmsg the panic is a test fixture")
+	f.Add("panicmsg")
+	f.Add("lockorder,ctxflow shared waiver for both analyzers")
+	f.Add("")
+	f.Add(" ")
+	f.Add("\t\tpanicmsg\t tabbed reason ")
+	f.Add(",,, empty analyzer list")
+	f.Add("ctxflow многоязычный повод")
+	f.Add("a,b,c,d,e,f,g very many analyzers in one directive")
+	f.Fuzz(func(t *testing.T, directive string) {
+		if strings.ContainsAny(directive, "\n\r") {
+			// A newline splits the comment; the directive under test is
+			// then a different string than the one we injected.
+			t.Skip()
+		}
+		src := "package p\n\n//lint:ignore " + directive + "\nvar x = 1\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// Some byte sequences (e.g. invalid UTF-8) fail the scanner;
+			// the directive machinery never sees them.
+			t.Skip()
+		}
+		sups, bad := collectSuppressions(fset, []*ast.File{file})
+
+		if len(sups)+len(bad) != 1 {
+			t.Fatalf("directive %q produced %d suppressions and %d diagnostics; want exactly one outcome",
+				directive, len(sups), len(bad))
+		}
+		fields := strings.Fields(directive)
+		if len(fields) < 2 {
+			if len(bad) != 1 {
+				t.Fatalf("malformed directive %q (fields=%d) was not diagnosed", directive, len(fields))
+			}
+			d := bad[0]
+			if d.Analyzer != driverName || !strings.Contains(d.Message, "reason is mandatory") {
+				t.Fatalf("malformed directive %q produced unexpected diagnostic %s", directive, d)
+			}
+			return
+		}
+		if len(sups) != 1 {
+			t.Fatalf("well-formed directive %q did not parse as a suppression: %v", directive, bad)
+		}
+		s := sups[0]
+		if s.line != 3 || s.file != "fuzz.go" {
+			t.Fatalf("directive %q recorded position %s:%d, want fuzz.go:3", directive, s.file, s.line)
+		}
+		names := strings.Split(fields[0], ",")
+		for _, name := range names {
+			if name == "" {
+				// Empty segments (",," lists) never suppress anything.
+				if s.analyzers[""] {
+					t.Fatalf("directive %q suppresses the empty analyzer name", directive)
+				}
+				continue
+			}
+			probe := func(line int) bool {
+				d := Diagnostic{Analyzer: name}
+				d.Pos.Filename = "fuzz.go"
+				d.Pos.Line = line
+				return s.matches(d)
+			}
+			if !probe(3) || !probe(4) {
+				t.Fatalf("directive %q does not cover analyzer %q on its own line and the next", directive, name)
+			}
+			if probe(2) || probe(5) {
+				t.Fatalf("directive %q leaks analyzer %q beyond lines 3-4", directive, name)
+			}
+		}
+		// An analyzer the directive does not name must never match. Pick
+		// a name no comma-split segment can equal.
+		other := Diagnostic{Analyzer: fields[0] + "-x"}
+		other.Pos.Filename = "fuzz.go"
+		other.Pos.Line = 3
+		if s.matches(other) {
+			t.Fatalf("directive %q suppresses unlisted analyzer %q", directive, other.Analyzer)
+		}
+	})
+}

@@ -117,36 +117,44 @@ func runFixture(t *testing.T, an *Analyzer, fixture, relPath string) {
 	}
 }
 
-func TestGuardMirrorGolden(t *testing.T) {
-	runFixture(t, GuardMirror, "guardmirror", "internal/database")
+// goldenCases is the fixture table: every analyzer in the registry has
+// exactly one violation fixture here, run under the module-relative
+// path its Applies scope expects.
+var goldenCases = []struct {
+	an      *Analyzer
+	fixture string
+	relPath string
+}{
+	{GuardMirror, "guardmirror", "internal/database"},
+	{Determinism, "determinism", "internal/core"},
+	{NoDirectIO, "nodirectio", "internal/database"},
+	{PanicMsg, "panicmsg", "internal/relation"},
+	{GoroutineGuard, "goroutineguard", "internal/database"},
+	{JSONTags, "jsontags", "internal/obs"},
+	{HotPath, "hotpath", "internal/relation"},
+	{SpanClose, "spanclose", "internal/serve"},
+	{LockOrder, "lockorder", "internal/serve"},
+	{AtomicField, "atomicfield", "internal/serve"},
+	{CtxFlow, "ctxflow", "internal/serve"},
+	{MetricNames, "metricnames", "internal/serve"},
 }
 
-func TestDeterminismGolden(t *testing.T) {
-	runFixture(t, Determinism, "determinism", "internal/core")
-}
-
-func TestNoDirectIOGolden(t *testing.T) {
-	runFixture(t, NoDirectIO, "nodirectio", "internal/database")
-}
-
-func TestPanicMsgGolden(t *testing.T) {
-	runFixture(t, PanicMsg, "panicmsg", "internal/relation")
-}
-
-func TestGoroutineGuardGolden(t *testing.T) {
-	runFixture(t, GoroutineGuard, "goroutineguard", "internal/database")
-}
-
-func TestJSONTagsGolden(t *testing.T) {
-	runFixture(t, JSONTags, "jsontags", "internal/obs")
-}
-
-func TestHotPathGolden(t *testing.T) {
-	runFixture(t, HotPath, "hotpath", "internal/relation")
-}
-
-func TestSpanCloseGolden(t *testing.T) {
-	runFixture(t, SpanClose, "spanclose", "internal/serve")
+// TestGolden runs every analyzer against its violation fixture through
+// the shared table-driven runner.
+func TestGolden(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, c := range goldenCases {
+		covered[c.an.Name] = true
+		c := c
+		t.Run(c.fixture, func(t *testing.T) {
+			runFixture(t, c.an, c.fixture, c.relPath)
+		})
+	}
+	for _, an := range All() {
+		if !covered[an.Name] {
+			t.Errorf("analyzer %q has no golden fixture in goldenCases", an.Name)
+		}
+	}
 }
 
 // TestHotPathIgnoresUntaggedFiles pins the opt-in boundary: a package
@@ -242,6 +250,26 @@ func TestAnalyzerAppliesScoping(t *testing.T) {
 		{SpanClose, "internal/core", true},
 		{SpanClose, "internal/obs", false},
 		{SpanClose, "cmd/joinserve", false},
+
+		{LockOrder, "internal/serve", true},
+		{LockOrder, "internal/guard", true},
+		{LockOrder, "internal/database", true},
+		{LockOrder, "internal/cli", false},
+		{LockOrder, "cmd/joinserve", false},
+
+		{AtomicField, "internal/serve", true},
+		{AtomicField, "cmd/joinserve", true},
+		{AtomicField, "examples/quickstart", false},
+
+		{CtxFlow, "internal/serve", true},
+		{CtxFlow, "internal/cli", true},
+		{CtxFlow, "", true},
+		{CtxFlow, "cmd/joinopt", false},
+		{CtxFlow, "cmd/joinserve", false},
+
+		{MetricNames, "internal/serve", true},
+		{MetricNames, "cmd/joinserve", true},
+		{MetricNames, "internal/obs", false},
 	}
 	if HotPath.Applies != nil {
 		t.Error("hotpath must apply everywhere: the //joinlint:hotpath directive is its only gate")
@@ -265,7 +293,11 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[an.Name] = true
 	}
-	for _, wantName := range []string{"guardmirror", "determinism", "nodirectio", "panicmsg", "goroutineguard", "jsontags", "hotpath", "spanclose"} {
+	for _, wantName := range []string{
+		"guardmirror", "determinism", "nodirectio", "panicmsg",
+		"goroutineguard", "jsontags", "hotpath", "spanclose",
+		"lockorder", "atomicfield", "ctxflow", "metricnames",
+	} {
 		if !names[wantName] {
 			t.Errorf("registry is missing analyzer %q", wantName)
 		}

@@ -1,0 +1,35 @@
+package analysis
+
+// LockOrder reports mutex-discipline violations found by the module's
+// lockset dataflow: a mutex held across a blocking operation (channel
+// send/receive, select without default, WaitGroup.Wait, time.Sleep,
+// network calls — directly or through a callee the call graph proves
+// may block), and acquisition-order cycles in the module-wide lock
+// graph. A cycle means two code paths take the same pair of mutexes in
+// opposite orders — the classic AB/BA deadlock — and is reported once,
+// at the earliest witness acquisition.
+//
+// The analysis is must-hold: a lock counts as held at a point only if
+// it is held on every path there, so unlock-before-block patterns
+// (eval's latch wait) and select-with-default fast paths do not trip
+// it. Cond.Wait is exempt from the held-across rule — its contract is
+// to hold (and atomically release) the condition's mutex.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "no mutex held across a blocking operation; no lock-order cycles",
+	Applies: func(relPath string) bool {
+		switch relPath {
+		case "internal/serve", "internal/obs", "internal/core", "internal/guard", "internal/database":
+			return true
+		}
+		return false
+	},
+	Run: func(pass *Pass) {
+		if pass.Mod == nil {
+			return
+		}
+		for _, f := range pass.Mod.lockFindings[pass.RelPath] {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	},
+}

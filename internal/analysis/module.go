@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// module.go aggregates per-function flow facts into a module-wide view:
+// which functions may block (directly or transitively), which locks
+// each function acquires, which struct fields are accessed through
+// sync/atomic, and — from the per-function lockset dataflow — the
+// global mutex-acquisition graph with its cycles. The driver builds one
+// Module per run and hands it to every pass, so the flow analyzers are
+// lookups, not re-walks.
+
+// funcSummary is the interprocedural fact sheet of one function,
+// keyed by funcKey so it survives the source importer's per-package
+// object duplication.
+type funcSummary struct {
+	key string
+	// directBlock describes the first directly-blocking operation in the
+	// body ("" when none): channel ops, select without default, Wait,
+	// time.Sleep, network calls.
+	directBlock string
+	// calls holds the funcKeys of statically resolved module callees.
+	calls map[string]bool
+	// acquires maps each lock key locked anywhere in the body to a
+	// witness position.
+	acquires lockset
+	// mayBlock is the transitive closure of directBlock over calls.
+	mayBlock bool
+	// blockVia says why mayBlock holds — the direct operation, or the
+	// callee that introduces the blocking.
+	blockVia string
+	// allAcquires is the transitive closure of acquires over calls.
+	allAcquires lockset
+}
+
+// edgeSite is the witness for one lock-order edge: where the second
+// lock was acquired while the first was held, and in which package.
+type edgeSite struct {
+	pos     token.Pos
+	relPath string
+}
+
+// Module is the whole-module flow database shared by every pass of one
+// driver run.
+type Module struct {
+	fset *token.FileSet
+	// funcs maps funcKey → summary for every function in the loaded
+	// packages.
+	funcs map[string]*funcSummary
+	// atomicFields maps a field key ("pkgpath.Type.field") to the
+	// position of one sync/atomic access of that field.
+	atomicFields map[string]token.Pos
+	// lockFindings groups the dataflow findings (held-across-blocking,
+	// lock-order cycles) by the module-relative path of the package that
+	// witnesses them.
+	lockFindings map[string][]flowFinding
+}
+
+// Summary returns the summary for a funcKey, or nil.
+func (m *Module) Summary(key string) *funcSummary {
+	if m == nil {
+		return nil
+	}
+	return m.funcs[key]
+}
+
+// moduleScope is one function or function-literal body queued for the
+// lockset dataflow, with the package context needed to interpret it.
+type moduleScope struct {
+	body    *ast.BlockStmt
+	info    *types.Info
+	imports map[string]string
+	relPath string
+}
+
+// BuildModule computes the module-wide flow database over the loaded
+// packages: per-function summaries with a may-block/acquires fixpoint,
+// the sync/atomic field registry, and the lock-order graph with its
+// per-package findings.
+func BuildModule(fset *token.FileSet, pkgs []*Package) *Module {
+	m := &Module{
+		fset:         fset,
+		funcs:        make(map[string]*funcSummary),
+		atomicFields: make(map[string]token.Pos),
+		lockFindings: make(map[string][]flowFinding),
+	}
+
+	var scopes []moduleScope
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			imports := importNames(f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					m.summarize(funcKey(fn), pkg.Info, imports, fd.Body)
+				}
+			}
+			for _, s := range funcScopes(f) {
+				scopes = append(scopes, moduleScope{
+					body: s.body, info: pkg.Info, imports: imports, relPath: pkg.RelPath,
+				})
+			}
+			m.registerAtomicFields(pkg.Info, imports, f)
+		}
+	}
+
+	m.fixpoint()
+
+	// Run the lockset dataflow over every scope. Function-literal bodies
+	// are analyzed as their own scopes with an empty entry lockset: a
+	// goroutine starts holding nothing, and a closure's calling context
+	// is unknown, so only locks it demonstrably acquires itself count.
+	edges := make(map[[2]string]edgeSite)
+	for _, sc := range scopes {
+		g := buildCFG(sc.info, sc.imports, sc.body)
+		findings, scopeEdges := lockFlow(g, m.funcs)
+		if len(findings) > 0 {
+			m.lockFindings[sc.relPath] = append(m.lockFindings[sc.relPath], findings...)
+		}
+		for _, e := range scopeEdges {
+			k := [2]string{e.from, e.to}
+			prev, seen := edges[k]
+			if !seen || positionLess(fset.Position(e.pos), fset.Position(prev.pos)) {
+				edges[k] = edgeSite{pos: e.pos, relPath: sc.relPath}
+			}
+		}
+	}
+
+	m.reportCycles(edges)
+	return m
+}
+
+// summarize records the direct facts of one function body, folding in
+// the bodies of immediately invoked or deferred function literals —
+// those run in the caller's goroutine, so their locks and blocks are
+// the function's own. Literals launched with `go` are excluded.
+func (m *Module) summarize(key string, info *types.Info, imports map[string]string, body *ast.BlockStmt) {
+	s := m.funcs[key]
+	if s == nil {
+		s = &funcSummary{key: key, calls: make(map[string]bool), acquires: lockset{}}
+		m.funcs[key] = s
+	}
+	goLits := make(map[*ast.FuncLit]bool)
+	inline := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok && !goLits[lit] {
+				inline[lit] = true
+			}
+		}
+		return true
+	})
+	bodies := []*ast.BlockStmt{body}
+	for lit := range inline {
+		bodies = append(bodies, lit.Body)
+	}
+	for _, b := range bodies {
+		g := buildCFG(info, imports, b)
+		for _, blk := range g.blocks {
+			for _, ev := range blk.events {
+				switch ev.kind {
+				case evBlock:
+					if s.directBlock == "" {
+						s.directBlock = ev.desc
+					}
+				case evLock:
+					if _, seen := s.acquires[ev.key]; !seen {
+						s.acquires[ev.key] = ev.pos
+					}
+				case evCall:
+					s.calls[ev.callee] = true
+				}
+			}
+		}
+	}
+}
+
+// fixpoint closes mayBlock and allAcquires over the call graph.
+func (m *Module) fixpoint() {
+	for _, s := range m.funcs {
+		s.mayBlock = s.directBlock != ""
+		s.blockVia = s.directBlock
+		s.allAcquires = s.acquires.clone()
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range m.funcs {
+			for callee := range s.calls {
+				t := m.funcs[callee]
+				if t == nil {
+					continue
+				}
+				if t.mayBlock && !s.mayBlock {
+					s.mayBlock = true
+					s.blockVia = "calls " + shortFuncName(callee)
+					changed = true
+				}
+				for k, pos := range t.allAcquires {
+					if _, seen := s.allAcquires[k]; !seen {
+						s.allAcquires[k] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// registerAtomicFields records every struct field passed by address to
+// a sync/atomic function: those fields are atomic forever, everywhere.
+func (m *Module) registerAtomicFields(info *types.Info, imports map[string]string, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, _, ok := calleePkgFunc(info, imports, call)
+		if !ok || pkgPath != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := arg.(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			sel, ok := u.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if key := fieldKeyOf(info, sel); key != "" {
+				if _, seen := m.atomicFields[key]; !seen {
+					m.atomicFields[key] = sel.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldKeyOf returns the module-wide identity of a struct-field
+// selection ("pkgpath.Type.field"), or "" when the owner is not a named
+// type (or no type information is available).
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) string {
+	tv, found := info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+}
+
+// positionLess orders positions by (filename, line, column) for
+// deterministic witness selection.
+func positionLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// reportCycles finds strongly connected components of the lock-order
+// graph and turns each nontrivial one into a finding, attributed to the
+// earliest witness edge inside the cycle. Self-edges (re-acquiring a
+// key the dataflow thinks is held) are dropped at edge creation.
+func (m *Module) reportCycles(edges map[[2]string]edgeSite) {
+	adj := make(map[string][]string)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	for _, scc := range tarjanSCC(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		type cycEdge struct {
+			from, to string
+			site     edgeSite
+		}
+		var cyc []cycEdge
+		for k, site := range edges {
+			if inSCC[k[0]] && inSCC[k[1]] {
+				cyc = append(cyc, cycEdge{from: k[0], to: k[1], site: site})
+			}
+		}
+		sort.Slice(cyc, func(i, j int) bool {
+			return positionLess(m.fset.Position(cyc[i].site.pos), m.fset.Position(cyc[j].site.pos))
+		})
+		parts := make([]string, len(cyc))
+		for i, e := range cyc {
+			p := m.fset.Position(e.site.pos)
+			parts[i] = fmt.Sprintf("%s → %s (%s:%d)",
+				shortLockName(e.from), shortLockName(e.to), filepath.Base(p.Filename), p.Line)
+		}
+		witness := cyc[0].site
+		m.lockFindings[witness.relPath] = append(m.lockFindings[witness.relPath], flowFinding{
+			pos: witness.pos,
+			msg: "lock-order cycle: " + strings.Join(parts, "; "),
+		})
+	}
+}
+
+// tarjanSCC returns the strongly connected components of the graph,
+// iteratively (no recursion, so pathological graphs cannot overflow the
+// stack), each component's nodes sorted.
+func tarjanSCC(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	for n, succs := range adj {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				nodes = append(nodes, s)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ int
+	}
+	for _, start := range nodes {
+		if _, visited := index[start]; visited {
+			continue
+		}
+		frames := []frame{{node: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succs := adj[f.node]
+			if f.succ < len(succs) {
+				w := succs[f.succ]
+				f.succ++
+				if _, visited := index[w]; !visited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+			if low[f.node] == index[f.node] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.node {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

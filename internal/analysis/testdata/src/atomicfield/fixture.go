@@ -1,0 +1,53 @@
+// Package fixture exercises the atomicfield analyzer: a field accessed
+// via sync/atomic must never be touched plainly, and typed atomic
+// values must never be copied.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	seq  atomic.Int64
+	name string
+}
+
+// incr establishes n as an atomic field for the whole module.
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// racyRead reads the atomic field without the atomic package.
+func (c *counter) racyRead() int64 {
+	return c.n // want "accessed via sync/atomic"
+}
+
+// racyWrite stores plainly over concurrent atomic adds.
+func (c *counter) racyWrite() {
+	c.n = 0 // want "accessed via sync/atomic"
+}
+
+// okAtomic is the blessed access shape.
+func (c *counter) okAtomic() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// okOtherField: only the atomically-accessed field is restricted.
+func (c *counter) okOtherField() string {
+	return c.name
+}
+
+// copyTyped forks the atomic variable: the returned value no longer
+// shares state with c.seq.
+func copyTyped(c *counter) atomic.Int64 {
+	return c.seq // want "copying it forks the variable"
+}
+
+// okTypedUse calls through the field — no copy.
+func okTypedUse(c *counter) int64 {
+	return c.seq.Load()
+}
+
+// okTypedAddr shares the variable by pointer — no copy.
+func okTypedAddr(c *counter) *atomic.Int64 {
+	return &c.seq
+}

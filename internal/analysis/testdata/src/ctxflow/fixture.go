@@ -1,0 +1,52 @@
+// Package fixture exercises the ctxflow analyzer: exported blocking
+// functions in the serving plane must carry a cancellation handle, and
+// library code never mints its own root context.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// BlockNoCtx is exported, provably parks, and gives callers no way to
+// bound the wait.
+func BlockNoCtx(ch chan int) { // want "carries no context"
+	<-ch
+}
+
+// BlockWithCtx threads a caller context — clean.
+func BlockWithCtx(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// blockUnexported is package-internal; the exported callers own the
+// context discipline.
+func blockUnexported(ch chan int) {
+	<-ch
+}
+
+// NonBlocking needs no context: it cannot park.
+func NonBlocking(n int) int { return n + 1 }
+
+// Server carries its context in the struct, which counts as a handle.
+type Server struct {
+	ctx context.Context
+}
+
+// Drain blocks but the receiver holds the context — clean.
+func (s *Server) Drain(ch chan int) {
+	<-ch
+}
+
+// mintRoot detaches from the caller's deadline.
+func mintRoot() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+// mintTODO is the same violation in TODO clothing.
+func mintTODO(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.TODO(), d) // want "context.TODO"
+}

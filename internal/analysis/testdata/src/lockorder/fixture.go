@@ -1,0 +1,109 @@
+// Package fixture exercises the lockorder analyzer: mutexes held
+// across blocking operations (directly and through a callee the call
+// graph proves may block), the clean unlock-before-block and
+// select-with-default shapes, and an AB/BA acquisition cycle.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+// heldAcrossSend parks on a channel send while holding a.mu.
+func heldAcrossSend(x *a, ch chan int) {
+	x.mu.Lock()
+	ch <- 1 // want "held across blocking channel send"
+	x.mu.Unlock()
+}
+
+// heldAcrossRecv parks on a receive while holding a.mu.
+func heldAcrossRecv(x *a, ch chan int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	<-ch // want "held across blocking channel receive"
+}
+
+// heldAcrossSleep sleeps with the deferred unlock still pending.
+func heldAcrossSleep(x *a) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "held across blocking time.Sleep"
+}
+
+// heldAcrossWait holds a.mu across a WaitGroup rendezvous.
+func heldAcrossWait(x *a, wg *sync.WaitGroup) {
+	x.mu.Lock()
+	wg.Wait() // want "held across blocking WaitGroup.Wait"
+	x.mu.Unlock()
+}
+
+// helperBlocks is fine on its own — the caller decides what is held.
+func helperBlocks(ch chan int) {
+	<-ch
+}
+
+// heldAcrossCall blocks transitively: the callee's summary says it may
+// park, and a.mu is held at the call.
+func heldAcrossCall(x *a, ch chan int) {
+	x.mu.Lock()
+	helperBlocks(ch) // want "may block"
+	x.mu.Unlock()
+}
+
+// unlockFirst is the clean shape: release, then park.
+func unlockFirst(x *a, ch chan int) {
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	<-ch
+}
+
+// selectDefault is clean: a select with a default clause never parks.
+func selectDefault(x *a, ch chan int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	select {
+	case ch <- 1:
+		x.n++
+	default:
+	}
+}
+
+// branchJoin is clean: both paths release before the receive, so the
+// must-hold set at the join is empty.
+func branchJoin(x *a, ch chan int, fast bool) {
+	x.mu.Lock()
+	if fast {
+		x.mu.Unlock()
+	} else {
+		x.n++
+		x.mu.Unlock()
+	}
+	<-ch
+}
+
+// lockAB and lockBA acquire the same pair in opposite orders — the
+// AB/BA deadlock. The cycle is reported once, at the earliest witness.
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want "lock-order cycle"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

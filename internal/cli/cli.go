@@ -43,8 +43,11 @@ import (
 )
 
 // Run executes the joinopt command line. It writes human output to
-// stdout, errors to stderr, and returns the process exit code.
-func Run(args []string, stdout, stderr io.Writer) int {
+// stdout, errors to stderr, and returns the process exit code. The
+// caller owns the root context — main passes its process context, so a
+// `-timeout` budget derives from it instead of a fresh background
+// context and external cancellation reaches the guard.
+func Run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("joinopt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	example := fs.Int("example", 0, "analyze paper example 1-5")
@@ -86,7 +89,6 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		rec = obs.NewRecorder()
 	}
 
-	ctx := context.Background()
 	cancel := func() {}
 	if *timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -205,12 +207,12 @@ func recordGuardGauges(rec *obs.Recorder, g *guard.Guard) {
 		return
 	}
 	snap := g.Snapshot()
-	rec.Gauge("guard.spent.tuples").Set(snap.Tuples.Spent)
-	rec.Gauge("guard.limit.tuples").Set(snap.Tuples.Limit)
-	rec.Gauge("guard.spent.states").Set(snap.States.Spent)
-	rec.Gauge("guard.limit.states").Set(snap.States.Limit)
-	rec.Gauge("guard.spent.steps").Set(snap.Steps.Spent)
-	rec.Gauge("guard.limit.steps").Set(snap.Steps.Limit)
+	rec.Gauge(obs.MetricGuardSpentTuples).Set(snap.Tuples.Spent)
+	rec.Gauge(obs.MetricGuardLimitTuples).Set(snap.Tuples.Limit)
+	rec.Gauge(obs.MetricGuardSpentStates).Set(snap.States.Spent)
+	rec.Gauge(obs.MetricGuardLimitStates).Set(snap.States.Limit)
+	rec.Gauge(obs.MetricGuardSpentSteps).Set(snap.Steps.Spent)
+	rec.Gauge(obs.MetricGuardLimitSteps).Set(snap.Steps.Limit)
 }
 
 // writeObsFiles writes the metrics snapshot and the structured trace to
@@ -406,9 +408,9 @@ func listOptima(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Rec
 func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cause error) error {
 	db := ev.Database()
 	rec := ev.Recorder()
-	rec.Counter("guard.trips").Inc()
+	rec.Counter(obs.MetricGuardTrips).Inc()
 	fmt.Fprintf(w, "%s: ⚠ exhaustive enumeration truncated: %v\n", sp, cause)
-	rec.Counter("degrade.dp").Inc()
+	rec.Counter(obs.MetricDegradeDP).Inc()
 	res, err := optimizer.Optimize(ev, sp)
 	if err == optimizer.ErrEmptySpace {
 		fmt.Fprintf(w, "  (empty subspace)\n")
@@ -419,7 +421,7 @@ func optimaFallback(w io.Writer, ev *database.Evaluator, sp optimizer.Space, cau
 		return nil
 	}
 	fmt.Fprintf(w, "  DP fallback also cut: %v\n", err)
-	rec.Counter("degrade.greedy").Inc()
+	rec.Counter(obs.MetricDegradeGreedy).Inc()
 	greedy, err := optimizer.GreedyGuarded(ev)
 	if err == nil {
 		fmt.Fprintf(w, "  falling back to greedy (full space, no optimality guarantee): τ=%d  %s\n",

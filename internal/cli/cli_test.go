@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,7 +14,7 @@ import (
 func run(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errOut bytes.Buffer
-	code := Run(args, &out, &errOut)
+	code := Run(context.Background(), args, &out, &errOut)
 	return out.String(), errOut.String(), code
 }
 

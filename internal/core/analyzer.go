@@ -251,7 +251,7 @@ type spaceOutcome struct {
 func optimizeSpacesParallel(ev *database.Evaluator, spaces []optimizer.Space, outcomes []spaceOutcome) {
 	g, rec := ev.Guard(), ev.Recorder()
 	endPhase, phaseSpan := beginPhaseSpan(g, rec, "optimize:parallel")
-	watch := rec.Timer("analyze.parallel.wall").Start()
+	watch := rec.Timer(obs.MetricAnalyzeParallelWall).Start()
 	var wg sync.WaitGroup
 	for i, sp := range spaces {
 		wg.Add(1)
@@ -265,7 +265,7 @@ func optimizeSpacesParallel(ev *database.Evaluator, spaces []optimizer.Space, ou
 					outcomes[i].err = err
 				}
 			}()
-			name := "optimize:" + sp.String()
+			name := obs.SpanOptimizeSpace(sp.String())
 			rec.Emit(obs.Event{Kind: "begin", Name: name, Phase: "optimize:parallel"})
 			// StartChild, not StartSpan: sibling goroutines must parent to
 			// the fan-out's phase span, never to each other's open spans.
@@ -320,8 +320,8 @@ func beginPhaseSpan(g *guard.Guard, rec *obs.Recorder, name string) (func(error)
 	snap := g.Snapshot()
 	rec.Emit(obs.Event{Kind: "begin", Name: name,
 		Tuples: snap.Tuples.Spent, States: snap.States.Spent, Steps: snap.Steps.Spent})
-	sp := rec.StartSpan("phase:" + name)
-	watch := rec.Timer("phase." + name).Start()
+	sp := rec.StartSpan(obs.SpanPhase(name))
+	watch := rec.Timer(obs.MetricPhaseWall(name)).Start()
 	return func(err error) {
 		after := g.Snapshot()
 		e := obs.Event{Kind: "end", Name: name, DurNS: watch.Stop().Nanoseconds(),
@@ -333,7 +333,7 @@ func beginPhaseSpan(g *guard.Guard, rec *obs.Recorder, name string) (func(error)
 			e.Err = err.Error()
 			sp.Fail(err)
 			if guard.Tripped(err) {
-				rec.Counter("guard.trips").Inc()
+				rec.Counter(obs.MetricGuardTrips).Inc()
 			}
 		}
 		sp.End()

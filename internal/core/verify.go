@@ -5,6 +5,7 @@ import (
 
 	"multijoin/internal/database"
 	"multijoin/internal/guard"
+	"multijoin/internal/obs"
 	"multijoin/internal/strategy"
 )
 
@@ -19,8 +20,8 @@ func VerifyTheorem1Exhaustive(ev *database.Evaluator) (err error) {
 	db := ev.Database()
 	g := db.Graph()
 	rec := ev.Recorder()
-	cEnum := rec.Counter("verify.thm1.strategies")
-	defer rec.Timer("verify.thm1.wall").Start().Stop()
+	cEnum := rec.Counter(obs.MetricVerifyThm1Strategies)
+	defer rec.Timer(obs.MetricVerifyThm1Wall).Start().Stop()
 	best := -1
 	strategy.EnumerateLinear(db.All(), func(n *strategy.Node) bool {
 		cEnum.Inc()
@@ -39,7 +40,7 @@ func VerifyTheorem1Exhaustive(ev *database.Evaluator) (err error) {
 		return true
 	})
 	if bad != nil {
-		rec.Counter("verify.counterexamples").Inc()
+		rec.Counter(obs.MetricVerifyCounterexamples).Inc()
 		return fmt.Errorf("theorem 1 violated: τ-optimum linear strategy %s (cost %d) uses a Cartesian product",
 			bad.Render(db), best)
 	}
@@ -53,8 +54,8 @@ func VerifyTheorem2Exhaustive(ev *database.Evaluator) (err error) {
 	db := ev.Database()
 	g := db.Graph()
 	rec := ev.Recorder()
-	cEnum := rec.Counter("verify.thm2.strategies")
-	defer rec.Timer("verify.thm2.wall").Start().Stop()
+	cEnum := rec.Counter(obs.MetricVerifyThm2Strategies)
+	defer rec.Timer(obs.MetricVerifyThm2Wall).Start().Stop()
 	best := -1
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
 		cEnum.Inc()
@@ -73,7 +74,7 @@ func VerifyTheorem2Exhaustive(ev *database.Evaluator) (err error) {
 		return true
 	})
 	if !found {
-		rec.Counter("verify.counterexamples").Inc()
+		rec.Counter(obs.MetricVerifyCounterexamples).Inc()
 		return fmt.Errorf("theorem 2 violated: no τ-optimum strategy (cost %d) is Cartesian-product-free", best)
 	}
 	return nil
@@ -86,8 +87,8 @@ func VerifyTheorem3Exhaustive(ev *database.Evaluator) (err error) {
 	db := ev.Database()
 	g := db.Graph()
 	rec := ev.Recorder()
-	cEnum := rec.Counter("verify.thm3.strategies")
-	defer rec.Timer("verify.thm3.wall").Start().Stop()
+	cEnum := rec.Counter(obs.MetricVerifyThm3Strategies)
+	defer rec.Timer(obs.MetricVerifyThm3Wall).Start().Stop()
 	best := -1
 	strategy.EnumerateAll(db.All(), func(n *strategy.Node) bool {
 		cEnum.Inc()
@@ -106,7 +107,7 @@ func VerifyTheorem3Exhaustive(ev *database.Evaluator) (err error) {
 		return true
 	})
 	if !found {
-		rec.Counter("verify.counterexamples").Inc()
+		rec.Counter(obs.MetricVerifyCounterexamples).Inc()
 		return fmt.Errorf("theorem 3 violated: no τ-optimum strategy (cost %d) is linear and Cartesian-product-free", best)
 	}
 	return nil

@@ -113,14 +113,14 @@ func (e *Evaluator) Guard() *guard.Guard { return e.guard }
 // result dictionary holds. A nil recorder detaches instrumentation.
 func (e *Evaluator) WithRecorder(rec *obs.Recorder) *Evaluator {
 	e.rec = rec
-	e.cMemoHits = rec.Counter("eval.memo.hits")
-	e.cMemoMisses = rec.Counter("eval.memo.misses")
-	e.cInflightWaits = rec.Counter("eval.inflight.waits")
-	e.cTuples = rec.Counter("eval.tuples")
-	e.cStates = rec.Counter("eval.states")
-	e.cSteps = rec.Counter("eval.steps")
-	e.cJoinParts = rec.Counter("join.partitions")
-	e.gIntern = rec.Gauge("eval.intern.values")
+	e.cMemoHits = rec.Counter(obs.MetricEvalMemoHits)
+	e.cMemoMisses = rec.Counter(obs.MetricEvalMemoMisses)
+	e.cInflightWaits = rec.Counter(obs.MetricEvalInflightWaits)
+	e.cTuples = rec.Counter(obs.MetricEvalTuples)
+	e.cStates = rec.Counter(obs.MetricEvalStates)
+	e.cSteps = rec.Counter(obs.MetricEvalSteps)
+	e.cJoinParts = rec.Counter(obs.MetricJoinPartitions)
+	e.gIntern = rec.Gauge(obs.MetricEvalInternValues)
 	return e
 }
 

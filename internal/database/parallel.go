@@ -64,11 +64,11 @@ func PrewarmConnectedObserved(db *Database, workers int, g *guard.Guard, rec *ob
 	ev := NewEvaluator(db).WithGuard(g).WithRecorder(rec)
 	graph := db.Graph()
 
-	rec.Gauge("prewarm.workers").Set(int64(workers))
-	cJobs := rec.Counter("prewarm.jobs")
-	cLevels := rec.Counter("prewarm.levels")
-	tLevel := rec.Timer("prewarm.level")
-	tBusy := rec.Timer("prewarm.worker.busy")
+	rec.Gauge(obs.MetricPrewarmWorkers).Set(int64(workers))
+	cJobs := rec.Counter(obs.MetricPrewarmJobs)
+	cLevels := rec.Counter(obs.MetricPrewarmLevels)
+	tLevel := rec.Timer(obs.MetricPrewarmLevelWall)
+	tBusy := rec.Timer(obs.MetricPrewarmWorkerBusy)
 
 	// Group connected subsets by cardinality.
 	levels := make([][]hypergraph.Set, db.Len()+1)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -156,8 +157,8 @@ func benchCorpus() []benchEntry {
 
 // RunBench measures the whole corpus with workers parallel prewarm
 // goroutines (0 means GOMAXPROCS) and returns the report. Progress lines
-// go to w.
-func RunBench(w io.Writer, workers int) (*BenchReport, error) {
+// go to w. The context bounds the serve section's load run and drain.
+func RunBench(ctx context.Context, w io.Writer, workers int) (*BenchReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -185,7 +186,7 @@ func RunBench(w io.Writer, workers int) (*BenchReport, error) {
 	if rep.Analysis, err = benchAnalysis(w); err != nil {
 		return nil, err
 	}
-	if rep.Serve, err = benchServe(w); err != nil {
+	if rep.Serve, err = benchServe(ctx, w); err != nil {
 		return nil, err
 	}
 	return rep, nil

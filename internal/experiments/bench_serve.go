@@ -83,7 +83,7 @@ const (
 // with a generous class whose repeated shapes exercise the plan cache.
 // A chaos slowdown holds slots long enough that the tiny class's
 // arrivals pile up at the door.
-func benchServe(w io.Writer) (*ServeBench, error) {
+func benchServe(ctx context.Context, w io.Writer) (*ServeBench, error) {
 	rec := obs.NewRecorder()
 	srv, err := serve.New(serve.Config{
 		Recorder: rec,
@@ -119,7 +119,7 @@ func benchServe(w io.Writer) (*ServeBench, error) {
 		cases = append(cases, serve.LoadCase{Path: "/v1/query", Tenant: mix.tenant, Body: body})
 	}
 
-	report, err := serve.RunLoad(serve.HandlerDoer{Handler: srv.Handler()}, serve.LoadConfig{
+	report, err := serve.RunLoad(ctx, serve.HandlerDoer{Handler: srv.Handler()}, serve.LoadConfig{
 		Requests:    serveBenchRequests,
 		Concurrency: serveBenchConcurrency,
 		Cases:       cases,
@@ -129,9 +129,9 @@ func benchServe(w io.Writer) (*ServeBench, error) {
 	}
 
 	srv.BeginDrain()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
+	if err := srv.Drain(drainCtx); err != nil {
 		return nil, fmt.Errorf("bench serve: drain: %w", err)
 	}
 

@@ -141,6 +141,7 @@ type Guard struct {
 // context.Background().
 func New(ctx context.Context, lim Limits) *Guard {
 	if ctx == nil {
+		//lint:ignore ctxflow the documented nil-ctx API default: New is where callers hand a context in, so there is no caller context to detach from
 		ctx = context.Background()
 	}
 	return &Guard{ctx: ctx, lim: lim}
@@ -150,6 +151,7 @@ func New(ctx context.Context, lim Limits) *Guard {
 // context-free guards).
 func (g *Guard) Context() context.Context {
 	if g == nil || g.ctx == nil {
+		//lint:ignore ctxflow the zero/nil Guard is documented as context-free; Background is its defined context, not a detached root
 		return context.Background()
 	}
 	return g.ctx

@@ -6,6 +6,7 @@ import (
 	"multijoin/internal/database"
 	"multijoin/internal/guard"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/obs"
 	"multijoin/internal/strategy"
 )
 
@@ -42,8 +43,8 @@ func optimizeNoCPNaive(ev *database.Evaluator) (res Result, err error) {
 	}
 
 	rec := ev.Recorder()
-	cStates := rec.Counter("dp.ablation.states")
-	cStatesAll := rec.Counter("dp.states")
+	cStates := rec.Counter(obs.MetricDPAblationStates)
+	cStatesAll := rec.Counter(obs.MetricDPStates)
 	cost := make(map[hypergraph.Set]int)
 	pick := make(map[hypergraph.Set][2]hypergraph.Set)
 	var solve func(s hypergraph.Set) int

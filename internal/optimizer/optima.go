@@ -3,6 +3,7 @@ package optimizer
 import (
 	"multijoin/internal/database"
 	"multijoin/internal/guard"
+	"multijoin/internal/obs"
 	"multijoin/internal/strategy"
 )
 
@@ -26,9 +27,9 @@ func Optima(ev *database.Evaluator, space Space) (out []*strategy.Node, err erro
 	db := ev.Database()
 	g := db.Graph()
 	rec := ev.Recorder()
-	cEnum := rec.Counter("optima.enumerated")
-	cFound := rec.Counter("optima.found")
-	defer rec.Timer("optima.wall").Start().Stop()
+	cEnum := rec.Counter(obs.MetricOptimaEnumerated)
+	cFound := rec.Counter(obs.MetricOptimaFound)
+	defer rec.Timer(obs.MetricOptimaWall).Start().Stop()
 	collect := func(n *strategy.Node) bool {
 		cEnum.Inc()
 		if n.Cost(ev) == res.Cost {

@@ -125,13 +125,13 @@ func Optimize(ev *database.Evaluator, space Space) (res Result, err error) {
 		cost:  make(map[hypergraph.Set]int),
 		pick:  make(map[hypergraph.Set][2]hypergraph.Set),
 
-		cStates:      rec.Counter("dp." + space.String() + ".states"),
-		cStatesAll:   rec.Counter("dp.states"),
-		cPruned:      rec.Counter("dp." + space.String() + ".pruned"),
-		cCartesian:   rec.Counter("dp." + space.String() + ".cartesian"),
+		cStates:      rec.Counter(obs.MetricDPSpaceStates(space.String())),
+		cStatesAll:   rec.Counter(obs.MetricDPStates),
+		cPruned:      rec.Counter(obs.MetricDPSpacePruned(space.String())),
+		cCartesian:   rec.Counter(obs.MetricDPSpaceCartesian(space.String())),
 		hasCartesian: rec != nil,
 	}
-	defer rec.Timer("dp." + space.String() + ".wall").Start().Stop()
+	defer rec.Timer(obs.MetricDPSpaceWall(space.String())).Start().Stop()
 	o.components = o.g.Components(o.g.All())
 	o.compOf = make([]hypergraph.Set, db.Len())
 	for _, c := range o.components {
@@ -365,9 +365,9 @@ func Greedy(ev *database.Evaluator) Result {
 	db := ev.Database()
 	gd := ev.Guard()
 	rec := ev.Recorder()
-	cStates := rec.Counter("greedy.states")
-	cStatesAll := rec.Counter("dp.states")
-	defer rec.Timer("greedy.wall").Start().Stop()
+	cStates := rec.Counter(obs.MetricGreedyStates)
+	cStatesAll := rec.Counter(obs.MetricDPStates)
+	defer rec.Timer(obs.MetricGreedyWall).Start().Stop()
 	g := db.Graph()
 	pool := make([]*strategy.Node, db.Len())
 	for i := range pool {
@@ -463,9 +463,9 @@ func Exhaustive(ev *database.Evaluator) Result {
 	db := ev.Database()
 	gd := ev.Guard()
 	rec := ev.Recorder()
-	cEnum := rec.Counter("exhaustive.strategies")
-	cStatesAll := rec.Counter("dp.states")
-	defer rec.Timer("exhaustive.wall").Start().Stop()
+	cEnum := rec.Counter(obs.MetricExhaustiveStrategies)
+	cStatesAll := rec.Counter(obs.MetricDPStates)
+	defer rec.Timer(obs.MetricExhaustiveWall).Start().Stop()
 	best := inf
 	var bestNode *strategy.Node
 	count := 0

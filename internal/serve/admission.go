@@ -50,11 +50,11 @@ func newAdmission(ts *tenantSet, rec *obs.Recorder) *admission {
 	a := &admission{
 		gates:    make(map[string]*classGate, len(ts.byName)),
 		rec:      rec,
-		cShed:    rec.Counter("serve.shed"),
-		tAdmit:   rec.Timer("serve.admit.wait"),
-		tShed:    rec.Timer("serve.shed.wait"),
-		gWaiting: rec.Gauge("serve.admit.waiting"),
-		gRunning: rec.Gauge("serve.admit.running"),
+		cShed:    rec.Counter(obs.MetricServeShed),
+		tAdmit:   rec.Timer(obs.MetricServeAdmitWait),
+		tShed:    rec.Timer(obs.MetricServeShedWait),
+		gWaiting: rec.Gauge(obs.MetricServeAdmitWaiting),
+		gRunning: rec.Gauge(obs.MetricServeAdmitRunning),
 	}
 	for name, c := range ts.byName {
 		a.gates[name] = &classGate{
@@ -100,7 +100,7 @@ func (a *admission) admit(ctx context.Context, class string) (*ticket, error) {
 			// client-goroutine scheduling delay cannot pollute it.
 			a.tShed.Observe(time.Since(start))
 			a.cShed.Inc()
-			a.rec.Counter("serve.tenant." + class + ".shed").Inc()
+			a.rec.Counter(obs.MetricTenantShed(class)).Inc()
 			return nil, ErrShed
 		}
 	}

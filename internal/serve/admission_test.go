@@ -198,7 +198,7 @@ func TestDrainingRetryAfterStaysSane(t *testing.T) {
 	srv, doer, _ := newTestServer(t, Config{})
 	srv.BeginDrain()
 	for i := 0; i < 3; i++ {
-		res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+		res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -59,9 +59,9 @@ type chaos struct {
 func newChaos(cfg ChaosConfig, rec *obs.Recorder) *chaos {
 	return &chaos{
 		cfg:     cfg,
-		cFault:  rec.Counter("serve.chaos.fault"),
-		cSlow:   rec.Counter("serve.chaos.slow"),
-		cCancel: rec.Counter("serve.chaos.cancel"),
+		cFault:  rec.Counter(obs.MetricServeChaosFault),
+		cSlow:   rec.Counter(obs.MetricServeChaosSlow),
+		cCancel: rec.Counter(obs.MetricServeChaosCancel),
 	}
 }
 

@@ -59,7 +59,7 @@ func TestChaosFaultedRequestDegradesOrDies(t *testing.T) {
 	_, doer, _ := newTestServer(t, Config{
 		Chaos: ChaosConfig{FaultEvery: 1, FaultStep: 1}, // every request faults at the first join
 	})
-	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestChaosSuite(t *testing.T) {
 	}
 	cases = append(cases, LoadCase{Path: "/v1/analyze", Tenant: "standard", Body: mustBody(t, "standard", false, false)})
 
-	report, err := RunLoad(doer, LoadConfig{
+	report, err := RunLoad(context.Background(), doer, LoadConfig{
 		Requests:    3000,
 		Concurrency: 1000,
 		Cases:       cases,
@@ -171,7 +171,7 @@ func TestChaosSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shedReport, err := RunLoad(doer, LoadConfig{
+	shedReport, err := RunLoad(context.Background(), doer, LoadConfig{
 		Requests:    1000,
 		Concurrency: 64,
 		Cases:       []LoadCase{{Path: "/v1/query", Tenant: "burst", Body: burstBody}},
@@ -281,7 +281,7 @@ func TestChaosSuite(t *testing.T) {
 // flightBody fetches /debug/requests through the Doer.
 func flightBody(t *testing.T, doer Doer) *bytes.Reader {
 	t.Helper()
-	res, err := doer.Do(http.MethodGet, "/debug/requests", nil)
+	res, err := doer.Do(context.Background(), http.MethodGet, "/debug/requests", nil)
 	if err != nil || res.Status != http.StatusOK {
 		t.Fatalf("GET /debug/requests: %v status %d", err, res.Status)
 	}

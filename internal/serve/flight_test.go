@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -89,7 +90,7 @@ func TestFlightEndpointCapturesInteresting(t *testing.T) {
 	srv, doer, _ := newTestServer(t, Config{})
 
 	// A healthy fast request is not interesting.
-	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFlightEndpointCapturesInteresting(t *testing.T) {
 	}
 
 	// A bad request is captured with its outcome and status.
-	res, _ = doer.Do(http.MethodPost, "/v1/query", []byte("not json"))
+	res, _ = doer.Do(context.Background(), http.MethodPost, "/v1/query", []byte("not json"))
 	if res.Status != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", res.Status)
 	}
@@ -119,7 +120,7 @@ func TestFlightEndpointCapturesInteresting(t *testing.T) {
 	}
 
 	// The HTTP surface serves the same document, strictly decodable.
-	res, _ = doer.Do(http.MethodGet, "/debug/requests", nil)
+	res, _ = doer.Do(context.Background(), http.MethodGet, "/debug/requests", nil)
 	if res.Status != http.StatusOK {
 		t.Fatalf("GET /debug/requests: status %d", res.Status)
 	}
@@ -130,7 +131,7 @@ func TestFlightEndpointCapturesInteresting(t *testing.T) {
 	if got.Recorded != 1 || len(got.Entries) != 1 || got.Entries[0].TraceID != e.TraceID {
 		t.Errorf("endpoint document disagrees with Flight(): %+v", got)
 	}
-	if res, _ := doer.Do(http.MethodPost, "/debug/requests", nil); res.Status != http.StatusMethodNotAllowed {
+	if res, _ := doer.Do(context.Background(), http.MethodPost, "/debug/requests", nil); res.Status != http.StatusMethodNotAllowed {
 		t.Errorf("POST /debug/requests: status %d, want 405", res.Status)
 	}
 }
@@ -139,7 +140,7 @@ func TestFlightEndpointCapturesInteresting(t *testing.T) {
 // answer becomes "slow" and lands in the ring with its full trace.
 func TestFlightCapturesSlowRequests(t *testing.T) {
 	srv, doer, _ := newTestServer(t, Config{SlowThreshold: time.Nanosecond})
-	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -150,7 +150,7 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 		start = RungDP
 	}
 	for rung := start; rung < rungCount; rung++ {
-		rsp := req.rec.StartSpan("rung:" + rung.String())
+		rsp := req.rec.StartSpan(obs.SpanRung(rung.String()))
 		g := guard.New(req.ctx, req.limitsFor(rung))
 		req.ev.WithGuard(g)
 		err := attemptRung(req, rung, g, out)
@@ -161,8 +161,8 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 			out.rung = rung
 			out.snapshot = snap
 			if out.degraded() {
-				req.rec.Counter("serve.degraded").Inc()
-				req.rec.Counter("serve.degraded." + rung.String()).Inc()
+				req.rec.Counter(obs.MetricServeDegraded).Inc()
+				req.rec.Counter(obs.MetricDegradedTo(rung.String())).Inc()
 			}
 			return out, nil
 		}
@@ -171,7 +171,7 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 		if !guard.Tripped(err) {
 			return nil, err
 		}
-		req.rec.Counter("serve.trips").Inc()
+		req.rec.Counter(obs.MetricServeTrips).Inc()
 		out.trips = append(out.trips, trip{rung: rung, err: err})
 	}
 	// Even the estimate rung failed: the deadline is dead (its only
@@ -186,7 +186,7 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 // the spans' τ/state attribution, so the answering rung's optimize and
 // execute deltas sum exactly to the response's guard spend.
 func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcome) error {
-	osp := req.rec.StartSpan("optimize")
+	osp := req.rec.StartSpan(obs.SpanOptimize)
 	err := planRung(req, rung, out)
 	planned := g.Snapshot()
 	osp.AddDelta(planned.Tuples.Spent, planned.States.Spent, planned.Steps.Spent)
@@ -197,7 +197,7 @@ func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcom
 	}
 	osp.End()
 
-	esp := req.rec.StartSpan("execute")
+	esp := req.rec.StartSpan(obs.SpanExecute)
 	if !req.execute || rung == RungEstimate {
 		// The estimate rung never executes; other rungs skip execution
 		// when the request did not ask for it. The span still appears,

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,8 +24,11 @@ import (
 // or typed") are asserted by the same code everywhere.
 
 // Doer issues one request; implementations differ only in transport.
+// The context bounds the single request — it is attached to the
+// outgoing http.Request, so server-side deadline propagation and
+// load-run cancellation both flow through it.
 type Doer interface {
-	Do(method, path string, body []byte) (*DoResult, error)
+	Do(ctx context.Context, method, path string, body []byte) (*DoResult, error)
 }
 
 // DoResult is one response, reduced to what the load generator checks.
@@ -42,8 +46,8 @@ type HandlerDoer struct {
 }
 
 // Do issues one in-process request.
-func (d HandlerDoer) Do(method, path string, body []byte) (*DoResult, error) {
-	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+func (d HandlerDoer) Do(ctx context.Context, method, path string, body []byte) (*DoResult, error) {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body)).WithContext(ctx)
 	w := httptest.NewRecorder()
 	d.Handler.ServeHTTP(w, req)
 	res := w.Result()
@@ -62,8 +66,8 @@ type ClientDoer struct {
 }
 
 // Do issues one HTTP request.
-func (d ClientDoer) Do(method, path string, body []byte) (*DoResult, error) {
-	req, err := http.NewRequest(method, d.BaseURL+path, bytes.NewReader(body))
+func (d ClientDoer) Do(ctx context.Context, method, path string, body []byte) (*DoResult, error) {
+	req, err := http.NewRequestWithContext(ctx, method, d.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -198,8 +202,14 @@ func (r *LoadReport) CacheHitRate() float64 {
 }
 
 // RunLoad issues cfg.Requests requests through the Doer from
-// cfg.Concurrency workers and aggregates the outcomes.
-func RunLoad(d Doer, cfg LoadConfig) (*LoadReport, error) {
+// cfg.Concurrency workers and aggregates the outcomes. The context is
+// threaded into every request; cancelling it stops the workers after
+// their in-flight request, and the report then covers the requests
+// actually issued (the outcome partition holds over that count).
+func RunLoad(ctx context.Context, d Doer, cfg LoadConfig) (*LoadReport, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("serve: load run needs a non-nil context")
+	}
 	if cfg.Requests <= 0 {
 		return nil, fmt.Errorf("serve: load run needs a positive request count")
 	}
@@ -224,24 +234,29 @@ func RunLoad(d Doer, cfg LoadConfig) (*LoadReport, error) {
 				wg.Done()
 			}()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= cfg.Requests {
 					return
 				}
 				c := cfg.Cases[i%len(cfg.Cases)]
+				tally.issued++
 				start := time.Now()
-				res, err := d.Do(http.MethodPost, c.Path, c.Body)
+				res, err := d.Do(ctx, http.MethodPost, c.Path, c.Body)
 				tally.observe(c.Tenant, res, err, time.Since(start))
 			}
 		}()
 	}
 	wg.Wait()
 
-	report := &LoadReport{Requests: cfg.Requests}
+	report := &LoadReport{}
 	var all, shed []time.Duration
 	tenantLat := map[string][]time.Duration{}
 	for i := range results {
 		t := &results[i]
+		report.Requests += t.issued
 		report.OK += t.ok
 		report.Degraded += t.degraded
 		report.CacheHits += t.cacheHits
@@ -289,6 +304,7 @@ func RunLoad(d Doer, cfg LoadConfig) (*LoadReport, error) {
 // workerTally is one worker's private aggregation; workers never share
 // state while running, so the hot path takes no locks.
 type workerTally struct {
+	issued                   int
 	ok, degraded, cacheHits  int
 	shed, refused, deadline  int
 	failed                   int

@@ -56,10 +56,10 @@ func newPlanCache(capacity int, rec *obs.Recorder) *planCache {
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[core.Fingerprint]*list.Element, capacity),
-		cHit:    rec.Counter("serve.cache.hit"),
-		cMiss:   rec.Counter("serve.cache.miss"),
-		cEvict:  rec.Counter("serve.cache.evict"),
-		gSize:   rec.Gauge("serve.cache.size"),
+		cHit:    rec.Counter(obs.MetricServeCacheHit),
+		cMiss:   rec.Counter(obs.MetricServeCacheMiss),
+		cEvict:  rec.Counter(obs.MetricServeCacheEvict),
+		gSize:   rec.Gauge(obs.MetricServeCacheSize),
 	}
 }
 

@@ -83,10 +83,10 @@ func New(cfg Config) (*Server, error) {
 		chaos:     newChaos(cfg.Chaos, rec),
 		rec:       rec,
 		flight:    newFlightRecorder(cfg.FlightCap, cfg.SlowThreshold),
-		cRequests: rec.Counter("serve.requests"),
-		cOK:       rec.Counter("serve.ok"),
-		cFailed:   rec.Counter("serve.failed"),
-		tRequest:  rec.Timer("serve.request"),
+		cRequests: rec.Counter(obs.MetricServeRequests),
+		cOK:       rec.Counter(obs.MetricServeOK),
+		cFailed:   rec.Counter(obs.MetricServeFailed),
+		tRequest:  rec.Timer(obs.MetricServeRequestWall),
 	}, nil
 }
 
@@ -110,7 +110,7 @@ func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	s.rec.Counter("serve.drain").Inc()
+	s.rec.Counter(obs.MetricServeDrain).Inc()
 }
 
 // Draining reports whether BeginDrain was called.
@@ -129,7 +129,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			// The goroutineguard boundary: a panic here would otherwise
 			// kill the process during shutdown.
 			if err := guard.Recovered(recover()); err != nil {
-				s.rec.Counter("serve.drain.panic").Inc()
+				s.rec.Counter(obs.MetricServeDrainPanic).Inc()
 			}
 			close(done)
 		}()
@@ -243,13 +243,13 @@ func (s *Server) serveRun(r *http.Request, rt *requestTrace, analyze bool) (*Res
 	}
 	rt.class = class.Name
 	rt.root.SetAttr("tenant", class.Name)
-	s.rec.Counter("serve.tenant." + class.Name + ".requests").Inc()
+	s.rec.Counter(obs.MetricTenantRequests(class.Name)).Inc()
 
 	plan := s.chaos.next()
 	ctx, cancel := context.WithTimeout(r.Context(), class.Deadline)
 	defer cancel()
 
-	asp := rt.rec.StartSpan("admission")
+	asp := rt.rec.StartSpan(obs.SpanAdmission)
 	tk, err := s.adm.admit(ctx, class.Name)
 	if err != nil {
 		asp.Fail(err)
@@ -309,8 +309,8 @@ func (s *Server) finishRequest(w http.ResponseWriter, rt *requestTrace,
 		tenant = "unknown"
 	}
 	labels := obs.Labels{"tenant": tenant, "endpoint": rt.endpoint, "outcome": outcome}
-	s.rec.LabeledCounter("serve.requests.by", labels).Inc()
-	s.rec.Histogram("serve.request.latency", obs.DefaultLatencyBucketsNS, labels).
+	s.rec.LabeledCounter(obs.MetricServeRequestsBy, labels).Inc()
+	s.rec.Histogram(obs.MetricServeRequestLatency, obs.DefaultLatencyBucketsNS, labels).
 		Observe(dur.Nanoseconds())
 
 	spans := rt.rec.Spans()
@@ -340,10 +340,10 @@ func (s *Server) finishRequest(w http.ResponseWriter, rt *requestTrace,
 		entry.Degraded = resp.Degraded
 		entry.Tuples = resp.Guard.Tuples.Spent
 		entry.States = resp.Guard.States.Spent
-		s.rec.Histogram("serve.request.tuples", obs.DefaultTupleBuckets, labels).
+		s.rec.Histogram(obs.MetricServeRequestTuples, obs.DefaultTupleBuckets, labels).
 			Observe(resp.Guard.Tuples.Spent)
 		s.cOK.Inc()
-		s.rec.Counter("serve.tenant." + rt.class + ".ok").Inc()
+		s.rec.Counter(obs.MetricTenantOK(rt.class)).Inc()
 	}
 	// Record and fold before the body goes out: a client that has seen
 	// the response must already find its trace at /debug/requests and
@@ -441,9 +441,9 @@ func (s *Server) runRequest(ctx context.Context, rt *requestTrace, req *Request,
 func (s *Server) serveFromCache(ctx context.Context, rt *requestTrace, req *Request,
 	class TenantClass, plan chaosPlan, ev *database.Evaluator,
 	fp core.Fingerprint, hit cachedPlan) (*Response, bool) {
-	rsp := rt.rec.StartSpan("rung:" + hit.rung.String())
+	rsp := rt.rec.StartSpan(obs.SpanRung(hit.rung.String()))
 	rsp.SetAttr("cached", "true")
-	osp := rt.rec.StartSpan("optimize")
+	osp := rt.rec.StartSpan(obs.SpanOptimize)
 	osp.SetAttr("cached", "true")
 	osp.End()
 
@@ -455,7 +455,7 @@ func (s *Server) serveFromCache(ctx context.Context, rt *requestTrace, req *Requ
 		cost:      hit.cost,
 		estimated: hit.estimated,
 	}
-	esp := rt.rec.StartSpan("execute")
+	esp := rt.rec.StartSpan(obs.SpanExecute)
 	if req.Execute {
 		err := (ladderRequest{ev: ev, execute: true}).maybeExecute(out)
 		snap := g.Snapshot()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -50,22 +51,22 @@ func decode200(t *testing.T, res *DoResult) *Response {
 
 func TestHealthAndReadiness(t *testing.T) {
 	srv, doer, _ := newTestServer(t, Config{})
-	res, err := doer.Do(http.MethodGet, "/healthz", nil)
+	res, err := doer.Do(context.Background(), http.MethodGet, "/healthz", nil)
 	if err != nil || res.Status != http.StatusOK {
 		t.Fatalf("healthz: %v status %d", err, res.Status)
 	}
-	res, _ = doer.Do(http.MethodGet, "/readyz", nil)
+	res, _ = doer.Do(context.Background(), http.MethodGet, "/readyz", nil)
 	if res.Status != http.StatusOK {
 		t.Fatalf("readyz before drain: status %d", res.Status)
 	}
 
 	srv.BeginDrain()
-	res, _ = doer.Do(http.MethodGet, "/readyz", nil)
+	res, _ = doer.Do(context.Background(), http.MethodGet, "/readyz", nil)
 	if res.Status != http.StatusServiceUnavailable {
 		t.Fatalf("readyz during drain: status %d, want 503", res.Status)
 	}
 	// API requests are refused while draining, with a Retry-After.
-	res, _ = doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+	res, _ = doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
 	if res.Status != http.StatusServiceUnavailable {
 		t.Fatalf("query during drain: status %d, want 503", res.Status)
 	}
@@ -73,7 +74,7 @@ func TestHealthAndReadiness(t *testing.T) {
 		t.Fatal("draining refusal missing Retry-After")
 	}
 	// healthz stays 200 — the process is alive, just not taking work.
-	res, _ = doer.Do(http.MethodGet, "/healthz", nil)
+	res, _ = doer.Do(context.Background(), http.MethodGet, "/healthz", nil)
 	if res.Status != http.StatusOK {
 		t.Fatalf("healthz during drain: status %d", res.Status)
 	}
@@ -81,7 +82,7 @@ func TestHealthAndReadiness(t *testing.T) {
 
 func TestQueryHappyPath(t *testing.T) {
 	_, doer, _ := newTestServer(t, Config{})
-	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestQueryHappyPath(t *testing.T) {
 
 func TestAnalyzeReturnsCertificates(t *testing.T) {
 	_, doer, _ := newTestServer(t, Config{})
-	res, err := doer.Do(http.MethodPost, "/v1/analyze", mustBody(t, "premium", false, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/analyze", mustBody(t, "premium", false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestBadRequests(t *testing.T) {
 		"trailing data":  {http.MethodPost, "/v1/query", `{"database":{"relations":[{"name":"R","attrs":["A"],"rows":[]}]}} extra`, http.StatusBadRequest},
 		"malformed rows": {http.MethodPost, "/v1/query", `{"database":{"relations":[{"name":"R","attrs":["A"],"rows":[["a","b"]]}]}}`, http.StatusBadRequest},
 	} {
-		res, err := doer.Do(tc.method, tc.path, []byte(tc.body))
+		res, err := doer.Do(context.Background(), tc.method, tc.path, []byte(tc.body))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -169,7 +170,7 @@ func TestPlanCacheHitKeepsDPFlat(t *testing.T) {
 	srv, doer, rec := newTestServer(t, Config{})
 	body := mustBody(t, "standard", false, false)
 
-	res, _ := doer.Do(http.MethodPost, "/v1/query", body)
+	res, _ := doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 	first := decode200(t, res)
 	if first.CacheHit {
 		t.Fatal("first request cannot be a cache hit")
@@ -182,7 +183,7 @@ func TestPlanCacheHitKeepsDPFlat(t *testing.T) {
 		t.Fatal("first request examined no DP states — metric wiring broken")
 	}
 
-	res, _ = doer.Do(http.MethodPost, "/v1/query", body)
+	res, _ = doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 	second := decode200(t, res)
 	if !second.CacheHit {
 		t.Fatalf("repeat query missed the cache: %+v", second)
@@ -205,7 +206,7 @@ func TestNoCacheBypassesThePlanCache(t *testing.T) {
 	srv, doer, rec := newTestServer(t, Config{})
 	body := mustBody(t, "standard", false, true)
 	for i := 0; i < 2; i++ {
-		res, _ := doer.Do(http.MethodPost, "/v1/query", body)
+		res, _ := doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 		if out := decode200(t, res); out.CacheHit {
 			t.Fatal("noCache request served from cache")
 		}
@@ -220,7 +221,7 @@ func TestNoCacheBypassesThePlanCache(t *testing.T) {
 
 func TestCacheInvalidatedByDataChange(t *testing.T) {
 	_, doer, _ := newTestServer(t, Config{})
-	res, _ := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
+	res, _ := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", false, false))
 	first := decode200(t, res)
 
 	// A different database (another example) must miss: its fingerprint
@@ -229,7 +230,7 @@ func TestCacheInvalidatedByDataChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ = doer.Do(http.MethodPost, "/v1/query", body2)
+	res, _ = doer.Do(context.Background(), http.MethodPost, "/v1/query", body2)
 	second := decode200(t, res)
 	if second.CacheHit {
 		t.Fatal("different database hit the first database's plan")
@@ -249,7 +250,7 @@ func TestDeadlineRequestGetsTypedError(t *testing.T) {
 		MaxQueue:      1,
 		StartRung:     RungDP,
 	}}})
-	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "instant", false, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "instant", false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestDefaultTenantIsStandard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := doer.Do(http.MethodPost, "/v1/query", body)
+	res, _ := doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 	if out := decode200(t, res); out.Tenant != "standard" {
 		t.Errorf("empty tenant resolved to %q, want standard", out.Tenant)
 	}

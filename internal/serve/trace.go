@@ -55,7 +55,7 @@ func (s *Server) startRequestTrace(r *http.Request) *requestTrace {
 		rt.traceID = randHex(16)
 	}
 	rt.spanID = randHex(8)
-	rt.root = rt.rec.StartSpan("request")
+	rt.root = rt.rec.StartSpan(obs.SpanRequest)
 	rt.root.SetAttr("endpoint", rt.endpoint)
 	return rt
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -117,7 +118,7 @@ func TestTraceSpansReconcileWithGuard(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			_, doer, _ := newTestServer(t, Config{Chaos: tc.chaos})
-			res, err := doer.Do(http.MethodPost, tc.path, mustBody(t, tc.tenant, tc.execute, true))
+			res, err := doer.Do(context.Background(), http.MethodPost, tc.path, mustBody(t, tc.tenant, tc.execute, true))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,11 +140,11 @@ func TestTraceSpansReconcileWithGuard(t *testing.T) {
 func TestTraceOnCacheHit(t *testing.T) {
 	_, doer, _ := newTestServer(t, Config{})
 	body := mustBody(t, "standard", true, false)
-	res, _ := doer.Do(http.MethodPost, "/v1/query", body)
+	res, _ := doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 	first := decode200(t, res)
 	checkTraceInvariant(t, first)
 
-	res, _ = doer.Do(http.MethodPost, "/v1/query", body)
+	res, _ = doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 	second := decode200(t, res)
 	if !second.CacheHit {
 		t.Fatal("repeat query missed the cache")
@@ -216,13 +217,13 @@ func TestTraceparentPropagation(t *testing.T) {
 
 func TestMetricsEndpoint(t *testing.T) {
 	_, doer, _ := newTestServer(t, Config{})
-	res, err := doer.Do(http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
+	res, err := doer.Do(context.Background(), http.MethodPost, "/v1/query", mustBody(t, "standard", true, false))
 	if err != nil {
 		t.Fatal(err)
 	}
 	decode200(t, res)
 
-	res, err = doer.Do(http.MethodGet, "/metrics", nil)
+	res, err = doer.Do(context.Background(), http.MethodGet, "/metrics", nil)
 	if err != nil || res.Status != http.StatusOK {
 		t.Fatalf("GET /metrics: %v status %d", err, res.Status)
 	}
@@ -240,7 +241,7 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("/metrics missing %q:\n%s", want, text)
 		}
 	}
-	if res, _ := doer.Do(http.MethodPost, "/metrics", nil); res.Status != http.StatusMethodNotAllowed {
+	if res, _ := doer.Do(context.Background(), http.MethodPost, "/metrics", nil); res.Status != http.StatusMethodNotAllowed {
 		t.Errorf("POST /metrics: status %d, want 405", res.Status)
 	}
 }
@@ -254,7 +255,7 @@ func TestAbsorbKeepsProcessTotals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := doer.Do(http.MethodPost, "/v1/query", body)
+	res, _ := doer.Do(context.Background(), http.MethodPost, "/v1/query", body)
 	decode200(t, res)
 	if rec.Counter("dp.states").Value() == 0 {
 		t.Error("dp.states not folded into the root recorder")
