@@ -9,9 +9,14 @@
 // well-formed families and sorted, type-consistent sample lines. CI
 // runs it to keep the service's wire contracts honest.
 //
+// With -planning the bench reports' planning sections are additionally
+// rendered as a human-readable regret table on stdout — CI uploads it
+// as the regret artifact next to the raw JSON.
+//
 // Usage:
 //
 //	obscheck FILE...
+//	obscheck -planning BENCH_FILE...
 //	obscheck -prom METRICS_FILE...
 package main
 
@@ -32,11 +37,12 @@ func main() {
 	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	prom := fs.Bool("prom", false, "treat the files as Prometheus text exposition instead of JSON")
+	planning := fs.Bool("planning", false, "after validating, print each bench report's planning regret table")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-prom] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-prom|-planning] FILE...")
 		os.Exit(2)
 	}
 	failed := false
@@ -44,6 +50,8 @@ func main() {
 		check := checkFile
 		if *prom {
 			check = checkProm
+		} else if *planning {
+			check = checkPlanning
 		}
 		if err := check(path); err != nil {
 			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
@@ -89,6 +97,24 @@ func checkFile(path string) error {
 		return fmt.Errorf("unknown schema %q", head.Schema)
 	}
 	return err
+}
+
+// checkPlanning validates a bench report and prints its planning
+// section as the CI regret artifact.
+func checkPlanning(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.DecodeBench(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBench(rep); err != nil {
+		return err
+	}
+	experiments.WritePlanningTable(os.Stdout, rep.Planning)
+	return nil
 }
 
 // checkProm validates one Prometheus text exposition file.

@@ -66,6 +66,7 @@ func Run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	optima := fs.Bool("optima", false, "list every τ-optimum strategy per subspace (small databases)")
 	csvDir := fs.String("csv", "", "load the database from headered .csv files in a directory")
 	dotExpr := fs.String("dot", "", "emit a Graphviz rendering of one strategy, e.g. '((R1 R2) R3)'")
+	planMode := fs.String("plan", "exact", "planning mode: exact|estimate|histogram (estimate modes choose plans from statistics alone, then execute only the chosen plans)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 500ms (0 = none)")
 	maxTuples := fs.Int64("max-tuples", 0, "budget on materialized intermediate tuples, the paper's τ (0 = unlimited)")
 	maxStates := fs.Int64("max-states", 0, "budget on evaluator memo + optimizer DP states examined (0 = unlimited)")
@@ -145,6 +146,8 @@ func Run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return costOne(stdout, db, g, rec, *costExpr)
 		case *reduce:
 			return reduceReport(stdout, db)
+		case *planMode != "exact":
+			return planEstimated(stdout, db, g, rec, *planMode)
 		case *optima:
 			return listOptima(stdout, db, g, rec)
 		case *format == "json":
@@ -338,6 +341,38 @@ func costOne(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Record
 		return err
 	}
 	fmt.Fprintf(w, "τ-optimum for comparison: τ=%d  %s\n", best.Cost, best.Strategy.Render(db))
+	return nil
+}
+
+// planEstimated is the -plan=estimate|histogram path: choose one
+// strategy per subspace (plus greedy) from the statistics model alone —
+// no join executes during planning — then execute only the chosen plans
+// to report what the estimates actually bought.
+func planEstimated(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder, mode string) error {
+	var model core.PlanModel
+	switch mode {
+	case "estimate":
+		model = core.ModelUniform
+	case "histogram":
+		model = core.ModelHistogram
+	default:
+		return exitcode.Input(fmt.Errorf("unknown plan mode %q (want exact|estimate|histogram)", mode))
+	}
+	setPhase(g, rec, "plan")
+	an, err := core.AnalyzeEstimated(db, model, g, rec)
+	if err != nil {
+		return err
+	}
+	setPhase(g, rec, "execute")
+	ev := database.NewEvaluator(db).WithGuard(g).WithRecorder(rec)
+	if err := an.ExecuteChosen(ev); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "estimate-driven planning (%s model): strategies chosen without executing a join\n", an.Model)
+	for _, r := range append(an.Results, an.Greedy) {
+		fmt.Fprintf(w, "  %-13s est τ≈%-10.0f true τ=%-8d states=%-6d %s\n",
+			r.Space, r.Est, r.TrueTau, r.States, r.Strategy.Render(db))
+	}
 	return nil
 }
 

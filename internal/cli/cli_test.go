@@ -377,3 +377,46 @@ func TestDOTOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanEstimateFlag(t *testing.T) {
+	for _, mode := range []string{"estimate", "histogram"} {
+		out, _, code := run(t, "-example", "5", "-plan", mode)
+		if code != 0 {
+			t.Fatalf("-plan %s: exit %d", mode, code)
+		}
+		wantModel := "uniform"
+		if mode == "histogram" {
+			wantModel = "histogram"
+		}
+		for _, want := range []string{
+			"estimate-driven planning (" + wantModel + " model)",
+			"all", "no-cartesian", "linear-no-cartesian", "greedy",
+			"true τ=",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("-plan %s output missing %q\n%s", mode, want, out)
+			}
+		}
+	}
+}
+
+func TestPlanUnknownModeExitCode(t *testing.T) {
+	_, errOut, code := run(t, "-example", "1", "-plan", "psychic")
+	if code != 3 {
+		t.Fatalf("unknown plan mode exited %d, want 3 (input)", code)
+	}
+	if !strings.Contains(errOut, "unknown plan mode") {
+		t.Errorf("stderr: %s", errOut)
+	}
+}
+
+func TestPlanEstimateGoverned(t *testing.T) {
+	// The model DP charges the same state budget exact planning does.
+	_, errOut, code := run(t, "-example", "5", "-plan", "estimate", "-max-states", "3")
+	if code != 4 {
+		t.Fatalf("tripped plan exited %d, want 4 (budget)\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "budget") {
+		t.Errorf("stderr: %s", errOut)
+	}
+}

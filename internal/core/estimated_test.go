@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/database"
+	"multijoin/internal/estimate"
+	"multijoin/internal/gen"
+	"multijoin/internal/guard"
+	"multijoin/internal/obs"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/paperex"
+)
+
+func TestAnalyzeEstimatedChoosesValidPlans(t *testing.T) {
+	for _, model := range []PlanModel{ModelUniform, ModelHistogram} {
+		db := paperex.Example5()
+		an, err := AnalyzeEstimated(db, model, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.Model != model.String() {
+			t.Fatalf("model label %q", an.Model)
+		}
+		if len(an.Results) == 0 {
+			t.Fatal("no subspace results")
+		}
+		for _, r := range an.Results {
+			if err := r.Strategy.Validate(db.All()); err != nil {
+				t.Fatalf("%v: %v", r.Space, err)
+			}
+			if r.TrueTau != -1 {
+				t.Fatalf("%v: TrueTau set before execution", r.Space)
+			}
+		}
+		if err := an.Greedy.Strategy.Validate(db.All()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnalyzeEstimatedExecuteChosen(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 10; trial++ {
+		db := gen.Zipf(rng, gen.Schemes(gen.Chain, 5), 8, 4, 1.4)
+		ev := database.NewEvaluator(db)
+		an, err := AnalyzeEstimated(db, ModelUniform, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.ExecuteChosen(ev); err != nil {
+			t.Fatal(err)
+		}
+		best, err := optimizer.Optimize(ev, optimizer.SpaceAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, ok := an.Result(optimizer.SpaceAll)
+		if !ok {
+			t.Fatal("SpaceAll missing")
+		}
+		if all.TrueTau < best.Cost {
+			t.Fatalf("trial %d: impossible — estimated plan beats the optimum (%d < %d)",
+				trial, all.TrueTau, best.Cost)
+		}
+		if an.Greedy.TrueTau < best.Cost {
+			t.Fatalf("trial %d: greedy beats the optimum", trial)
+		}
+	}
+}
+
+func TestAnalyzeEstimatedNeverTouchesTupleData(t *testing.T) {
+	// The planning phase must not execute joins: with a guard whose
+	// tuple budget is zero, planning succeeds (the catalog scan reads
+	// base relations directly, not through governed joins) while any
+	// accidental evaluator call would trip immediately.
+	db := paperex.Example5()
+	g := guard.New(context.Background(), guard.Limits{MaxTuples: 1})
+	an, err := AnalyzeEstimated(db, ModelUniform, g, obs.NewRecorder())
+	if err != nil {
+		t.Fatalf("planning spent tuples: %v", err)
+	}
+	if tuples, _, _ := g.Spent(); tuples != 0 {
+		t.Fatalf("planning charged %d tuples", tuples)
+	}
+	if len(an.Results) == 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestAnalyzeEstimatedGoverned(t *testing.T) {
+	db := paperex.Example5()
+	g := guard.New(context.Background(), guard.Limits{MaxStates: 3})
+	_, err := AnalyzeEstimated(db, ModelUniform, g, obs.NewRecorder())
+	var be *guard.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states budget error, got %v", err)
+	}
+}
+
+func TestAnalyzeEstimatedSpansAndMetrics(t *testing.T) {
+	db := paperex.Example1()
+	rec := obs.NewRecorder()
+	if _, err := AnalyzeEstimated(db, ModelHistogram, guard.New(context.Background(), guard.Limits{}), rec); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters[obs.MetricPlanStates] == 0 {
+		t.Fatal("plan.states not recorded")
+	}
+	if _, ok := snap.Timers[obs.MetricPlanWall]; !ok {
+		t.Fatal("plan.wall not recorded")
+	}
+	if _, ok := snap.Timers[obs.MetricPlanCatalogWall]; !ok {
+		t.Fatal("plan.catalog.wall not recorded")
+	}
+	var sawRoot, sawSpace bool
+	for _, sp := range rec.Spans() {
+		switch sp.Name {
+		case obs.SpanPlan:
+			sawRoot = true
+		case obs.SpanPlanSpace(optimizer.SpaceAll.String()):
+			sawSpace = true
+		}
+	}
+	if !sawRoot || !sawSpace {
+		t.Fatalf("span tree incomplete: root %v, space %v", sawRoot, sawSpace)
+	}
+}
+
+func TestAnalyzeEstimatedMatchesCatalogOptimize(t *testing.T) {
+	// The SpaceAll result must be the same plan estimate.Catalog.Optimize
+	// picks — one pipeline, two entry points.
+	rng := rand.New(rand.NewSource(312))
+	for trial := 0; trial < 10; trial++ {
+		db := gen.Uniform(rng, gen.Schemes(gen.Star, 5), 7, 3)
+		an, err := AnalyzeEstimated(db, ModelUniform, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, ok := an.Result(optimizer.SpaceAll)
+		if !ok {
+			t.Fatal("SpaceAll missing")
+		}
+		if got, want := all.Strategy.String(), estimate.NewCatalog(db).Optimize().String(); got != want {
+			t.Fatalf("trial %d: pipeline plan %s, catalog plan %s", trial, got, want)
+		}
+	}
+}
+
+func TestPlanModelString(t *testing.T) {
+	if ModelUniform.String() != "uniform" || ModelHistogram.String() != "histogram" {
+		t.Fatal("model names drifted")
+	}
+	if PlanModel(9).String() != "model(9)" {
+		t.Fatal("unknown model label drifted")
+	}
+}

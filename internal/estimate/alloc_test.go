@@ -1,0 +1,44 @@
+package estimate
+
+import (
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/gen"
+	"multijoin/internal/hypergraph"
+)
+
+// The subset DPs call Size on every subproblem — tens of thousands of
+// times for a 12-relation plan — so the estimators must not rebuild
+// per-call maps. These budgets are regression guards for the scratch-
+// buffer rework, mirroring the join kernel's alloc tests.
+
+func TestCatalogSizeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := gen.Uniform(rng, gen.Schemes(gen.Clique, 6), 20, 5)
+	c := NewCatalog(db)
+	all := db.All()
+	allocs := testing.AllocsPerRun(50, func() {
+		for s := hypergraph.Set(1); s <= all; s++ {
+			c.Size(s)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Catalog.Size allocated %v times over the subset sweep, want 0", allocs)
+	}
+}
+
+func TestHistogramSizeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := gen.Zipf(rng, gen.Schemes(gen.Chain, 6), 30, 8, 1.4)
+	h := NewHistogramCatalog(db)
+	all := db.All()
+	allocs := testing.AllocsPerRun(50, func() {
+		for s := hypergraph.Set(1); s <= all; s++ {
+			h.Size(s)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("HistogramCatalog.Size allocated %v times over the subset sweep, want 0", allocs)
+	}
+}

@@ -1,0 +1,72 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multijoin/internal/gen"
+	"multijoin/internal/hypergraph"
+)
+
+// Regression guard for the selectivity-product nondeterminism: Size
+// used to iterate a map[relation.Attr] while multiplying selectivities,
+// so the float product — and hence the plan the DP picked — could
+// differ across runs. Estimates must now be bit-identical across
+// repeated calls and across freshly built catalogs (fresh map iteration
+// order each time). The generated clique schemes share many attributes
+// with awkward distinct counts, where float multiplication does not
+// commute bitwise.
+
+func TestCatalogSizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db := gen.Zipf(rng, gen.Schemes(gen.Clique, 7), 40, 7, 1.3)
+	all := db.All()
+	base := make(map[hypergraph.Set]uint64)
+	c0 := NewCatalog(db)
+	for s := hypergraph.Set(1); s <= all; s++ {
+		base[s] = math.Float64bits(c0.Size(s))
+	}
+	for trial := 0; trial < 20; trial++ {
+		c := NewCatalog(db)
+		for s := hypergraph.Set(1); s <= all; s++ {
+			if got := math.Float64bits(c.Size(s)); got != base[s] {
+				t.Fatalf("trial %d: Size(%b) not bit-identical across catalogs", trial, s)
+			}
+		}
+	}
+}
+
+func TestHistogramSizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := gen.Zipf(rng, gen.Schemes(gen.Clique, 6), 50, 9, 1.5)
+	all := db.All()
+	base := make(map[hypergraph.Set]uint64)
+	h0 := NewHistogramCatalog(db)
+	for s := hypergraph.Set(1); s <= all; s++ {
+		base[s] = math.Float64bits(h0.Size(s))
+	}
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogramCatalog(db)
+		for s := hypergraph.Set(1); s <= all; s++ {
+			if got := math.Float64bits(h.Size(s)); got != base[s] {
+				t.Fatalf("trial %d: Size(%b) not bit-identical across catalogs", trial, s)
+			}
+		}
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	// The downstream symptom of nondeterministic estimates was plan flap:
+	// the same database could get different strategies on different runs.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		db := gen.Zipf(rng, gen.Schemes(gen.Clique, 5), 30, 5, 1.2)
+		want := NewCatalog(db).Optimize().String()
+		for run := 0; run < 5; run++ {
+			if got := NewCatalog(db).Optimize().String(); got != want {
+				t.Fatalf("trial %d: plan flapped: %s vs %s", trial, got, want)
+			}
+		}
+	}
+}

@@ -7,24 +7,52 @@
 // experiment quantify that refusal: how often do estimate-driven
 // optimizers pick strategies that are worse under the true τ, and how
 // often do conditions checked on estimates misclassify?
+//
+// Catalogs are also the size models behind estimate-driven planning:
+// optimizer.OptimizeModel and core.AnalyzeEstimated plug Catalog.Size
+// (or HistogramCatalog.Size) into the same subset DPs the exact
+// pipeline runs, choosing a plan without executing any join.
 package estimate
 
 import (
 	"math"
+	"sort"
 
 	"multijoin/internal/database"
 	"multijoin/internal/hypergraph"
+	"multijoin/internal/optimizer"
 	"multijoin/internal/relation"
 	"multijoin/internal/strategy"
 )
 
 // Catalog holds the per-relation statistics the estimator uses:
 // cardinalities and per-attribute distinct-value counts — exactly what a
-// System R-style optimizer keeps.
+// System R-style optimizer keeps. Attributes are interned into a sorted
+// universe at construction so Size runs allocation-free over index
+// arrays and multiplies selectivities in a fixed attribute order (map
+// iteration would make the float product — and hence the chosen plan —
+// vary across runs).
+//
+// A Catalog is not safe for concurrent use: Size reuses per-catalog
+// scratch buffers. Create one Catalog per goroutine.
 type Catalog struct {
-	db       *database.Database
-	card     []float64
-	distinct []map[relation.Attr]float64
+	db   *database.Database
+	card []float64
+	// attrs is the sorted attribute universe; index maps an attribute to
+	// its universe position.
+	attrs []relation.Attr
+	index map[relation.Attr]int
+	// relAttrs[i] lists relation i's attributes as ascending universe
+	// positions; distinct[i][a] is its distinct count on universe
+	// position a (0 when the relation lacks the attribute).
+	relAttrs [][]int
+	distinct [][]float64
+	// Scratch for Size: counts/maxD are universe-indexed accumulators,
+	// touched records which positions the current subset dirtied so only
+	// those are reset.
+	counts  []int
+	maxD    []float64
+	touched []int
 }
 
 // NewCatalog gathers exact statistics from the database's states. The
@@ -34,22 +62,53 @@ func NewCatalog(db *database.Database) *Catalog {
 	c := &Catalog{
 		db:       db,
 		card:     make([]float64, db.Len()),
-		distinct: make([]map[relation.Attr]float64, db.Len()),
+		index:    make(map[relation.Attr]int),
+		relAttrs: make([][]int, db.Len()),
+		distinct: make([][]float64, db.Len()),
+	}
+	for i := 0; i < db.Len(); i++ {
+		for _, a := range db.Scheme(i).Attrs() {
+			if _, ok := c.index[a]; !ok {
+				c.index[a] = 0 // position assigned after the sort below
+				c.attrs = append(c.attrs, a)
+			}
+		}
+	}
+	sort.Slice(c.attrs, func(i, j int) bool { return c.attrs[i] < c.attrs[j] })
+	for pos, a := range c.attrs {
+		c.index[a] = pos
 	}
 	for i := 0; i < db.Len(); i++ {
 		r := db.Relation(i)
 		c.card[i] = float64(r.Size())
-		d := make(map[relation.Attr]float64, r.Schema().Len())
-		for _, a := range r.Schema().Attrs() {
-			d[a] = float64(relation.Project(r, relation.NewSchema(a)).Size())
+		c.distinct[i] = make([]float64, len(c.attrs))
+		for _, a := range r.Schema().Attrs() { // Attrs() is sorted, so positions ascend
+			pos := c.index[a]
+			c.relAttrs[i] = append(c.relAttrs[i], pos)
+			c.distinct[i][pos] = float64(relation.Project(r, relation.NewSchema(a)).Size())
 		}
-		c.distinct[i] = d
 	}
+	c.counts = make([]int, len(c.attrs))
+	c.maxD = make([]float64, len(c.attrs))
+	c.touched = make([]int, 0, len(c.attrs))
 	return c
 }
 
 // Database returns the cataloged database.
 func (c *Catalog) Database() *database.Database { return c.db }
+
+// Card returns relation i's cardinality statistic.
+func (c *Catalog) Card(i int) float64 { return c.card[i] }
+
+// Distinct returns relation i's distinct-value count on the attribute
+// (0 when the relation's scheme lacks it).
+func (c *Catalog) Distinct(i int, a relation.Attr) float64 {
+	pos, ok := c.index[a]
+	if !ok {
+		return 0
+	}
+	return c.distinct[i][pos]
+}
 
 // Size estimates τ(R_S) for the subset s with the textbook formula:
 //
@@ -58,28 +117,39 @@ func (c *Catalog) Database() *database.Database { return c.db }
 // where A ranges over attributes shared by k_A ≥ 2 relations of s. Each
 // shared attribute contributes one equi-join predicate per extra
 // relation, with selectivity 1/max(distinct counts) — uniformity — and
-// the predicates multiply — independence.
+// the predicates multiply — independence. Relations fold in ascending
+// index order and selectivities in ascending attribute order, so the
+// float product is deterministic; the DP subproblem hot path allocates
+// nothing.
 func (c *Catalog) Size(s hypergraph.Set) float64 {
 	if s.Empty() {
 		return 0
 	}
 	est := 1.0
-	counts := map[relation.Attr]int{}
-	maxDistinct := map[relation.Attr]float64{}
-	for _, i := range s.Indexes() {
+	c.touched = c.touched[:0]
+	for rest := s; !rest.Empty(); {
+		i := rest.First()
+		rest = rest.Remove(i)
 		est *= c.card[i]
-		for _, a := range c.db.Scheme(i).Attrs() {
-			counts[a]++
-			if d := c.distinct[i][a]; d > maxDistinct[a] {
-				maxDistinct[a] = d
+		for _, pos := range c.relAttrs[i] {
+			if c.counts[pos] == 0 {
+				c.touched = append(c.touched, pos)
+				c.maxD[pos] = 0
+			}
+			c.counts[pos]++
+			if d := c.distinct[i][pos]; d > c.maxD[pos] {
+				c.maxD[pos] = d
 			}
 		}
 	}
-	for a, k := range counts {
+	sort.Ints(c.touched) // fixed attribute order for the float product
+	for _, pos := range c.touched {
+		k := c.counts[pos]
+		c.counts[pos] = 0 // reset scratch for the next call
 		if k < 2 {
 			continue
 		}
-		d := maxDistinct[a]
+		d := c.maxD[pos]
 		if d < 1 {
 			d = 1
 		}
@@ -100,50 +170,22 @@ func (c *Catalog) Cost(n *strategy.Node) float64 {
 
 // Optimize finds the strategy minimizing the *estimated* τ over the full
 // bushy space, by the same subset dynamic program as the exact
-// optimizer. The returned strategy can then be costed under the true τ
-// to measure the estimation regret.
+// optimizer (optimizer.OptimizeModel with this catalog as the size
+// model). The returned strategy can then be costed under the true τ to
+// measure the estimation regret.
 func (c *Catalog) Optimize() *strategy.Node {
 	return optimizeBySize(c.db, c.Size)
 }
 
-// optimizeBySize runs the bushy subset DP against an arbitrary size
-// model — the shared engine behind the uniform and histogram estimators.
-func optimizeBySize(db *database.Database, size func(hypergraph.Set) float64) *strategy.Node {
-	all := db.All()
-	cost := make(map[hypergraph.Set]float64)
-	pick := make(map[hypergraph.Set][2]hypergraph.Set)
-	var solve func(s hypergraph.Set) float64
-	solve = func(s hypergraph.Set) float64 {
-		if s.Len() == 1 {
-			return 0
-		}
-		if v, ok := cost[s]; ok {
-			return v
-		}
-		best := math.Inf(1)
-		var bestSplit [2]hypergraph.Set
-		s.ProperSubsetPairs(func(a, b hypergraph.Set) bool {
-			v := solve(a) + solve(b) + size(s)
-			if v < best {
-				best = v
-				bestSplit = [2]hypergraph.Set{a, b}
-			}
-			return true
-		})
-		cost[s] = best
-		pick[s] = bestSplit
-		return best
+// optimizeBySize runs the full-space model DP, panicking on the
+// impossible errors (the database was validated when the catalog
+// gathered its statistics, and there is no guard to trip).
+func optimizeBySize(db *database.Database, size optimizer.SizeModel) *strategy.Node {
+	res, err := optimizer.OptimizeModel(db, size, optimizer.SpaceAll)
+	if err != nil {
+		panic("estimate: model optimization failed: " + err.Error())
 	}
-	solve(all)
-	var build func(s hypergraph.Set) *strategy.Node
-	build = func(s hypergraph.Set) *strategy.Node {
-		if s.Len() == 1 {
-			return strategy.Leaf(s.First())
-		}
-		p := pick[s]
-		return strategy.Combine(build(p[0]), build(p[1]))
-	}
-	return build(all)
+	return res.Strategy
 }
 
 // RelativeError reports |est − exact| / max(exact, 1) for the subset s,

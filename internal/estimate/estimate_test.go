@@ -19,11 +19,14 @@ func TestCatalogStats(t *testing.T) {
 		relation.FromStrings("S", "BC", "x 7", "y 8"),
 	)
 	c := NewCatalog(db)
-	if c.card[0] != 3 || c.card[1] != 2 {
-		t.Fatalf("cards = %v", c.card)
+	if c.Card(0) != 3 || c.Card(1) != 2 {
+		t.Fatalf("cards = %v, %v", c.Card(0), c.Card(1))
 	}
-	if c.distinct[0]["A"] != 3 || c.distinct[0]["B"] != 2 {
-		t.Fatalf("distincts = %v", c.distinct[0])
+	if c.Distinct(0, "A") != 3 || c.Distinct(0, "B") != 2 {
+		t.Fatalf("distincts = %v, %v", c.Distinct(0, "A"), c.Distinct(0, "B"))
+	}
+	if c.Distinct(1, "A") != 0 || c.Distinct(0, "Z") != 0 {
+		t.Fatal("absent attributes must report 0 distinct values")
 	}
 }
 

@@ -1,11 +1,21 @@
 package estimate
 
 import (
+	"sort"
+
 	"multijoin/internal/database"
 	"multijoin/internal/hypergraph"
 	"multijoin/internal/relation"
 	"multijoin/internal/strategy"
 )
+
+// valCount is one histogram bucket: a value and its tuple frequency.
+// Buckets are kept sorted by value so pairwise selectivities are a
+// deterministic two-pointer merge instead of a map walk.
+type valCount struct {
+	v relation.Value
+	c float64
+}
 
 // HistogramCatalog refines the plain Catalog with exact per-attribute
 // value frequencies (full-resolution histograms). Joins on a single
@@ -16,38 +26,57 @@ import (
 // approximations. The E-estimate ablation uses this to show how much of
 // the regret better statistics recover, and how much is inherent to the
 // independence assumption the paper distrusts.
+//
+// Like Catalog, a HistogramCatalog is not safe for concurrent use: Size
+// reuses per-catalog scratch buffers.
 type HistogramCatalog struct {
 	*Catalog
-	// freq[i][a][v] = number of tuples of relation i with value v on a.
-	freq []map[relation.Attr]map[relation.Value]float64
+	// freq[i][pos] is relation i's histogram on universe position pos,
+	// sorted by value (nil when the relation lacks the attribute).
+	freq [][][]valCount
+	// seenBy is Size's scratch: seenBy[pos] is the relation already
+	// providing the attribute at pos, or -1.
+	seenBy []int
 }
 
 // NewHistogramCatalog gathers full histograms from the database.
 func NewHistogramCatalog(db *database.Database) *HistogramCatalog {
 	h := &HistogramCatalog{
 		Catalog: NewCatalog(db),
-		freq:    make([]map[relation.Attr]map[relation.Value]float64, db.Len()),
+		freq:    make([][][]valCount, db.Len()),
 	}
 	for i := 0; i < db.Len(); i++ {
 		r := db.Relation(i)
-		m := make(map[relation.Attr]map[relation.Value]float64, r.Schema().Len())
-		for _, a := range r.Schema().Attrs() {
-			m[a] = make(map[relation.Value]float64)
-		}
 		attrs := r.Schema().Attrs()
+		counts := make([]map[relation.Value]float64, len(attrs))
+		for j := range counts {
+			counts[j] = make(map[relation.Value]float64)
+		}
 		for _, row := range r.Rows() {
-			for j, a := range attrs {
-				m[a][row[j]]++
+			for j := range attrs {
+				counts[j][row[j]]++
 			}
 		}
-		h.freq[i] = m
+		h.freq[i] = make([][]valCount, len(h.attrs))
+		for j, a := range attrs {
+			buckets := make([]valCount, 0, len(counts[j]))
+			for v, c := range counts[j] {
+				buckets = append(buckets, valCount{v: v, c: c})
+			}
+			sort.Slice(buckets, func(x, y int) bool { return buckets[x].v < buckets[y].v })
+			h.freq[i][h.index[a]] = buckets
+		}
+	}
+	h.seenBy = make([]int, len(h.attrs))
+	for pos := range h.seenBy {
+		h.seenBy[pos] = -1
 	}
 	return h
 }
 
-// Size estimates τ(R_S) by folding relations into the subset one at a
-// time: starting from the first relation's cardinality, each further
-// relation contributes a factor
+// Size estimates τ(R_S) by folding relations into the subset in
+// ascending index order: starting from the first relation's
+// cardinality, each further relation contributes a factor
 //
 //	|R_i| · Π_{A shared} sel(A)
 //
@@ -55,43 +84,60 @@ func NewHistogramCatalog(db *database.Database) *HistogramCatalog {
 // two histograms as Σ_v f₁(v)·f₂(v) / (|R₁|·|R₂|) — the exact
 // selectivity of that pairwise predicate — with independence assumed
 // between predicates. Better than uniform 1/maxDistinct, still not τ.
+// The fold order and the sorted-bucket merges make the float product
+// deterministic, and the hot path allocates nothing.
 func (h *HistogramCatalog) Size(s hypergraph.Set) float64 {
 	if s.Empty() {
 		return 0
 	}
-	idx := s.Indexes()
-	est := h.card[idx[0]]
-	seenAttrs := map[relation.Attr]int{} // attr -> a relation already providing it
-	for _, a := range h.db.Scheme(idx[0]).Attrs() {
-		seenAttrs[a] = idx[0]
+	h.touched = h.touched[:0]
+	first := s.First()
+	est := h.card[first]
+	for _, pos := range h.relAttrs[first] {
+		h.seenBy[pos] = first
+		h.touched = append(h.touched, pos)
 	}
-	for _, i := range idx[1:] {
+	for rest := s.Remove(first); !rest.Empty(); {
+		i := rest.First()
+		rest = rest.Remove(i)
 		est *= h.card[i]
-		for _, a := range h.db.Scheme(i).Attrs() {
-			if j, shared := seenAttrs[a]; shared {
-				est *= h.pairSelectivity(a, j, i)
+		for _, pos := range h.relAttrs[i] {
+			// The provider stays the first relation carrying the attribute,
+			// matching the uniform model's max-distinct anchor.
+			if j := h.seenBy[pos]; j >= 0 {
+				est *= h.pairSelectivity(pos, j, i)
 			} else {
-				seenAttrs[a] = i
+				h.seenBy[pos] = i
+				h.touched = append(h.touched, pos)
 			}
 		}
+	}
+	for _, pos := range h.touched {
+		h.seenBy[pos] = -1
 	}
 	return est
 }
 
 // pairSelectivity estimates the selectivity of the equi-join predicate
-// on attribute a between relations j and i from their histograms.
-func (h *HistogramCatalog) pairSelectivity(a relation.Attr, j, i int) float64 {
-	fj, fi := h.freq[j][a], h.freq[i][a]
+// on the attribute at universe position pos between relations j and i,
+// merging their sorted histograms.
+func (h *HistogramCatalog) pairSelectivity(pos, j, i int) float64 {
+	fj, fi := h.freq[j][pos], h.freq[i][pos]
 	if len(fj) == 0 || len(fi) == 0 || h.card[j] == 0 || h.card[i] == 0 {
 		return 0
 	}
-	// Iterate the smaller histogram.
-	if len(fi) < len(fj) {
-		fj, fi = fi, fj
-	}
 	match := 0.0
-	for v, c := range fj {
-		match += c * fi[v]
+	for x, y := 0, 0; x < len(fj) && y < len(fi); {
+		switch {
+		case fj[x].v < fi[y].v:
+			x++
+		case fj[x].v > fi[y].v:
+			y++
+		default:
+			match += fj[x].c * fi[y].c
+			x++
+			y++
+		}
 	}
 	return match / (h.card[j] * h.card[i])
 }

@@ -124,6 +124,9 @@ type BenchReport struct {
 	Analysis []AnalysisBench `json:"analysis"`
 	// Serve is the service-level load measurement (schema v4).
 	Serve *ServeBench `json:"serve"`
+	// Planning is the estimate-driven planning measurement (schema v6):
+	// exact-vs-plan-only walls and per-subspace regret.
+	Planning *PlanningBench `json:"planning"`
 	// Totals aggregates the corpus.
 	Totals BenchTotals `json:"totals"`
 }
@@ -187,6 +190,9 @@ func RunBench(ctx context.Context, w io.Writer, workers int) (*BenchReport, erro
 		return nil, err
 	}
 	if rep.Serve, err = benchServe(ctx, w); err != nil {
+		return nil, err
+	}
+	if rep.Planning, err = benchPlanning(w); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -495,5 +501,8 @@ func ValidateBench(rep *BenchReport) error {
 		return fmt.Errorf("bench: parallel analyze speedup %.2f× on %d procs, want ≥ %.2f×",
 			best, rep.GoMaxProcs, 1/0.6)
 	}
-	return validateServeBench(rep.Serve)
+	if err := validateServeBench(rep.Serve); err != nil {
+		return err
+	}
+	return validatePlanningBench(rep.Planning)
 }

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"multijoin/internal/core"
+	"multijoin/internal/database"
+	"multijoin/internal/gen"
+	"multijoin/internal/optimizer"
+	"multijoin/internal/paperex"
+)
+
+// The planning section (schema v6): what estimate-driven planning buys
+// and what it costs. For every corpus entry the exact four-space
+// analysis — which obtains true τ for each DP subproblem by executing
+// joins — is timed against plan-only runs of the same DPs over the
+// uniform and histogram statistics models, which never touch tuple
+// data. The chosen plans are then executed once, so each carries its
+// regret: true τ of the model's choice over the subspace's true
+// optimum. Greedy with early termination rides along as the third
+// contender, measured against the full-space optimum.
+
+// PlanningRegret is one model-chosen plan costed under the true τ.
+type PlanningRegret struct {
+	// Space is the searched subspace ("greedy" for the heuristics).
+	Space string `json:"space"`
+	// Est is the model's estimated τ for the chosen strategy.
+	Est float64 `json:"est"`
+	// TrueTau is the chosen strategy's measured τ.
+	TrueTau int `json:"trueTau"`
+	// Optimum is the subspace's exact τ optimum.
+	Optimum int `json:"optimum"`
+	// Regret is TrueTau / Optimum, ≥ 1 by definition (the chosen plan
+	// lives in the subspace the optimum minimizes over). A zero optimum
+	// with a zero TrueTau reports 1.
+	Regret float64 `json:"regret"`
+}
+
+// PlanningCase is one corpus entry's planning measurement.
+type PlanningCase struct {
+	// Name identifies the corpus entry, e.g. "example1" or "chain5".
+	Name string `json:"name"`
+	// Relations is the database's relation count.
+	Relations int `json:"relations"`
+	// ExactNS is the wall time of the exact four-space analysis on a
+	// fresh evaluator — planning by executing.
+	ExactNS int64 `json:"exactNs"`
+	// PlanNS is the plan-only wall under the uniform model (best of the
+	// measurement rounds, catalog build included).
+	PlanNS int64 `json:"planNs"`
+	// HistNS is the plan-only wall under the histogram model.
+	HistNS int64 `json:"histNs"`
+	// Speedup is ExactNS / PlanNS.
+	Speedup float64 `json:"speedup"`
+	// Uniform and Histogram hold one regret row per searchable
+	// subspace plus the model-driven greedy, in DPSpaces order.
+	Uniform []PlanningRegret `json:"uniform"`
+	// Histogram is the same rows under the histogram model.
+	Histogram []PlanningRegret `json:"histogram"`
+	// GreedyEarly is greedy with early termination (an executing
+	// heuristic, not a model), against the full-space optimum.
+	GreedyEarly PlanningRegret `json:"greedyEarly"`
+}
+
+// PlanningBench aggregates the planning section.
+type PlanningBench struct {
+	// Cases lists one measurement per corpus entry, in run order.
+	Cases []PlanningCase `json:"cases"`
+	// ExactNS and PlanNS sum the per-case walls (uniform model).
+	ExactNS int64 `json:"exactNs"`
+	// PlanNS sums the per-case plan-only walls.
+	PlanNS int64 `json:"planNs"`
+	// Speedup is aggregate ExactNS / PlanNS — the headline claim that
+	// planning without executing is at least an order of magnitude
+	// cheaper than planning by executing.
+	Speedup float64 `json:"speedup"`
+	// MaxRegret is the worst regret across every row of every case.
+	MaxRegret float64 `json:"maxRegret"`
+}
+
+// planningRounds is how many times each plan-only wall is measured; the
+// section keeps the best round, since plan-only walls sit near timer
+// granularity and a single descheduling would swamp them.
+const planningRounds = 3
+
+// planningCorpus returns the planning section's fixed corpus: the
+// paper's five examples plus the bench shapes regenerated at 40 rows —
+// exact planning's cost scales with the data it must execute, plan-only
+// cost scales only with the statistics, and the 6-row bench corpus is
+// too small for that gap to mean anything.
+func planningCorpus() []benchEntry {
+	mk := func(shape gen.Shape, name string, n int) benchEntry {
+		rng := rand.New(rand.NewSource(1))
+		return benchEntry{name, gen.Uniform(rng, gen.Schemes(shape, n), 40, 8)}
+	}
+	return []benchEntry{
+		{"example1", paperex.Example1()},
+		{"example2", paperex.Example2()},
+		{"example3", paperex.Example3()},
+		{"example4", paperex.Example4()},
+		{"example5", paperex.Example5()},
+		mk(gen.Chain, "chain5x40", 5),
+		mk(gen.Star, "star5x40", 5),
+		mk(gen.Cycle, "cycle5x40", 5),
+		mk(gen.Clique, "clique4x40", 4),
+	}
+}
+
+// benchPlanning measures the planning section over the planning corpus.
+func benchPlanning(w io.Writer) (*PlanningBench, error) {
+	out := &PlanningBench{}
+	for _, entry := range planningCorpus() {
+		c, err := benchPlanningOne(entry.name, entry.db)
+		if err != nil {
+			return nil, fmt.Errorf("bench planning %s: %w", entry.name, err)
+		}
+		fmt.Fprintf(w, "planning %-10s exact=%-10s plan=%-10s speedup=%-8.1f maxRegret=%.3f\n",
+			c.Name, time.Duration(c.ExactNS).Round(time.Microsecond),
+			time.Duration(c.PlanNS).Round(time.Microsecond), c.Speedup, caseMaxRegret(c))
+		out.Cases = append(out.Cases, c)
+		out.ExactNS += c.ExactNS
+		out.PlanNS += c.PlanNS
+		if mr := caseMaxRegret(c); mr > out.MaxRegret {
+			out.MaxRegret = mr
+		}
+	}
+	if out.PlanNS > 0 {
+		out.Speedup = float64(out.ExactNS) / float64(out.PlanNS)
+	}
+	fmt.Fprintf(w, "planning aggregate: exact=%s plan=%s speedup=%.1f× maxRegret=%.3f\n",
+		time.Duration(out.ExactNS).Round(time.Microsecond),
+		time.Duration(out.PlanNS).Round(time.Microsecond), out.Speedup, out.MaxRegret)
+	return out, nil
+}
+
+// benchPlanningOne measures one corpus entry.
+func benchPlanningOne(name string, db *database.Database) (PlanningCase, error) {
+	// Planning by executing: the exact analysis on a fresh, unwarmed
+	// evaluator, so its wall carries the join executions the DP needs.
+	start := time.Now()
+	ev := database.NewEvaluator(db)
+	exact, err := core.AnalyzeEvaluator(ev)
+	if err != nil {
+		return PlanningCase{}, err
+	}
+	c := PlanningCase{Name: name, Relations: db.Len(), ExactNS: time.Since(start).Nanoseconds()}
+
+	// Plan-only walls, best of rounds; the last round's analysis is the
+	// one whose chosen plans get executed for regret.
+	var uniform, hist *core.EstimatedAnalysis
+	for round := 0; round < planningRounds; round++ {
+		t0 := time.Now()
+		if uniform, err = core.AnalyzeEstimated(db, core.ModelUniform, nil, nil); err != nil {
+			return PlanningCase{}, err
+		}
+		uw := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if hist, err = core.AnalyzeEstimated(db, core.ModelHistogram, nil, nil); err != nil {
+			return PlanningCase{}, err
+		}
+		hw := time.Since(t0).Nanoseconds()
+		if c.PlanNS == 0 || uw < c.PlanNS {
+			c.PlanNS = uw
+		}
+		if c.HistNS == 0 || hw < c.HistNS {
+			c.HistNS = hw
+		}
+	}
+	if c.PlanNS > 0 {
+		c.Speedup = float64(c.ExactNS) / float64(c.PlanNS)
+	}
+
+	// The one deliberate crossing to run time: execute the chosen plans
+	// over the already-warm evaluator to learn their true τ.
+	if err := uniform.ExecuteChosen(ev); err != nil {
+		return PlanningCase{}, err
+	}
+	if err := hist.ExecuteChosen(ev); err != nil {
+		return PlanningCase{}, err
+	}
+	if c.Uniform, err = regretRows(exact, uniform); err != nil {
+		return PlanningCase{}, err
+	}
+	if c.Histogram, err = regretRows(exact, hist); err != nil {
+		return PlanningCase{}, err
+	}
+
+	allOpt, ok := exact.Result(optimizer.SpaceAll)
+	if !ok {
+		return PlanningCase{}, fmt.Errorf("exact analysis missing the full-space optimum")
+	}
+	ge := optimizer.GreedyEarlyStop(ev)
+	c.GreedyEarly = PlanningRegret{
+		Space:   "greedy",
+		Est:     float64(ge.Cost),
+		TrueTau: ge.Cost,
+		Optimum: allOpt.Cost,
+		Regret:  regretOf(ge.Cost, allOpt.Cost),
+	}
+	return c, nil
+}
+
+// regretRows costs an executed estimated analysis against the exact
+// per-subspace optima; the greedy row compares against the full space.
+func regretRows(exact *core.Analysis, est *core.EstimatedAnalysis) ([]PlanningRegret, error) {
+	var rows []PlanningRegret
+	for _, r := range est.Results {
+		opt, ok := exact.Result(r.Space)
+		if !ok {
+			return nil, fmt.Errorf("exact analysis missing subspace %s", r.Space)
+		}
+		rows = append(rows, PlanningRegret{
+			Space: r.Space.String(), Est: r.Est, TrueTau: r.TrueTau,
+			Optimum: opt.Cost, Regret: regretOf(r.TrueTau, opt.Cost),
+		})
+	}
+	allOpt, ok := exact.Result(optimizer.SpaceAll)
+	if !ok {
+		return nil, fmt.Errorf("exact analysis missing the full-space optimum")
+	}
+	g := est.Greedy
+	rows = append(rows, PlanningRegret{
+		Space: g.Space.String(), Est: g.Est, TrueTau: g.TrueTau,
+		Optimum: allOpt.Cost, Regret: regretOf(g.TrueTau, allOpt.Cost),
+	})
+	return rows, nil
+}
+
+// regretOf is trueTau/optimum, defined as 1 when both are zero (a zero
+// optimum with a nonzero trueTau reports trueTau itself — finite, since
+// the JSON encoder rejects Inf).
+func regretOf(trueTau, optimum int) float64 {
+	if optimum > 0 {
+		return float64(trueTau) / float64(optimum)
+	}
+	if trueTau == 0 {
+		return 1
+	}
+	return float64(trueTau)
+}
+
+// caseMaxRegret is the worst regret across one case's rows.
+func caseMaxRegret(c PlanningCase) float64 {
+	worst := c.GreedyEarly.Regret
+	for _, rows := range [][]PlanningRegret{c.Uniform, c.Histogram} {
+		for _, r := range rows {
+			if r.Regret > worst {
+				worst = r.Regret
+			}
+		}
+	}
+	return worst
+}
+
+// WritePlanningTable renders a planning section as an aligned
+// human-readable regret table — what obscheck -planning prints and CI
+// uploads as the regret artifact.
+func WritePlanningTable(w io.Writer, p *PlanningBench) {
+	if p == nil {
+		fmt.Fprintln(w, "no planning section")
+		return
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "case\tmodel\tspace\testτ\ttrueτ\toptimum\tregret")
+	for _, c := range p.Cases {
+		for _, row := range c.Uniform {
+			fmt.Fprintf(tw, "%s\tuniform\t%s\t%.0f\t%d\t%d\t%.3f\n",
+				c.Name, row.Space, row.Est, row.TrueTau, row.Optimum, row.Regret)
+		}
+		for _, row := range c.Histogram {
+			fmt.Fprintf(tw, "%s\thistogram\t%s\t%.0f\t%d\t%d\t%.3f\n",
+				c.Name, row.Space, row.Est, row.TrueTau, row.Optimum, row.Regret)
+		}
+		g := c.GreedyEarly
+		fmt.Fprintf(tw, "%s\t(executes)\tgreedy-early\t%.0f\t%d\t%d\t%.3f\n",
+			c.Name, g.Est, g.TrueTau, g.Optimum, g.Regret)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "aggregate: exact=%s plan-only=%s speedup=%.1f× maxRegret=%.3f\n",
+		time.Duration(p.ExactNS).Round(time.Microsecond),
+		time.Duration(p.PlanNS).Round(time.Microsecond), p.Speedup, p.MaxRegret)
+}
+
+// planningSpeedupFloor is the planning section's acceptance gate:
+// planning from statistics must beat planning by executing by at least
+// this factor in aggregate over the corpus.
+const planningSpeedupFloor = 10.0
+
+// validatePlanningBench checks the planning section's contract: every
+// case measured with positive walls, every regret a real ratio ≥ 1 (up
+// to float slop), and the aggregate plan-only speedup over the floor.
+func validatePlanningBench(p *PlanningBench) error {
+	if p == nil {
+		return fmt.Errorf("bench: no planning section")
+	}
+	if len(p.Cases) == 0 {
+		return fmt.Errorf("bench: planning section has no cases")
+	}
+	for _, c := range p.Cases {
+		if c.Name == "" {
+			return fmt.Errorf("bench: planning case with empty name")
+		}
+		if c.ExactNS <= 0 || c.PlanNS <= 0 || c.HistNS <= 0 {
+			return fmt.Errorf("bench: planning case %s has non-positive wall times", c.Name)
+		}
+		if len(c.Uniform) == 0 || len(c.Histogram) == 0 {
+			return fmt.Errorf("bench: planning case %s is missing regret rows", c.Name)
+		}
+		rows := append(append([]PlanningRegret{}, c.Uniform...), c.Histogram...)
+		rows = append(rows, c.GreedyEarly)
+		for _, r := range rows {
+			if r.Space == "" {
+				return fmt.Errorf("bench: planning case %s has a regret row without a space", c.Name)
+			}
+			if r.Est < 0 || r.TrueTau < 0 || r.Optimum < 0 {
+				return fmt.Errorf("bench: planning case %s space %s has negative measurements", c.Name, r.Space)
+			}
+			// A chosen plan lives inside the subspace its optimum
+			// minimizes over, so regret below 1 would falsify the exact
+			// optimizer itself.
+			if r.Regret < 0.999 {
+				return fmt.Errorf("bench: planning case %s space %s has regret %.3f < 1 — the exact optimum is not optimal",
+					c.Name, r.Space, r.Regret)
+			}
+		}
+	}
+	if p.ExactNS <= 0 || p.PlanNS <= 0 {
+		return fmt.Errorf("bench: planning aggregate walls are non-positive")
+	}
+	if p.Speedup < planningSpeedupFloor {
+		return fmt.Errorf("bench: plan-only speedup %.1f× below the %.0f× floor — estimate-driven planning is not paying for itself",
+			p.Speedup, planningSpeedupFloor)
+	}
+	return nil
+}

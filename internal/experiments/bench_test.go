@@ -209,3 +209,91 @@ func TestBenchServeSection(t *testing.T) {
 		t.Error("histograms observing fewer requests than issued validated")
 	}
 }
+
+// TestBenchPlanningSection pins the v6 planning section: present,
+// validated, covering the planning corpus with per-subspace regret
+// under both models plus greedy early termination, and gating the
+// validator: a missing section, a sub-unity regret, or a plan-only
+// speedup under the floor must all fail.
+func TestBenchPlanningSection(t *testing.T) {
+	p, err := benchPlanning(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validatePlanningBench(p); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]PlanningCase{}
+	for _, c := range p.Cases {
+		seen[c.Name] = c
+	}
+	for _, want := range []string{"example1", "example5", "chain5x40", "star5x40", "cycle5x40", "clique4x40"} {
+		if _, ok := seen[want]; !ok {
+			t.Errorf("planning corpus missing %s", want)
+		}
+	}
+	// Example 1's chosen plans under the uniform model are pinned by the
+	// paper: every subspace's regret is a ratio over the pinned optima.
+	ex1 := seen["example1"]
+	for _, r := range ex1.Uniform {
+		if r.Space == "all" && r.Optimum != 546 {
+			t.Errorf("example1 full-space optimum %d, want 546", r.Optimum)
+		}
+	}
+	if ex1.GreedyEarly.Optimum != 546 {
+		t.Errorf("example1 greedy-early optimum %d, want 546", ex1.GreedyEarly.Optimum)
+	}
+
+	if err := validatePlanningBench(nil); err == nil {
+		t.Error("missing planning section validated")
+	}
+	empty := *p
+	empty.Cases = nil
+	if err := validatePlanningBench(&empty); err == nil {
+		t.Error("planning section without cases validated")
+	}
+	subUnity := *p
+	subUnity.Cases = append([]PlanningCase(nil), p.Cases...)
+	broken := subUnity.Cases[0]
+	broken.Uniform = append([]PlanningRegret(nil), broken.Uniform...)
+	broken.Uniform[0].Regret = 0.5
+	subUnity.Cases[0] = broken
+	if err := validatePlanningBench(&subUnity); err == nil {
+		t.Error("sub-unity regret validated — would mean the exact optimum is not optimal")
+	}
+	slow := *p
+	slow.Speedup = planningSpeedupFloor / 2
+	if err := validatePlanningBench(&slow); err == nil {
+		t.Error("plan-only speedup below the floor validated")
+	}
+}
+
+// TestBenchPlanningDeterministicChoices: the planning corpus is seeded,
+// so the chosen plans' true τ, optima and state-independent regret must
+// be identical across runs (walls of course differ).
+func TestBenchPlanningDeterministicChoices(t *testing.T) {
+	a, err := benchPlanning(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := benchPlanning(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		ca, cb := a.Cases[i], b.Cases[i]
+		for j := range ca.Uniform {
+			ra, rb := ca.Uniform[j], cb.Uniform[j]
+			if ra.TrueTau != rb.TrueTau || ra.Optimum != rb.Optimum || ra.Est != rb.Est {
+				t.Errorf("%s uniform %s not deterministic: %+v vs %+v", ca.Name, ra.Space, ra, rb)
+			}
+		}
+		if ca.GreedyEarly.TrueTau != cb.GreedyEarly.TrueTau {
+			t.Errorf("%s greedy-early not deterministic: %d vs %d",
+				ca.Name, ca.GreedyEarly.TrueTau, cb.GreedyEarly.TrueTau)
+		}
+	}
+}

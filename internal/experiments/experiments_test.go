@@ -11,7 +11,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"E-abort", "E-c4", "E-estimate", "E-ex1", "E-ex2", "E-ex3", "E-ex4", "E-ex5",
 		"E-gamma", "E-greedy", "E-intersect", "E-intro", "E-jointree", "E-lossless",
-		"E-manyjoins", "E-monotone", "E-osborn", "E-space", "E-superkey",
+		"E-manyjoins", "E-monotone", "E-osborn", "E-planning", "E-space", "E-superkey",
 		"E-thm1", "E-thm2", "E-thm3", "E-union", "E-yannakakis",
 	}
 	got := All()

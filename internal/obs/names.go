@@ -43,11 +43,26 @@ const (
 	MetricDPAblationStates     = "dp.ablation.states"
 	MetricGreedyStates         = "greedy.states"
 	MetricGreedyWall           = "greedy.wall"
+	MetricGreedyEarlyStates    = "greedy.early.states"
+	MetricGreedyEarlyWall      = "greedy.early.wall"
 	MetricExhaustiveStrategies = "exhaustive.strategies"
 	MetricExhaustiveWall       = "exhaustive.wall"
 	MetricOptimaEnumerated     = "optima.enumerated"
 	MetricOptimaFound          = "optima.found"
 	MetricOptimaWall           = "optima.wall"
+)
+
+// Estimate-costed planning metrics (internal/optimizer model searches,
+// internal/core AnalyzeEstimated). The per-subspace plan.<space>.*
+// family is built by the MetricPlanSpace* builders below; plan.states
+// is the shared ledger reconciling with guard.ChargeStates the way
+// dp.states does for the exact pipeline.
+const (
+	MetricPlanStates       = "plan.states"
+	MetricPlanWall         = "plan.wall"
+	MetricPlanCatalogWall  = "plan.catalog.wall"
+	MetricPlanGreedyStates = "plan.greedy.states"
+	MetricPlanGreedyWall   = "plan.greedy.wall"
 )
 
 // Guard-ledger gauges and degradation counters (internal/cli,
@@ -128,6 +143,22 @@ func MetricDPSpaceCartesian(space string) string { return "dp." + space + ".cart
 // MetricDPSpaceWall names the per-subspace DP wall timer, dp.<space>.wall.
 func MetricDPSpaceWall(space string) string { return "dp." + space + ".wall" }
 
+// MetricPlanSpaceStates names the per-subspace planning-DP state
+// counter, plan.<space>.states.
+func MetricPlanSpaceStates(space string) string { return "plan." + space + ".states" }
+
+// MetricPlanSpacePruned names the per-subspace planning-DP pruning
+// counter, plan.<space>.pruned.
+func MetricPlanSpacePruned(space string) string { return "plan." + space + ".pruned" }
+
+// MetricPlanSpaceCartesian names the per-subspace planning-DP
+// cartesian-plan counter, plan.<space>.cartesian.
+func MetricPlanSpaceCartesian(space string) string { return "plan." + space + ".cartesian" }
+
+// MetricPlanSpaceWall names the per-subspace planning-DP wall timer,
+// plan.<space>.wall.
+func MetricPlanSpaceWall(space string) string { return "plan." + space + ".wall" }
+
 // MetricPhaseWall names a phase's wall timer, phase.<name>.
 func MetricPhaseWall(phase string) string { return "phase." + phase }
 
@@ -153,6 +184,14 @@ func SpanPhase(phase string) string { return "phase:" + phase }
 // SpanOptimizeSpace names one subspace's optimization span inside the
 // parallel fan-out, optimize:<space>.
 func SpanOptimizeSpace(space string) string { return "optimize:" + space }
+
+// SpanPlan names the estimate-costed planning span enclosing the
+// catalog build and the model searches.
+const SpanPlan = "plan"
+
+// SpanPlanSpace names one subspace's estimate-costed planning span,
+// plan:<space>.
+func SpanPlanSpace(space string) string { return "plan:" + space }
 
 // SpanRung names a ladder-rung attempt span, rung:<rung>.
 func SpanRung(rung string) string { return "rung:" + rung }

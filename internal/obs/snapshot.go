@@ -27,8 +27,11 @@ const (
 	// four-subspace analyze wall time; v4 added the serve section
 	// (joinserve load run: outcome counts, shed/cache rates, latency
 	// quantiles); v5 added the serve section's per-tenant-class
-	// breakdown and latency-histogram summary.
-	BenchSchema = "multijoin/bench/v5"
+	// breakdown and latency-histogram summary; v6 added the planning
+	// section (estimate-driven planning walls, the exact-vs-plan-only
+	// speedup, and per-subspace regret under the uniform and histogram
+	// models plus greedy early termination).
+	BenchSchema = "multijoin/bench/v6"
 )
 
 // TimerStats is a timer's aggregate in a snapshot.

@@ -118,20 +118,59 @@ func Optimize(ev *database.Evaluator, space Space) (res Result, err error) {
 		return Result{}, err
 	}
 	rec := ev.Recorder()
+	// The exact size model: τ measured by executing the join through the
+	// memoized evaluator. Sums of exact integer sizes stay below 2^53 long
+	// before any feasible budget, so the float64 DP core reproduces the
+	// integer arithmetic bit for bit.
+	size := func(s hypergraph.Set) float64 { return float64(ev.Size(s)) }
+	o := newDP(db, size, ev.Guard(), rec, space, dpCounters(rec, space))
+	defer rec.Timer(obs.MetricDPSpaceWall(space.String())).Start().Stop()
+	all := db.All()
+	cost := o.solve(all)
+	if math.IsInf(cost, 1) {
+		return Result{Space: space}, ErrEmptySpace
+	}
+	return Result{
+		Space:    space,
+		Strategy: o.build(all),
+		Cost:     int(cost),
+		States:   len(o.cost),
+	}, nil
+}
+
+const inf = math.MaxInt
+
+// dpCounters resolves the exact pipeline's per-subspace counters (the
+// dp.<space>.* family reconciling with guard.ChargeStates).
+func dpCounters(rec *obs.Recorder, space Space) [4]*obs.Counter {
+	return [4]*obs.Counter{
+		rec.Counter(obs.MetricDPSpaceStates(space.String())),
+		rec.Counter(obs.MetricDPStates),
+		rec.Counter(obs.MetricDPSpacePruned(space.String())),
+		rec.Counter(obs.MetricDPSpaceCartesian(space.String())),
+	}
+}
+
+// newDP builds the subset dynamic program over an arbitrary size model.
+// counters carries the four resolved counters (per-space states, shared
+// states ledger, pruned, cartesian), so the exact and the
+// estimate-costed pipelines account under their own metric families.
+func newDP(db *database.Database, size SizeModel, gd *guard.Guard, rec *obs.Recorder,
+	space Space, counters [4]*obs.Counter) *dp {
 	o := &dp{
-		ev:    ev,
 		g:     db.Graph(),
 		space: space,
-		cost:  make(map[hypergraph.Set]int),
+		size:  size,
+		gd:    gd,
+		cost:  make(map[hypergraph.Set]float64),
 		pick:  make(map[hypergraph.Set][2]hypergraph.Set),
 
-		cStates:      rec.Counter(obs.MetricDPSpaceStates(space.String())),
-		cStatesAll:   rec.Counter(obs.MetricDPStates),
-		cPruned:      rec.Counter(obs.MetricDPSpacePruned(space.String())),
-		cCartesian:   rec.Counter(obs.MetricDPSpaceCartesian(space.String())),
+		cStates:      counters[0],
+		cStatesAll:   counters[1],
+		cPruned:      counters[2],
+		cCartesian:   counters[3],
 		hasCartesian: rec != nil,
 	}
-	defer rec.Timer(obs.MetricDPSpaceWall(space.String())).Start().Stop()
 	o.components = o.g.Components(o.g.All())
 	o.compOf = make([]hypergraph.Set, db.Len())
 	for _, c := range o.components {
@@ -139,29 +178,22 @@ func Optimize(ev *database.Evaluator, space Space) (res Result, err error) {
 			o.compOf[i] = c
 		}
 	}
-	all := db.All()
-	cost := o.solve(all)
-	if cost == inf {
-		return Result{Space: space}, ErrEmptySpace
-	}
-	return Result{
-		Space:    space,
-		Strategy: o.build(all),
-		Cost:     cost,
-		States:   len(o.cost),
-	}, nil
+	return o
 }
 
-const inf = math.MaxInt
-
-// dp is the memoized subset dynamic program shared by all four spaces.
+// dp is the memoized subset dynamic program shared by all four spaces
+// and both cost regimes: the exact pipeline plugs in the evaluator's
+// measured τ, the planning pipeline an estimate.Catalog model. Costs are
+// float64 throughout — exact integer τ sums are far below 2^53, so the
+// exact pipeline's results are unchanged.
 type dp struct {
-	ev         *database.Evaluator
 	g          *hypergraph.Graph
 	space      Space
+	size       SizeModel
+	gd         *guard.Guard
 	components []hypergraph.Set
 	compOf     []hypergraph.Set // relation index -> its component
-	cost       map[hypergraph.Set]int
+	cost       map[hypergraph.Set]float64
 	pick       map[hypergraph.Set][2]hypergraph.Set
 
 	// Observability: subsets expanded (per-space and the shared
@@ -177,8 +209,8 @@ type dp struct {
 }
 
 // solve returns the cheapest subtree cost for the subset s within the
-// space's constraints, or inf when no valid subtree exists.
-func (o *dp) solve(s hypergraph.Set) int {
+// space's constraints, or +Inf when no valid subtree exists.
+func (o *dp) solve(s hypergraph.Set) float64 {
 	if s.Len() == 1 {
 		return 0
 	}
@@ -190,9 +222,9 @@ func (o *dp) solve(s hypergraph.Set) int {
 	// too for the two to reconcile on truncated runs.
 	o.cStates.Inc()
 	o.cStatesAll.Inc()
-	guard.Must(o.ev.Guard().ChargeStates(1))
-	o.cost[s] = inf // guard against re-entry; overwritten below
-	best := inf
+	guard.Must(o.gd.ChargeStates(1))
+	best := math.Inf(1)
+	o.cost[s] = best // guard against re-entry; overwritten below
 	var bestSplit [2]hypergraph.Set
 
 	consider := func(a, b hypergraph.Set) {
@@ -200,16 +232,16 @@ func (o *dp) solve(s hypergraph.Set) int {
 			o.cCartesian.Inc()
 		}
 		ca := o.solve(a)
-		if ca == inf {
+		if math.IsInf(ca, 1) {
 			o.cPruned.Inc()
 			return
 		}
 		cb := o.solve(b)
-		if cb == inf {
+		if math.IsInf(cb, 1) {
 			o.cPruned.Inc()
 			return
 		}
-		total := ca + cb + o.ev.Size(s)
+		total := ca + cb + o.size(s)
 		if total < best {
 			best = total
 			bestSplit = [2]hypergraph.Set{a, b}
@@ -263,7 +295,7 @@ func (o *dp) solve(s hypergraph.Set) int {
 		}
 	}
 	o.cost[s] = best
-	if best != inf {
+	if !math.IsInf(best, 1) {
 		o.pick[s] = bestSplit
 	}
 	return best
@@ -316,10 +348,12 @@ func (o *dp) build(s hypergraph.Set) *strategy.Node {
 
 // greedyCand is one candidate pair of the greedy probe loop, carrying
 // everything the tie-break needs. The zero value (ok=false) loses to
-// every real candidate.
+// every real candidate. Sizes are float64 so the exact probe (integer
+// τ, compared exactly — ints this small are float64-representable) and
+// the estimate-model probe share the loop.
 type greedyCand struct {
 	i, j   int
-	size   int
+	size   float64
 	linked bool
 	ok     bool
 }
@@ -382,7 +416,7 @@ func Greedy(ev *database.Evaluator) Result {
 		a, b := pool[i].Set(), pool[j].Set()
 		return greedyCand{
 			i: i, j: j,
-			size:   ev.Size(a.Union(b)),
+			size:   float64(ev.Size(a.Union(b))),
 			linked: g.Linked(a, b),
 			ok:     true,
 		}

@@ -123,6 +123,21 @@ func TestChaosSuite(t *testing.T) {
 		}
 	}
 	cases = append(cases, LoadCase{Path: "/v1/analyze", Tenant: "standard", Body: mustBody(t, "standard", false, false)})
+	// Estimate-driven planning traffic rides the same chaos schedule: the
+	// fast path to the estimate rung must stay green under faults, slowdowns
+	// and cancellations, executed or not.
+	for _, mode := range []string{"estimate", "histogram"} {
+		body, err := BuildRequestBodyMode(paperex.Example5(), "free", false, false, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, LoadCase{Path: "/v1/query", Tenant: "free", Body: body})
+	}
+	execBody, err := BuildRequestBodyMode(paperex.Example1(), "standard", true, false, "estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, LoadCase{Path: "/v1/query", Tenant: "standard", Body: execBody})
 
 	report, err := RunLoad(context.Background(), doer, LoadConfig{
 		Requests:    3000,
@@ -159,7 +174,7 @@ func TestChaosSuite(t *testing.T) {
 		t.Error("fault injection produced no degraded answers")
 	}
 	if report.CacheHits == 0 {
-		t.Error("3000 requests over 7 shapes produced no cache hits")
+		t.Error("3000 requests over 10 case shapes produced no cache hits")
 	}
 	// Phase 2 — shed latency. At 1000-way oversubscription every
 	// latency number is dominated by goroutine scheduling delay, so the

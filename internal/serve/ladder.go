@@ -89,7 +89,11 @@ type ladderOutcome struct {
 	strategy  *strategy.Node
 	cost      int64
 	estimated bool
-	trips     []trip
+	// executed is set once maybeExecute materialized the plan, so the
+	// response knows a true result size exists even for estimate-mode
+	// plans (estimated provenance, measured cost).
+	executed bool
+	trips    []trip
 	// snapshot is the answering rung's final guard ledger.
 	snapshot guard.Snapshot
 	// analysis is the full four-space analysis, present only when the
@@ -125,6 +129,11 @@ type ladderRequest struct {
 	rec     *obs.Recorder
 	start   Rung
 	analyze bool
+	// planMode selects exact or estimate-driven planning. PlanExact
+	// keeps the estimate rung a never-executing last resort; the
+	// estimate modes start the descent directly at that rung and let it
+	// execute the chosen plan when execution was requested.
+	planMode PlanMode
 	// limitsFor derives the guard budgets for one rung attempt; tests
 	// inject trip-at-rung-k schedules through it.
 	limitsFor func(Rung) guard.Limits
@@ -148,6 +157,11 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 		// The four-space analysis with certificates IS the DP rung;
 		// exhaustive enumeration adds nothing to an analyze request.
 		start = RungDP
+	}
+	if req.planMode != PlanExact && !req.analyze {
+		// Estimate-driven planning is the fast path, not a degradation:
+		// skip every executing rung and plan from statistics directly.
+		start = RungEstimate
 	}
 	for rung := start; rung < rungCount; rung++ {
 		rsp := req.rec.StartSpan(obs.SpanRung(rung.String()))
@@ -187,7 +201,7 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 // execute deltas sum exactly to the response's guard spend.
 func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcome) error {
 	osp := req.rec.StartSpan(obs.SpanOptimize)
-	err := planRung(req, rung, out)
+	err := planRung(req, rung, g, out)
 	planned := g.Snapshot()
 	osp.AddDelta(planned.Tuples.Spent, planned.States.Spent, planned.Steps.Spent)
 	if err != nil {
@@ -198,10 +212,13 @@ func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcom
 	osp.End()
 
 	esp := req.rec.StartSpan(obs.SpanExecute)
-	if !req.execute || rung == RungEstimate {
-		// The estimate rung never executes; other rungs skip execution
-		// when the request did not ask for it. The span still appears,
-		// with zero deltas, so every answer carries the full taxonomy.
+	if !req.execute || (rung == RungEstimate && req.planMode == PlanExact) {
+		// On the degradation path the estimate rung never executes (it
+		// answers precisely because execution budgets are spent); in an
+		// estimate planning mode the chosen plan does execute when asked,
+		// reporting its true τ. Other rungs skip execution when the
+		// request did not ask for it. The span still appears, with zero
+		// deltas, so every answer carries the full taxonomy.
 		esp.SetAttr("skipped", "true")
 		esp.End()
 		return nil
@@ -220,8 +237,10 @@ func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcom
 
 // planRung runs one rung's planning work, filling
 // out.strategy/cost/estimated (and out.analysis for analyze mode) on
-// success. Execution is the caller's concern.
-func planRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
+// success. Execution is the caller's concern. g is the rung's fresh
+// guard — the executing rungs charge it through the evaluator, the
+// estimate rung charges its model DP states directly.
+func planRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcome) error {
 	switch rung {
 	case RungExhaustive:
 		res, err := optimizer.ExhaustiveGuarded(req.ev)
@@ -268,31 +287,52 @@ func planRung(req ladderRequest, rung Rung, out *ladderOutcome) error {
 		return nil
 
 	case RungEstimate:
-		return estimateRung(req, out)
+		return estimateRung(req, g, out)
 	}
 	return fmt.Errorf("serve: unknown rung %d", int(rung))
 }
 
-// estimateRung plans from statistics only. It still honors the request
-// context — gathering the catalog touches base relations — but executes
-// nothing, so it answers even when every execution budget is spent.
-func estimateRung(req ladderRequest, out *ladderOutcome) (err error) {
+// estimateRung plans from statistics only: gather the catalog (a linear
+// pass over base relations, timed in plan.catalog.wall), then run the
+// model-costed full-space DP. It still honors the request context, and
+// its DP states charge the rung's guard — the same -max-states that
+// governs exact planning — but it executes nothing itself, so on the
+// degradation path it answers even when every execution budget is
+// spent. The catalog is selected by the request's plan mode; the
+// degradation path (PlanExact) uses the uniform model.
+func estimateRung(req ladderRequest, g *guard.Guard, out *ladderOutcome) (err error) {
 	defer guard.Protect(&err)
 	if cerr := req.ctx.Err(); cerr != nil {
 		return &guard.CancelError{Phase: "estimate", Cause: cerr}
 	}
-	cat := estimate.NewCatalog(req.db)
+	cwatch := req.rec.Timer(obs.MetricPlanCatalogWall).Start()
+	var size optimizer.SizeModel
+	var modelCost func(*strategy.Node) float64
+	if req.planMode == PlanHistogram {
+		cat := estimate.NewHistogramCatalog(req.db)
+		size, modelCost = cat.Size, cat.Cost
+	} else {
+		cat := estimate.NewCatalog(req.db)
+		size, modelCost = cat.Size, cat.Cost
+	}
+	cwatch.Stop()
 	var plan *strategy.Node
+	var est float64
 	if req.db.Len() <= estimateDPMaxRelations {
-		plan = cat.Optimize()
+		res, rerr := optimizer.OptimizeModelObserved(req.db, size, optimizer.SpaceAll, g, req.rec)
+		if rerr != nil {
+			return rerr
+		}
+		plan, est = res.Strategy, res.Est
 	} else {
 		order := make([]int, req.db.Len())
 		for i := range order {
 			order[i] = i
 		}
 		plan = strategy.LeftDeep(order...)
+		est = modelCost(plan)
 	}
-	out.strategy, out.cost, out.estimated = plan, int64(cat.Cost(plan)), true
+	out.strategy, out.cost, out.estimated = plan, int64(est), true
 	return nil
 }
 
@@ -305,5 +345,6 @@ func (req ladderRequest) maybeExecute(out *ladderOutcome) (err error) {
 	}
 	defer guard.Trap(&err)
 	out.cost = int64(out.strategy.Cost(req.ev))
+	out.executed = true
 	return nil
 }

@@ -88,6 +88,13 @@ func (d ClientDoer) Do(ctx context.Context, method, path string, body []byte) (*
 // database — the helper cmd/joinload, the chaos suite and the bench
 // pipeline all build their mixes with.
 func BuildRequestBody(db *database.Database, tenant string, execute, noCache bool) ([]byte, error) {
+	return BuildRequestBodyMode(db, tenant, execute, noCache, "")
+}
+
+// BuildRequestBodyMode is BuildRequestBody with an explicit plan mode
+// ("" or "exact" for exact planning, "estimate"/"histogram" for the
+// statistics-driven fast path).
+func BuildRequestBodyMode(db *database.Database, tenant string, execute, noCache bool, planMode string) ([]byte, error) {
 	var dbJSON bytes.Buffer
 	if err := database.EncodeJSON(&dbJSON, db); err != nil {
 		return nil, err
@@ -97,6 +104,7 @@ func BuildRequestBody(db *database.Database, tenant string, execute, noCache boo
 		Database: json.RawMessage(dbJSON.Bytes()),
 		Execute:  execute,
 		NoCache:  noCache,
+		PlanMode: planMode,
 	})
 }
 

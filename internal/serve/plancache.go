@@ -64,12 +64,20 @@ func newPlanCache(capacity int, rec *obs.Recorder) *planCache {
 }
 
 // get returns the cached plan for the fingerprint, refreshing its
-// recency on a hit.
-func (pc *planCache) get(key core.Fingerprint) (cachedPlan, bool) {
+// recency on a hit. acceptEstimated widens the lookup to entries filled
+// from estimate-mode planning: exact requests must pass false (they owe
+// the caller a τ-optimal plan, and an estimated entry is not one), so
+// for them an estimated entry counts as a miss — without refreshing its
+// recency, since the exact plan about to be computed will overwrite it.
+func (pc *planCache) get(key core.Fingerprint, acceptEstimated bool) (cachedPlan, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	el, ok := pc.entries[key]
 	if !ok {
+		pc.cMiss.Inc()
+		return cachedPlan{}, false
+	}
+	if el.Value.(*planEntry).plan.estimated && !acceptEstimated {
 		pc.cMiss.Inc()
 		return cachedPlan{}, false
 	}

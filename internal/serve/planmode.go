@@ -1,0 +1,56 @@
+package serve
+
+import "fmt"
+
+// The planning mode. By default a query obtains exact τ for every DP
+// subproblem by executing joins through the evaluator memo — the
+// paper-faithful mode, whose optimize phase costs as much as running
+// the query. A request can instead opt into estimate-driven planning:
+// the ladder starts directly at the estimate rung, the same subset DP
+// runs against a statistics catalog without touching tuple data, and
+// only the chosen plan is executed (when execution was requested at
+// all). Cold-cache planning latency drops by orders of magnitude; the
+// price is that the plan is optimal under the model, not under τ.
+
+// PlanMode selects how /v1/query chooses its plan.
+type PlanMode int
+
+const (
+	// PlanExact plans with exact τ through the evaluator memo (the
+	// default; the estimate rung remains the ladder's last resort).
+	PlanExact PlanMode = iota
+	// PlanEstimate plans from estimate.Catalog — uniformity and
+	// independence over cardinalities and distinct counts.
+	PlanEstimate
+	// PlanHistogram plans from estimate.HistogramCatalog — exact
+	// per-attribute frequencies, independence across predicates.
+	PlanHistogram
+	planModeCount
+)
+
+// String names the mode as it appears in request bodies and flags.
+func (m PlanMode) String() string {
+	switch m {
+	case PlanExact:
+		return "exact"
+	case PlanEstimate:
+		return "estimate"
+	case PlanHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("PlanMode(%d)", int(m))
+}
+
+// ParsePlanMode resolves a mode from a request body; the empty string
+// selects PlanExact so existing clients are untouched.
+func ParsePlanMode(name string) (PlanMode, error) {
+	if name == "" {
+		return PlanExact, nil
+	}
+	for m := PlanExact; m < planModeCount; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown plan mode %q (want exact|estimate|histogram)", name)
+}

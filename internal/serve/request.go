@@ -35,6 +35,12 @@ type Request struct {
 	// NoCache bypasses the plan cache for this request (both lookup and
 	// fill) — the knob the chaos suite uses to force planning work.
 	NoCache bool `json:"noCache,omitempty"`
+	// PlanMode selects how /v1/query plans: "exact" (default) obtains
+	// exact τ through the evaluator; "estimate" and "histogram" plan
+	// from statistics without executing joins, then execute only the
+	// chosen plan when Execute is set. Ignored by /v1/analyze, whose
+	// contract is the exact four-space analysis.
+	PlanMode string `json:"planMode,omitempty"`
 }
 
 // DecodeRequest strictly parses a request body and its embedded
@@ -72,6 +78,9 @@ func decodeRequestBytes(body []byte) (req *Request, db *database.Database, err e
 	if len(req.Database) == 0 {
 		return nil, nil, fmt.Errorf("serve: request has no database")
 	}
+	if _, err := ParsePlanMode(req.PlanMode); err != nil {
+		return nil, nil, err
+	}
 	db, err = database.DecodeJSON(bytes.NewReader(req.Database))
 	if err != nil {
 		return nil, nil, err
@@ -97,10 +106,12 @@ type PlanInfo struct {
 	Expr string `json:"expr"`
 	// Strategy is the same tree rendered with relation names.
 	Strategy string `json:"strategy"`
-	// Cost is τ of the plan — measured for executed rungs, estimated
-	// for the estimate rung.
+	// Cost is τ of the plan — measured whenever the plan executed
+	// (including executed estimate-mode plans), otherwise the model's
+	// estimate rounded to an integer.
 	Cost int64 `json:"cost"`
-	// Estimated marks costs from the statistics model.
+	// Estimated marks plans chosen by the statistics model rather than
+	// exact τ, whatever their Cost was measured as afterwards.
 	Estimated bool `json:"estimated"`
 }
 

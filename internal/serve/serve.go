@@ -377,9 +377,19 @@ func (s *Server) runRequest(ctx context.Context, rt *requestTrace, req *Request,
 	db *database.Database, class TenantClass, plan chaosPlan, analyze bool) (*Response, *httpError) {
 	fp := core.FingerprintDB(db)
 	ev := database.NewEvaluator(db).WithRecorder(rt.rec)
+	// Decode already validated the mode; analyze requests always plan
+	// exactly, whatever the body says.
+	planMode, _ := ParsePlanMode(req.PlanMode)
+	if analyze {
+		planMode = PlanExact
+	}
 
 	if !analyze && !req.NoCache {
-		if hit, ok := s.cache.get(fp); ok {
+		// Exact requests skip estimated entries — they owe the caller a
+		// τ-optimal plan. Estimate-mode requests accept any entry: the
+		// fingerprint digests exactly the statistics the catalog gathers,
+		// and an exact plan is at least as good as an estimated one.
+		if hit, ok := s.cache.get(fp, planMode != PlanExact); ok {
 			if resp, ok := s.serveFromCache(ctx, rt, req, class, plan, ev, fp, hit); ok {
 				return resp, nil
 			}
@@ -396,6 +406,7 @@ func (s *Server) runRequest(ctx context.Context, rt *requestTrace, req *Request,
 		rec:       rt.rec,
 		start:     class.StartRung,
 		analyze:   analyze,
+		planMode:  planMode,
 		execute:   analyze || req.Execute,
 		limitsFor: func(Rung) guard.Limits { return limits },
 	})
@@ -414,8 +425,15 @@ func (s *Server) runRequest(ctx context.Context, rt *requestTrace, req *Request,
 		return nil, &httpError{status: http.StatusInternalServerError, kind: "internal", msg: err.Error()}
 	}
 
-	resp := s.buildResponse(db, ev, out, fp, analyze || req.Execute)
-	if !req.NoCache && (out.rung == RungExhaustive || out.rung == RungDP) {
+	resp := s.buildResponse(db, ev, out, fp)
+	// Cache fills: the executing rungs' exact plans, plus estimate-mode
+	// plans — core.Fingerprint digests the same statistics the catalog
+	// reads, so an estimated plan is a pure function of the cache key.
+	// Degradation-path estimate answers (exact mode) are NOT cached: they
+	// exist because budgets tripped, not because planning finished.
+	fill := out.rung == RungExhaustive || out.rung == RungDP ||
+		(planMode != PlanExact && out.rung == RungEstimate)
+	if !req.NoCache && fill {
 		s.cache.put(fp, cachedPlan{
 			strategy:  out.strategy,
 			rung:      out.rung,
@@ -474,14 +492,14 @@ func (s *Server) serveFromCache(ctx context.Context, rt *requestTrace, req *Requ
 	esp.End()
 	out.snapshot = g.Snapshot()
 	rsp.End()
-	resp := s.buildResponse(ev.Database(), ev, out, fp, req.Execute)
+	resp := s.buildResponse(ev.Database(), ev, out, fp)
 	resp.CacheHit = true
 	return resp, true
 }
 
 // buildResponse renders a ladder outcome.
 func (s *Server) buildResponse(db *database.Database, ev *database.Evaluator,
-	out *ladderOutcome, fp core.Fingerprint, executed bool) *Response {
+	out *ladderOutcome, fp core.Fingerprint) *Response {
 	resp := &Response{
 		Rung:        out.rung.String(),
 		Degraded:    out.degraded(),
@@ -495,7 +513,7 @@ func (s *Server) buildResponse(db *database.Database, ev *database.Evaluator,
 			Estimated: out.estimated,
 		},
 	}
-	if executed && !out.estimated {
+	if out.executed {
 		// The final join is memoized by the execution that just ran, so
 		// this lookup costs nothing and charges nothing.
 		size := ev.Size(db.All())
