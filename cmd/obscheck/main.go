@@ -11,12 +11,14 @@
 //
 // With -planning the bench reports' planning sections are additionally
 // rendered as a human-readable regret table on stdout — CI uploads it
-// as the regret artifact next to the raw JSON.
+// as the regret artifact next to the raw JSON. With -acyclic the
+// reports' Yannakakis fast-path sections are rendered the same way.
 //
 // Usage:
 //
 //	obscheck FILE...
 //	obscheck -planning BENCH_FILE...
+//	obscheck -acyclic BENCH_FILE...
 //	obscheck -prom METRICS_FILE...
 package main
 
@@ -38,11 +40,12 @@ func main() {
 	fs.SetOutput(os.Stderr)
 	prom := fs.Bool("prom", false, "treat the files as Prometheus text exposition instead of JSON")
 	planning := fs.Bool("planning", false, "after validating, print each bench report's planning regret table")
+	acyclic := fs.Bool("acyclic", false, "after validating, print each bench report's acyclic fast-path table")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-prom|-planning] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-prom|-planning|-acyclic] FILE...")
 		os.Exit(2)
 	}
 	failed := false
@@ -52,6 +55,8 @@ func main() {
 			check = checkProm
 		} else if *planning {
 			check = checkPlanning
+		} else if *acyclic {
+			check = checkAcyclic
 		}
 		if err := check(path); err != nil {
 			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
@@ -114,6 +119,24 @@ func checkPlanning(path string) error {
 		return err
 	}
 	experiments.WritePlanningTable(os.Stdout, rep.Planning)
+	return nil
+}
+
+// checkAcyclic validates a bench report and prints its acyclic
+// fast-path section as the CI separation artifact.
+func checkAcyclic(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.DecodeBench(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if err := experiments.ValidateBench(rep); err != nil {
+		return err
+	}
+	experiments.WriteAcyclicTable(os.Stdout, rep.Acyclic)
 	return nil
 }
 

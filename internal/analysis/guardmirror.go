@@ -33,7 +33,8 @@ var GuardMirror = &Analyzer{
 	Doc:  "guard.Charge* calls must be mirrored by the matching obs counter adds in the same function",
 	Applies: func(rel string) bool {
 		switch rel {
-		case "internal/database", "internal/optimizer", "internal/core":
+		case "internal/database", "internal/optimizer", "internal/core",
+			"internal/semijoin":
 			return true
 		}
 		return false

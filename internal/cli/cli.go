@@ -66,7 +66,7 @@ func Run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	optima := fs.Bool("optima", false, "list every τ-optimum strategy per subspace (small databases)")
 	csvDir := fs.String("csv", "", "load the database from headered .csv files in a directory")
 	dotExpr := fs.String("dot", "", "emit a Graphviz rendering of one strategy, e.g. '((R1 R2) R3)'")
-	planMode := fs.String("plan", "exact", "planning mode: exact|estimate|histogram (estimate modes choose plans from statistics alone, then execute only the chosen plans)")
+	planMode := fs.String("plan", "exact", "planning mode: exact|estimate|histogram|yannakakis (estimate modes choose plans from statistics alone; yannakakis runs the acyclic semijoin fast path)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 500ms (0 = none)")
 	maxTuples := fs.Int64("max-tuples", 0, "budget on materialized intermediate tuples, the paper's τ (0 = unlimited)")
 	maxStates := fs.Int64("max-states", 0, "budget on evaluator memo + optimizer DP states examined (0 = unlimited)")
@@ -145,7 +145,9 @@ func Run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		case *costExpr != "":
 			return costOne(stdout, db, g, rec, *costExpr)
 		case *reduce:
-			return reduceReport(stdout, db)
+			return reduceReport(stdout, db, g, rec)
+		case *planMode == "yannakakis":
+			return planYannakakis(stdout, db, g, rec)
 		case *planMode != "exact":
 			return planEstimated(stdout, db, g, rec, *planMode)
 		case *optima:
@@ -356,7 +358,7 @@ func planEstimated(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.
 	case "histogram":
 		model = core.ModelHistogram
 	default:
-		return exitcode.Input(fmt.Errorf("unknown plan mode %q (want exact|estimate|histogram)", mode))
+		return exitcode.Input(fmt.Errorf("unknown plan mode %q (want exact|estimate|histogram|yannakakis)", mode))
 	}
 	setPhase(g, rec, "plan")
 	an, err := core.AnalyzeEstimated(db, model, g, rec)
@@ -376,12 +378,47 @@ func planEstimated(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.
 	return nil
 }
 
-// reduceReport runs the full reducer and prints per-relation sizes.
-func reduceReport(w io.Writer, db *database.Database) error {
-	reduced, err := semijoin.FullReduce(db)
+// planYannakakis is the -plan=yannakakis path: run the governed acyclic
+// fast path end to end — the full semijoin reduction along the scheme's
+// GYO join trees, then the bottom-up join along the same trees — and
+// report the semijoin program, the join-phase τ, and the equivalent
+// binary strategy. Cyclic schemes are rejected as a user-input error.
+func planYannakakis(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder) (err error) {
+	defer guard.Trap(&err)
+	setPhase(g, rec, "plan:yannakakis")
+	ev, err := semijoin.YannakakisGuarded(db, g, rec)
+	if err != nil {
+		if errors.Is(err, semijoin.ErrNotAcyclic) {
+			return exitcode.Input(err)
+		}
+		return err
+	}
+	red := ev.Reduction
+	semiTuples := 0
+	for _, s := range red.Sizes {
+		semiTuples += s
+	}
+	fmt.Fprintln(w, "acyclic fast path (full semijoin reduction + join-tree join):")
+	fmt.Fprintf(w, "  semijoin program: %d semijoins over %d join tree(s), %d tuples materialized\n",
+		red.Semijoins, len(red.Trees), semiTuples)
+	fmt.Fprintf(w, "  join phase: τ=%d, max intermediate %d, output %d\n",
+		ev.Tau(), ev.MaxIntermediate(), ev.Result.Size())
+	fmt.Fprintf(w, "  strategy: %s\n", ev.Strategy.Render(db))
+	return nil
+}
+
+// reduceReport runs the full reducer and prints per-relation sizes. It
+// reduces component-wise, so unconnected-but-acyclic schemes reduce
+// instead of erroring, and runs governed — a -max-tuples budget trips
+// mid-reduction with the typed error.
+func reduceReport(w io.Writer, db *database.Database, g *guard.Guard, rec *obs.Recorder) (err error) {
+	defer guard.Trap(&err)
+	setPhase(g, rec, "reduce")
+	red, err := semijoin.FullReduceComponentsGuarded(db, g, rec)
 	if err != nil {
 		return err
 	}
+	reduced := red.Database
 	fmt.Fprintln(w, "relation sizes before → after full reduction:")
 	for i := 0; i < db.Len(); i++ {
 		name := db.Relation(i).Name()
@@ -391,11 +428,11 @@ func reduceReport(w io.Writer, db *database.Database) error {
 		fmt.Fprintf(w, "  %-10s %4d → %4d\n", name, db.Relation(i).Size(), reduced.Relation(i).Size())
 	}
 	fmt.Fprintf(w, "pairwise consistent after reduction: %v\n", semijoin.PairwiseConsistent(reduced))
-	result, sizes, err := semijoin.Yannakakis(db)
+	ev, err := semijoin.YannakakisGuarded(db, g, rec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Yannakakis evaluation: output τ=%d, intermediate sizes %v\n", result.Size(), sizes)
+	fmt.Fprintf(w, "Yannakakis evaluation: output τ=%d, intermediate sizes %v\n", ev.Result.Size(), ev.JoinSizes)
 	return nil
 }
 

@@ -100,6 +100,60 @@ func TestReduceReport(t *testing.T) {
 	}
 }
 
+func TestReduceReportUnconnectedScheme(t *testing.T) {
+	// Example 1 is unconnected but every component is acyclic: the
+	// reducer must reduce component-wise instead of erroring (the old
+	// FullReduce path rejected any unconnected scheme outright).
+	out, errOut, code := run(t, "-example", "1", "-reduce")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"full reduction", "pairwise consistent after reduction: true", "Yannakakis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReduceGoverned(t *testing.T) {
+	// The reduction itself is governed: a tiny tuple budget trips
+	// mid-program with the typed budget error and exit code 4.
+	_, errOut, code := run(t, "-example", "5", "-reduce", "-max-tuples", "1")
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (budget-tripped): %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "tuples budget exceeded") {
+		t.Errorf("want typed tuple budget error: %s", errOut)
+	}
+}
+
+func TestPlanYannakakis(t *testing.T) {
+	out, _, code := run(t, "-example", "5", "-plan", "yannakakis")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"acyclic fast path",
+		"semijoin program:",
+		"join phase: τ=",
+		"strategy:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-plan yannakakis output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanYannakakisRejectsCyclic(t *testing.T) {
+	_, errOut, code := run(t, "-gen", "cycle", "-n", "3", "-plan", "yannakakis")
+	if code != 3 {
+		t.Fatalf("cyclic scheme exited %d, want 3 (input): %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "no join tree") {
+		t.Errorf("stderr: %s", errOut)
+	}
+}
+
 func TestJSONRoundTripThroughFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "db.json")

@@ -37,8 +37,11 @@ func decodeObsFiles(t *testing.T, metricsPath, tracePath string) (*obs.Snapshot,
 
 // TestMetricsReconcileWithGuard is the acceptance check: the engine's
 // mirrored counters must equal the guard's atomic snapshot, exported as
-// gauges — eval.tuples == guard.spent.tuples, eval.states + dp.states ==
-// guard.spent.states, eval.steps == guard.spent.steps.
+// gauges. Each governed layer mirrors into its own counter family — the
+// evaluator into eval.*, the DP into dp.states, the acyclic fast path
+// into plan.yannakakis.* — and the families sum to the guard's ledgers:
+// eval.tuples + plan.yannakakis.tuples == guard.spent.tuples, and
+// likewise for states (plus dp.states) and steps.
 func TestMetricsReconcileWithGuard(t *testing.T) {
 	dir := t.TempDir()
 	m, tr := filepath.Join(dir, "m.json"), filepath.Join(dir, "t.json")
@@ -48,14 +51,17 @@ func TestMetricsReconcileWithGuard(t *testing.T) {
 	}
 	snap, trace := decodeObsFiles(t, m, tr)
 
-	if got, want := snap.Counters["eval.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
-		t.Errorf("eval.tuples = %d, guard.spent.tuples = %d", got, want)
+	if got, want := snap.Counters["eval.tuples"]+snap.Counters["plan.yannakakis.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
+		t.Errorf("eval.tuples+plan.yannakakis.tuples = %d, guard.spent.tuples = %d", got, want)
 	}
-	if got, want := snap.Counters["eval.states"]+snap.Counters["dp.states"], snap.Gauges["guard.spent.states"]; got != want {
-		t.Errorf("eval.states+dp.states = %d, guard.spent.states = %d", got, want)
+	if got, want := snap.Counters["eval.states"]+snap.Counters["dp.states"]+snap.Counters["plan.yannakakis.states"], snap.Gauges["guard.spent.states"]; got != want {
+		t.Errorf("eval.states+dp.states+plan.yannakakis.states = %d, guard.spent.states = %d", got, want)
 	}
-	if got, want := snap.Counters["eval.steps"], snap.Gauges["guard.spent.steps"]; got != want {
-		t.Errorf("eval.steps = %d, guard.spent.steps = %d", got, want)
+	if got, want := snap.Counters["eval.steps"]+snap.Counters["plan.yannakakis.steps"], snap.Gauges["guard.spent.steps"]; got != want {
+		t.Errorf("eval.steps+plan.yannakakis.steps = %d, guard.spent.steps = %d", got, want)
+	}
+	if snap.Counters["plan.yannakakis.tuples"] == 0 && snap.Counters["plan.yannakakis.semijoins"] == 0 {
+		t.Error("acyclic example did not exercise the yannakakis fast path")
 	}
 	if snap.Counters["eval.tuples"] == 0 {
 		t.Error("eval.tuples is zero; the evaluator was not instrumented")
@@ -161,8 +167,8 @@ func TestTrippedRunWritesReportAndMetrics(t *testing.T) {
 	}
 	// The acceptance identity must hold on budgeted runs too: the
 	// charge that trips is counted by both ledgers.
-	if got, want := snap.Counters["eval.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
-		t.Errorf("tripped run: eval.tuples = %d, guard.spent.tuples = %d", got, want)
+	if got, want := snap.Counters["eval.tuples"]+snap.Counters["plan.yannakakis.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
+		t.Errorf("tripped run: eval.tuples+plan.yannakakis.tuples = %d, guard.spent.tuples = %d", got, want)
 	}
 }
 
@@ -185,12 +191,12 @@ func TestStateTrippedRunReconciles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := snap.Counters["eval.states"] + snap.Counters["dp.states"]
+	got := snap.Counters["eval.states"] + snap.Counters["dp.states"] + snap.Counters["plan.yannakakis.states"]
 	if want := snap.Gauges["guard.spent.states"]; got != want {
-		t.Errorf("tripped run: eval.states+dp.states = %d, guard.spent.states = %d", got, want)
+		t.Errorf("tripped run: eval.states+dp.states+plan.yannakakis.states = %d, guard.spent.states = %d", got, want)
 	}
-	if got, want := snap.Counters["eval.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
-		t.Errorf("tripped run: eval.tuples = %d, guard.spent.tuples = %d", got, want)
+	if got, want := snap.Counters["eval.tuples"]+snap.Counters["plan.yannakakis.tuples"], snap.Gauges["guard.spent.tuples"]; got != want {
+		t.Errorf("tripped run: eval.tuples+plan.yannakakis.tuples = %d, guard.spent.tuples = %d", got, want)
 	}
 }
 

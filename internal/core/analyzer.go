@@ -25,6 +25,8 @@ import (
 	"multijoin/internal/guard"
 	"multijoin/internal/obs"
 	"multijoin/internal/optimizer"
+	"multijoin/internal/semijoin"
+	"multijoin/internal/strategy"
 )
 
 // Theorem identifies one of the paper's three main results.
@@ -91,6 +93,39 @@ type Analysis struct {
 	// non-empty the analysis is partial and certificate verification
 	// against measured optima may be impossible.
 	Truncated []Truncation
+	// Yannakakis reports the acyclic fast path's outcome — present only
+	// when every component of the scheme is α-acyclic and the governed
+	// reduction ran to completion. It is not a subspace optimum (the
+	// join tree is derived, not searched), so it lives beside Results
+	// rather than in them.
+	Yannakakis *YannakakisResult
+}
+
+// YannakakisResult is the acyclic fast path's report: a full semijoin
+// reduction along one GYO join tree per component, then a bottom-up
+// join of the reduced relations along the same trees.
+type YannakakisResult struct {
+	// Strategy is the binary join-tree strategy the join phase follows
+	// (leaves are original relation indexes); executing it on the
+	// unreduced database yields the same R_D at binary-plan cost.
+	Strategy *strategy.Node
+	// Tau is Σ intermediate join sizes on the reduced database — the
+	// quantity comparable with the subspace optima.
+	Tau int
+	// Intermediates holds the join-phase intermediate sizes in
+	// evaluation order; after full reduction every within-component
+	// intermediate is bounded by the component's output.
+	Intermediates []int
+	// MaxIntermediate is the largest entry of Intermediates (0 for a
+	// single-relation database).
+	MaxIntermediate int
+	// Semijoins is the reduction program length 2·Σ(|component|−1), and
+	// SemijoinTuples the tuples those semijoins materialized — exactly
+	// what the reduction charged the guard's tuple ledger.
+	Semijoins      int
+	SemijoinTuples int
+	// Output is the full join's size |R_D|.
+	Output int
 }
 
 // Complete reports whether every phase of the analysis ran to the end.
@@ -229,7 +264,51 @@ func analyzeEvaluator(ev *database.Evaluator, parallel bool) (*Analysis, error) 
 		}
 		an.Results = append(an.Results, res)
 	}
+
+	// The acyclic fast path: when every component of the scheme is
+	// α-acyclic, run the governed semijoin reduction and Yannakakis join
+	// as a fifth strategy space, reported beside the binary-plan optima.
+	if db.Graph().AcyclicComponents() {
+		phase := "optimize:" + optimizer.SpaceYannakakis.String()
+		endPhase = beginPhase(g, rec, phase)
+		yr, err := runYannakakis(db, g, rec)
+		endPhase(err)
+		switch {
+		case guard.Tripped(err):
+			an.Truncated = append(an.Truncated, Truncation{Phase: phase, Err: err})
+		case err != nil:
+			return nil, err
+		default:
+			an.Yannakakis = yr
+		}
+	}
 	return an, nil
+}
+
+// runYannakakis executes the governed reduction + join and folds the
+// outcome into the analysis's report shape.
+func runYannakakis(db *database.Database, g *guard.Guard, rec *obs.Recorder) (*YannakakisResult, error) {
+	ev, err := semijoin.YannakakisGuarded(db, g, rec)
+	if err != nil {
+		return nil, err
+	}
+	output := 0
+	if ev.Result != nil {
+		output = ev.Result.Size()
+	}
+	semiTuples := 0
+	for _, s := range ev.Reduction.Sizes {
+		semiTuples += s
+	}
+	return &YannakakisResult{
+		Strategy:        ev.Strategy,
+		Tau:             ev.Tau(),
+		Intermediates:   ev.JoinSizes,
+		MaxIntermediate: ev.MaxIntermediate(),
+		Semijoins:       ev.Reduction.Semijoins,
+		SemijoinTuples:  semiTuples,
+		Output:          output,
+	}, nil
 }
 
 // spaceOutcome is one subspace optimization's result as collected from

@@ -8,6 +8,7 @@ import (
 	"multijoin/internal/guard"
 	"multijoin/internal/obs"
 	"multijoin/internal/optimizer"
+	"multijoin/internal/semijoin"
 	"multijoin/internal/strategy"
 )
 
@@ -72,12 +73,24 @@ type EstimatedAnalysis struct {
 	Results []EstimatedResult
 	// Greedy is the model-driven smallest-result-first outcome.
 	Greedy EstimatedResult
+	// Yannakakis is the acyclic fast path's join-tree strategy costed
+	// under the model, present only when the catalog-side (scheme-only)
+	// acyclicity check passes. Est prices the binary join phase; the
+	// fast path's actual execution additionally semijoin-reduces first,
+	// so its realized intermediates are bounded by the output.
+	Yannakakis *EstimatedResult
 }
 
 // Result returns the estimated result for the given space, if present.
 func (a *EstimatedAnalysis) Result(s optimizer.Space) (EstimatedResult, bool) {
 	if s == optimizer.SpaceGreedy {
 		return a.Greedy, true
+	}
+	if s == optimizer.SpaceYannakakis {
+		if a.Yannakakis == nil {
+			return EstimatedResult{}, false
+		}
+		return *a.Yannakakis, true
 	}
 	for _, r := range a.Results {
 		if r.Space == s {
@@ -156,6 +169,38 @@ func AnalyzeEstimated(db *database.Database, model PlanModel,
 		Space: optimizer.SpaceGreedy, Strategy: gres.Strategy, Est: gres.Est,
 		States: gres.States, TrueTau: -1,
 	}
+
+	// Catalog-side acyclicity check: the fast path is planned from the
+	// scheme alone — no tuple data — and its binary join phase is costed
+	// under the same size model, so planMode pipelines can pick it
+	// purely from statistics.
+	if db.Graph().AcyclicComponents() {
+		span := rec.StartSpan(obs.SpanPlanSpace(optimizer.SpaceYannakakis.String()))
+		node, yerr := semijoin.JoinTreeStrategy(db)
+		if yerr != nil {
+			span.Fail(yerr)
+			span.End()
+			return nil, yerr
+		}
+		est := 0.0
+		steps := 0
+		for _, st := range node.Steps() {
+			est += size(st.Set())
+			steps++
+		}
+		cStates := rec.Counter(obs.MetricPlanStates)
+		cStates.Add(int64(steps))
+		if cerr := g.ChargeStates(steps); cerr != nil {
+			span.Fail(cerr)
+			span.End()
+			return nil, cerr
+		}
+		span.End()
+		an.Yannakakis = &EstimatedResult{
+			Space: optimizer.SpaceYannakakis, Strategy: node, Est: est,
+			States: steps, TrueTau: -1,
+		}
+	}
 	return an, nil
 }
 
@@ -170,5 +215,8 @@ func (a *EstimatedAnalysis) ExecuteChosen(ev *database.Evaluator) (err error) {
 		a.Results[i].TrueTau = a.Results[i].Strategy.Cost(ev)
 	}
 	a.Greedy.TrueTau = a.Greedy.Strategy.Cost(ev)
+	if a.Yannakakis != nil {
+		a.Yannakakis.TrueTau = a.Yannakakis.Strategy.Cost(ev)
+	}
 	return nil
 }

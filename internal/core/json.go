@@ -34,6 +34,16 @@ type jsonTruncation struct {
 	Error string `json:"error"`
 }
 
+type jsonYannakakis struct {
+	Tau             int    `json:"tau"`
+	Strategy        string `json:"strategy"`
+	Intermediates   []int  `json:"intermediates"`
+	MaxIntermediate int    `json:"maxIntermediate"`
+	Semijoins       int    `json:"semijoins"`
+	SemijoinTuples  int    `json:"semijoinTuples"`
+	Output          int    `json:"output"`
+}
+
 type jsonAnalysis struct {
 	Connected      bool              `json:"connected"`
 	ResultNonEmpty bool              `json:"resultNonEmpty"`
@@ -41,6 +51,7 @@ type jsonAnalysis struct {
 	Certificates   []jsonCertificate `json:"certificates"`
 	Optima         []jsonResult      `json:"optima"`
 	Truncated      []jsonTruncation  `json:"truncated,omitempty"`
+	Yannakakis     *jsonYannakakis   `json:"yannakakis,omitempty"`
 }
 
 // EncodeAnalysisJSON writes the analysis in a stable JSON shape.
@@ -76,6 +87,17 @@ func EncodeAnalysisJSON(w io.Writer, db *database.Database, an *Analysis) error 
 		out.Truncated = append(out.Truncated, jsonTruncation{
 			Phase: tr.Phase, Error: tr.Err.Error(),
 		})
+	}
+	if y := an.Yannakakis; y != nil {
+		ints := y.Intermediates
+		if ints == nil {
+			ints = []int{}
+		}
+		out.Yannakakis = &jsonYannakakis{
+			Tau: y.Tau, Strategy: y.Strategy.Render(db), Intermediates: ints,
+			MaxIntermediate: y.MaxIntermediate, Semijoins: y.Semijoins,
+			SemijoinTuples: y.SemijoinTuples, Output: y.Output,
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

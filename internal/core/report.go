@@ -42,6 +42,12 @@ func WriteReport(w io.Writer, db *database.Database, an *Analysis) {
 	if _, ok := an.Result(optimizer.SpaceLinearNoCP); !ok && an.Complete() {
 		fmt.Fprintln(w, "  linear-no-cartesian: empty subspace for this scheme")
 	}
+	if y := an.Yannakakis; y != nil {
+		fmt.Fprintf(w, "  %-20s τ=%-8d %s\n",
+			optimizer.SpaceYannakakis, y.Tau, y.Strategy.Render(db))
+		fmt.Fprintf(w, "    acyclic fast path: %d semijoins (%d tuples), max intermediate %d, output %d\n",
+			y.Semijoins, y.SemijoinTuples, y.MaxIntermediate, y.Output)
+	}
 	if !an.Complete() {
 		fmt.Fprintln(w, "truncated phases (resource guard):")
 		for _, tr := range an.Truncated {

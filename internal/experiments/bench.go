@@ -127,6 +127,10 @@ type BenchReport struct {
 	// Planning is the estimate-driven planning measurement (schema v6):
 	// exact-vs-plan-only walls and per-subspace regret.
 	Planning *PlanningBench `json:"planning"`
+	// Acyclic is the Yannakakis fast-path measurement (schema v7):
+	// reduction-plus-join τ and max intermediate against the best
+	// binary-join subspace on a connected α-acyclic corpus.
+	Acyclic *AcyclicBench `json:"acyclic"`
 	// Totals aggregates the corpus.
 	Totals BenchTotals `json:"totals"`
 }
@@ -193,6 +197,9 @@ func RunBench(ctx context.Context, w io.Writer, workers int) (*BenchReport, erro
 		return nil, err
 	}
 	if rep.Planning, err = benchPlanning(w); err != nil {
+		return nil, err
+	}
+	if rep.Acyclic, err = benchAcyclic(w); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -504,5 +511,8 @@ func ValidateBench(rep *BenchReport) error {
 	if err := validateServeBench(rep.Serve); err != nil {
 		return err
 	}
-	return validatePlanningBench(rep.Planning)
+	if err := validatePlanningBench(rep.Planning); err != nil {
+		return err
+	}
+	return validateAcyclicBench(rep.Acyclic)
 }

@@ -24,6 +24,23 @@ func (g *Graph) AlphaAcyclic() bool {
 // subset s is α-acyclic.
 func (g *Graph) AlphaAcyclicSub(s Set) bool { return g.gyoReducible(s) }
 
+// AcyclicComponents reports whether every connected component of the
+// scheme is α-acyclic — the admission test for the component-wise
+// Yannakakis fast path (a join tree exists for each component). It is
+// scheme-only, so catalogs and plan caches can run it without touching
+// tuple data. The empty scheme has no fast path and reports false.
+func (g *Graph) AcyclicComponents() bool {
+	if g.Len() == 0 {
+		return false
+	}
+	for _, comp := range g.Components(g.All()) {
+		if !g.AlphaAcyclicSub(comp) {
+			return false
+		}
+	}
+	return true
+}
+
 func (g *Graph) gyoReducible(s Set) bool {
 	remaining := s.Indexes()
 	for len(remaining) > 1 {

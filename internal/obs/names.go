@@ -91,6 +91,21 @@ const (
 	MetricAnalyzeParallelWall   = "analyze.parallel.wall"
 )
 
+// Acyclic fast-path metrics (internal/semijoin, internal/core): the
+// governed Bernstein–Chiu reducer and the Yannakakis join phase mirror
+// every guard charge into this one family, so the guard ledger and the
+// plan.yannakakis.* counters reconcile exactly — including on runs a
+// budget tripped mid-reduction.
+const (
+	MetricYannakakisTuples    = "plan.yannakakis.tuples"
+	MetricYannakakisStates    = "plan.yannakakis.states"
+	MetricYannakakisSteps     = "plan.yannakakis.steps"
+	MetricYannakakisSemijoins = "plan.yannakakis.semijoins"
+	MetricYannakakisJoins     = "plan.yannakakis.joins"
+	MetricYannakakisPasses    = "plan.yannakakis.passes"
+	MetricYannakakisWall      = "plan.yannakakis.wall"
+)
+
 // Serving-plane metrics (internal/serve). The per-tenant and per-rung
 // families are built by the MetricTenant*/MetricDegradedTo builders.
 const (

@@ -30,8 +30,10 @@ const (
 	// breakdown and latency-histogram summary; v6 added the planning
 	// section (estimate-driven planning walls, the exact-vs-plan-only
 	// speedup, and per-subspace regret under the uniform and histogram
-	// models plus greedy early termination).
-	BenchSchema = "multijoin/bench/v6"
+	// models plus greedy early termination); v7 added the acyclic
+	// section (Yannakakis fast-path τ and max intermediate against the
+	// best binary-join subspace, differential-matched per case).
+	BenchSchema = "multijoin/bench/v7"
 )
 
 // TimerStats is a timer's aggregate in a snapshot.

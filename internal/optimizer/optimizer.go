@@ -55,6 +55,12 @@ const (
 	// enumeration. Like SpaceGreedy it is a method label, not a
 	// searchable subspace, and Optimize rejects it.
 	SpaceExhaustive
+	// SpaceYannakakis labels results of the acyclic fast path: a full
+	// semijoin reduction along a GYO join tree followed by a bottom-up
+	// join of the reduced relations (internal/semijoin). It is a method
+	// label like SpaceGreedy — the join tree is derived from the scheme,
+	// not searched — so Optimize rejects it.
+	SpaceYannakakis
 )
 
 // String names the space.
@@ -72,6 +78,8 @@ func (s Space) String() string {
 		return "greedy"
 	case SpaceExhaustive:
 		return "exhaustive"
+	case SpaceYannakakis:
+		return "yannakakis"
 	}
 	return fmt.Sprintf("Space(%d)", int(s))
 }

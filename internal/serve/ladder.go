@@ -10,6 +10,7 @@ import (
 	"multijoin/internal/guard"
 	"multijoin/internal/obs"
 	"multijoin/internal/optimizer"
+	"multijoin/internal/semijoin"
 	"multijoin/internal/strategy"
 )
 
@@ -18,6 +19,8 @@ import (
 //
 //	exhaustive  (2n−3)!! enumeration — certain optimum, exponential
 //	dp          subset dynamic program — τ-optimum, 2^n states
+//	yannakakis  semijoin-reduced join tree — acyclic schemes only,
+//	            intermediates bounded by the output, polynomial
 //	greedy      O(n³) heuristic probe — no guarantee, executes joins
 //	estimate    statistics-only plan — never touches the data
 //
@@ -36,6 +39,12 @@ const (
 	RungExhaustive Rung = iota
 	// RungDP runs the memoized subset dynamic program.
 	RungDP
+	// RungYannakakis runs the governed semijoin reduction + join-tree
+	// join. It applies only to component-wise α-acyclic schemes and is
+	// skipped otherwise; where it applies, its intermediates are bounded
+	// by the output — often far below what the greedy probe would
+	// materialize after the DP has tripped.
+	RungYannakakis
 	// RungGreedy runs the greedy heuristic over the full space.
 	RungGreedy
 	// RungEstimate plans from statistics without executing any join.
@@ -50,6 +59,8 @@ func (r Rung) String() string {
 		return "exhaustive"
 	case RungDP:
 		return "dp"
+	case RungYannakakis:
+		return "yannakakis"
 	case RungGreedy:
 		return "greedy"
 	case RungEstimate:
@@ -65,7 +76,7 @@ func ParseRung(name string) (Rung, error) {
 			return r, nil
 		}
 	}
-	return 0, fmt.Errorf("serve: unknown rung %q (want exhaustive|dp|greedy|estimate)", name)
+	return 0, fmt.Errorf("serve: unknown rung %q (want exhaustive|dp|yannakakis|greedy|estimate)", name)
 }
 
 // exhaustiveMaxRelations bounds the enumeration rung the same way the
@@ -89,11 +100,18 @@ type ladderOutcome struct {
 	strategy  *strategy.Node
 	cost      int64
 	estimated bool
-	// executed is set once maybeExecute materialized the plan, so the
-	// response knows a true result size exists even for estimate-mode
-	// plans (estimated provenance, measured cost).
+	// executed is set once the plan was materialized — by maybeExecute,
+	// or by the yannakakis rung whose planning pass IS the execution —
+	// so the response knows a true result size exists even for
+	// estimate-mode plans (estimated provenance, measured cost).
 	executed bool
-	trips    []trip
+	// resultSize carries the result size when a rung produced R_D during
+	// planning (the yannakakis rung); it saves the response builder from
+	// re-materializing the full join through the evaluator. Valid only
+	// when haveResult is set.
+	resultSize int
+	haveResult bool
+	trips      []trip
 	// snapshot is the answering rung's final guard ledger.
 	snapshot guard.Snapshot
 	// analysis is the full four-space analysis, present only when the
@@ -150,6 +168,9 @@ type ladderRequest struct {
 func runLadder(req ladderRequest) (*ladderOutcome, error) {
 	out := &ladderOutcome{}
 	start := req.start
+	// The yannakakis rung exists only for component-wise α-acyclic
+	// schemes; the check is scheme-only and costs a GYO pass.
+	acyclic := req.db.Graph().AcyclicComponents()
 	if start == RungExhaustive && req.db.Len() > exhaustiveMaxRelations {
 		start = RungDP
 	}
@@ -164,6 +185,9 @@ func runLadder(req ladderRequest) (*ladderOutcome, error) {
 		start = RungEstimate
 	}
 	for rung := start; rung < rungCount; rung++ {
+		if rung == RungYannakakis && !acyclic {
+			continue
+		}
 		rsp := req.rec.StartSpan(obs.SpanRung(rung.String()))
 		g := guard.New(req.ctx, req.limitsFor(rung))
 		req.ev.WithGuard(g)
@@ -212,11 +236,13 @@ func attemptRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcom
 	osp.End()
 
 	esp := req.rec.StartSpan(obs.SpanExecute)
-	if !req.execute || (rung == RungEstimate && req.planMode == PlanExact) {
+	if !req.execute || out.executed || (rung == RungEstimate && req.planMode == PlanExact) {
 		// On the degradation path the estimate rung never executes (it
 		// answers precisely because execution budgets are spent); in an
 		// estimate planning mode the chosen plan does execute when asked,
-		// reporting its true τ. Other rungs skip execution when the
+		// reporting its true τ. The yannakakis rung executes during
+		// planning (the reduced join IS the method), so its execute span
+		// carries no separate work. Other rungs skip execution when the
 		// request did not ask for it. The span still appears, with zero
 		// deltas, so every answer carries the full taxonomy.
 		esp.SetAttr("skipped", "true")
@@ -278,6 +304,9 @@ func planRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcome) 
 		out.strategy, out.cost, out.estimated = res.Strategy, int64(res.Cost), false
 		return nil
 
+	case RungYannakakis:
+		return yannakakisRung(req, g, out)
+
 	case RungGreedy:
 		res, err := optimizer.GreedyGuarded(req.ev)
 		if err != nil {
@@ -290,6 +319,28 @@ func planRung(req ladderRequest, rung Rung, g *guard.Guard, out *ladderOutcome) 
 		return estimateRung(req, g, out)
 	}
 	return fmt.Errorf("serve: unknown rung %d", int(rung))
+}
+
+// yannakakisRung runs the governed acyclic fast path: a full semijoin
+// reduction along the scheme's GYO join trees, then the bottom-up join
+// of the reduced relations along the same trees. Planning and execution
+// are one pass here — the reduced join IS the method and its cost is
+// measured, not estimated — so when execution was requested the result
+// produced during planning is kept and maybeExecute is skipped. The
+// reported strategy is the equivalent binary join-tree plan, which is
+// what the plan cache replays for repeat fingerprints.
+func yannakakisRung(req ladderRequest, g *guard.Guard, out *ladderOutcome) error {
+	ev, err := semijoin.YannakakisGuarded(req.db, g, req.rec)
+	if err != nil {
+		return err
+	}
+	out.strategy, out.cost, out.estimated = ev.Strategy, int64(ev.Tau()), false
+	if req.execute && ev.Result != nil {
+		out.resultSize = ev.Result.Size()
+		out.haveResult = true
+		out.executed = true
+	}
+	return nil
 }
 
 // estimateRung plans from statistics only: gather the catalog (a linear

@@ -9,6 +9,7 @@ import (
 	"multijoin/internal/guard"
 	"multijoin/internal/obs"
 	"multijoin/internal/paperex"
+	"multijoin/internal/relation"
 )
 
 // generous is a budget no rung trips on the paper examples.
@@ -32,10 +33,13 @@ func TestLadderPerRung(t *testing.T) {
 		{"exhaustive clean", RungExhaustive, Rung(-1), RungExhaustive, 0},
 		{"exhaustive trips to dp", RungExhaustive, RungExhaustive, RungDP, 1},
 		{"dp clean", RungDP, Rung(-1), RungDP, 0},
-		{"dp trips to greedy", RungDP, RungDP, RungGreedy, 1},
+		{"dp trips to yannakakis", RungDP, RungDP, RungYannakakis, 1},
+		{"yannakakis clean", RungYannakakis, Rung(-1), RungYannakakis, 0},
+		{"yannakakis trips to greedy", RungYannakakis, RungYannakakis, RungGreedy, 1},
+		{"dp trips through yannakakis", RungDP, RungYannakakis, RungGreedy, 2},
 		{"greedy clean", RungGreedy, Rung(-1), RungGreedy, 0},
 		{"greedy trips to estimate", RungGreedy, RungGreedy, RungEstimate, 1},
-		{"full descent", RungExhaustive, RungGreedy, RungEstimate, 3},
+		{"full descent", RungExhaustive, RungGreedy, RungEstimate, 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -151,21 +155,71 @@ func TestLadderDeadDeadlineFailsTyped(t *testing.T) {
 	}
 }
 
-// TestLadderAnalyzeDegradesToGreedy: a tripped analysis still yields a
-// plan from the greedy rung, and the partial analysis is preserved.
-func TestLadderAnalyzeDegradesToGreedy(t *testing.T) {
-	db := paperex.Example5()
+// TestLadderAnalyzeDegrades: a tripped analysis still yields a plan —
+// from the yannakakis rung on this acyclic scheme, or from greedy when
+// that rung's budget trips too — and the partial analysis is preserved
+// either way.
+func TestLadderAnalyzeDegrades(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		tripYann bool
+		wantRung Rung
+	}{
+		{"to yannakakis", false, RungYannakakis},
+		{"past yannakakis to greedy", true, RungGreedy},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db := paperex.Example5()
+			rec := obs.NewRecorder()
+			out, err := runLadder(ladderRequest{
+				ctx:     context.Background(),
+				db:      db,
+				ev:      database.NewEvaluator(db).WithRecorder(rec),
+				rec:     rec,
+				start:   RungDP,
+				analyze: true,
+				limitsFor: func(r Rung) guard.Limits {
+					if r == RungDP {
+						return guard.Limits{MaxStates: 40}
+					}
+					if r == RungYannakakis && tc.tripYann {
+						return tripping
+					}
+					return generous
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.rung != tc.wantRung {
+				t.Fatalf("answered at %v, want %v", out.rung, tc.wantRung)
+			}
+			if out.analysis == nil || out.analysis.Complete() {
+				t.Errorf("partial analysis not preserved: %+v", out.analysis)
+			}
+		})
+	}
+}
+
+// TestLadderSkipsYannakakisOnCyclicScheme: the acyclic fast path is not
+// a degradation target for cyclic schemes — a DP trip on a triangle
+// descends straight to greedy with a single recorded trip.
+func TestLadderSkipsYannakakisOnCyclicScheme(t *testing.T) {
+	db := database.New(
+		relation.FromStrings("R1", "AB", "1 x"),
+		relation.FromStrings("R2", "BC", "x 7"),
+		relation.FromStrings("R3", "CA", "7 1"),
+	)
 	rec := obs.NewRecorder()
 	out, err := runLadder(ladderRequest{
-		ctx:     context.Background(),
-		db:      db,
-		ev:      database.NewEvaluator(db).WithRecorder(rec),
-		rec:     rec,
-		start:   RungDP,
-		analyze: true,
+		ctx:   context.Background(),
+		db:    db,
+		ev:    database.NewEvaluator(db).WithRecorder(rec),
+		rec:   rec,
+		start: RungDP,
 		limitsFor: func(r Rung) guard.Limits {
 			if r == RungDP {
-				return guard.Limits{MaxStates: 40}
+				return tripping
 			}
 			return generous
 		},
@@ -176,8 +230,8 @@ func TestLadderAnalyzeDegradesToGreedy(t *testing.T) {
 	if out.rung != RungGreedy {
 		t.Fatalf("answered at %v, want greedy", out.rung)
 	}
-	if out.analysis == nil || out.analysis.Complete() {
-		t.Errorf("partial analysis not preserved: %+v", out.analysis)
+	if len(out.trips) != 1 || out.trips[0].rung != RungDP {
+		t.Fatalf("trips = %+v, want exactly the dp trip", out.trips)
 	}
 }
 

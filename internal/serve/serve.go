@@ -426,12 +426,15 @@ func (s *Server) runRequest(ctx context.Context, rt *requestTrace, req *Request,
 	}
 
 	resp := s.buildResponse(db, ev, out, fp)
-	// Cache fills: the executing rungs' exact plans, plus estimate-mode
-	// plans — core.Fingerprint digests the same statistics the catalog
-	// reads, so an estimated plan is a pure function of the cache key.
+	// Cache fills: the executing rungs' exact plans — the yannakakis
+	// rung's join-tree strategy included, since the tree is a pure
+	// function of the fingerprinted scheme — plus estimate-mode plans:
+	// core.Fingerprint digests the same statistics the catalog reads, so
+	// an estimated plan is a pure function of the cache key.
 	// Degradation-path estimate answers (exact mode) are NOT cached: they
 	// exist because budgets tripped, not because planning finished.
 	fill := out.rung == RungExhaustive || out.rung == RungDP ||
+		out.rung == RungYannakakis ||
 		(planMode != PlanExact && out.rung == RungEstimate)
 	if !req.NoCache && fill {
 		s.cache.put(fp, cachedPlan{
@@ -514,10 +517,18 @@ func (s *Server) buildResponse(db *database.Database, ev *database.Evaluator,
 		},
 	}
 	if out.executed {
-		// The final join is memoized by the execution that just ran, so
-		// this lookup costs nothing and charges nothing.
-		size := ev.Size(db.All())
-		resp.ResultSize = &size
+		if out.haveResult {
+			// The yannakakis rung materialized R_D itself; reading the
+			// size through the evaluator would redo the join as a binary
+			// plan, defeating the fast path.
+			size := out.resultSize
+			resp.ResultSize = &size
+		} else {
+			// The final join is memoized by the execution that just ran, so
+			// this lookup costs nothing and charges nothing.
+			size := ev.Size(db.All())
+			resp.ResultSize = &size
+		}
 	}
 	return resp
 }

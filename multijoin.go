@@ -146,12 +146,14 @@ type (
 	OptimizeResult = optimizer.Result
 )
 
-// The four searched subspaces.
+// The four searched subspaces, plus the yannakakis method label for the
+// acyclic fast path (a derived join-tree plan, not a searched space).
 const (
 	SpaceAll        = optimizer.SpaceAll
 	SpaceLinear     = optimizer.SpaceLinear
 	SpaceNoCP       = optimizer.SpaceNoCP
 	SpaceLinearNoCP = optimizer.SpaceLinearNoCP
+	SpaceYannakakis = optimizer.SpaceYannakakis
 )
 
 // ErrEmptySpace reports that the requested subspace has no strategy for
@@ -238,10 +240,34 @@ func PairwiseConsistent(db *Database) bool { return semijoin.PairwiseConsistent(
 // connected database.
 func FullReduce(db *Database) (*Database, error) { return semijoin.FullReduce(db) }
 
+// FullReduceComponents runs the full reducer component-wise, so
+// unconnected-but-acyclic schemes reduce instead of erroring.
+func FullReduceComponents(db *Database) (*Database, error) {
+	return semijoin.FullReduceComponents(db)
+}
+
 // Yannakakis evaluates an α-acyclic connected database by full reduction
 // plus join-tree joins, returning the result and per-step intermediate
 // sizes.
 func Yannakakis(db *Database) (*Relation, []int, error) { return semijoin.Yannakakis(db) }
+
+// Acyclic fast path, governed.
+type (
+	// SemijoinReduction is a governed full reduction's outcome: the
+	// reduced database, the join trees, and per-semijoin result sizes.
+	SemijoinReduction = semijoin.Reduction
+	// YannakakisEvaluation is a governed Yannakakis run: the reduction,
+	// the full join, intermediate sizes and the equivalent binary
+	// strategy.
+	YannakakisEvaluation = semijoin.Evaluation
+)
+
+// YannakakisGuarded runs the acyclic fast path — component-wise full
+// reduction then a bottom-up join along the same trees — under resource
+// governance and observability. Either g or rec may be nil.
+func YannakakisGuarded(db *Database, g *Guard, rec *Recorder) (*YannakakisEvaluation, error) {
+	return semijoin.YannakakisGuarded(db, g, rec)
+}
 
 // IntersectAll and UnionAll fold set operations over same-scheme
 // relations (the Section 5 reinterpretation of strategies).
